@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses (one binary per paper
+ * figure/table).
+ *
+ * Every harness honours two environment variables:
+ *   PDP_BENCH_SCALE    multiplies run lengths (default 1.0; use 0.1 for a
+ *                      quick smoke run, 4 for higher-fidelity curves)
+ *   PDP_BENCH_VERBOSE  set to 1 to print per-run progress to stderr
+ */
+
+#ifndef PDP_BENCH_BENCH_COMMON_H
+#define PDP_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/single_core_sim.h"
+
+namespace pdpbench
+{
+
+/** Run-length scale factor from PDP_BENCH_SCALE. */
+inline double
+benchScale()
+{
+    if (const char *env = std::getenv("PDP_BENCH_SCALE"))
+        return std::atof(env) > 0 ? std::atof(env) : 1.0;
+    return 1.0;
+}
+
+inline bool
+benchVerbose()
+{
+    const char *env = std::getenv("PDP_BENCH_VERBOSE");
+    return env && env[0] == '1';
+}
+
+/** Standard single-core config at the harness's preferred length. */
+inline pdp::SimConfig
+standardConfig(uint64_t accesses = 3'000'000, uint64_t warmup = 1'000'000)
+{
+    pdp::SimConfig config;
+    config.accesses = accesses;
+    config.warmup = warmup;
+    return config.scaled(benchScale());
+}
+
+inline void
+progress(const std::string &what)
+{
+    if (benchVerbose())
+        std::fprintf(stderr, "[bench] %s\n", what.c_str());
+}
+
+} // namespace pdpbench
+
+#endif // PDP_BENCH_BENCH_COMMON_H

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Fig. 1 (reuse-distance distributions of selected
+ * benchmarks) and Fig. 5b (RDDs of the three xalancbmk windows).
+ *
+ * For each benchmark the LLC access stream (post-L2) is profiled exactly
+ * and the RDD is printed as a coarse histogram, together with the
+ * fraction of accesses whose RD falls below d_max (the bar at the right
+ * of each Fig. 1 plot) and the position of the main peak.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "cache/cache.h"
+#include "core/rd_profiler.h"
+#include "policies/basic.h"
+#include "trace/spec_suite.h"
+#include "util/table.h"
+
+using namespace pdp;
+
+namespace
+{
+
+void
+profileBenchmark(const std::string &bench, uint64_t accesses)
+{
+    auto gen = SpecSuite::make(bench);
+    Cache l2(CacheConfig::paperL2(), std::make_unique<LruPolicy>());
+    RdProfiler profiler(CacheConfig::paperLlc().numSets(), 256);
+
+    for (uint64_t i = 0; i < accesses; ++i) {
+        const Access a = gen->next();
+        AccessContext ctx;
+        ctx.lineAddr = a.lineAddr;
+        ctx.pc = a.pc;
+        ctx.isWrite = a.isWrite;
+        if (!l2.access(ctx).hit)
+            profiler.observe(a.lineAddr & (CacheConfig::paperLlc().numSets()
+                                           - 1),
+                             a.lineAddr);
+    }
+
+    const Histogram &rdd = profiler.rdd();
+    uint64_t peak_count = 1;
+    for (size_t d = 0; d < rdd.size(); ++d)
+        peak_count = std::max(peak_count, rdd.at(d));
+
+    std::cout << bench << "  (peak RD = " << profiler.peakRd()
+              << ", covered <= d_max: "
+              << Table::upct(profiler.coveredFraction()) << ")\n";
+
+    // 16-wide buckets rendered as a text histogram.
+    for (uint32_t lo = 1; lo <= 256; lo += 16) {
+        uint64_t count = 0;
+        for (uint32_t d = lo; d < lo + 16; ++d)
+            count += rdd.at(d - 1);
+        const int bar = static_cast<int>(
+            60.0 * static_cast<double>(count) /
+            static_cast<double>(peak_count * 16));
+        std::cout << "  " << (lo < 100 ? lo < 10 ? "  " : " " : "") << lo
+                  << "-" << lo + 15 << " |" << std::string(bar, '#') << " "
+                  << count << "\n";
+    }
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    const uint64_t accesses = pdpbench::standardConfig().accesses;
+
+    std::cout << "==== Fig. 1: RDDs of selected benchmarks ====\n\n";
+    for (const char *bench : {"403.gcc", "436.cactusADM", "450.soplex",
+                              "464.h264ref", "482.sphinx3"})
+        profileBenchmark(bench, accesses);
+
+    std::cout << "==== Fig. 5b: RDDs of the three xalancbmk windows ====\n\n";
+    for (const char *bench : {"483.xalancbmk.1", "483.xalancbmk.2",
+                              "483.xalancbmk.3"})
+        profileBenchmark(bench, accesses);
+
+    std::cout << "Paper reference: per-benchmark peaks near 32/100 (gcc), "
+                 "~72 (cactusADM), 24/120 (soplex), ~20 (h264ref), ~100 "
+                 "(sphinx3); xalancbmk windows peak near 100, 88 and "
+                 "124/40.\n";
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Reproduces Fig. 5a: breakdown of LLC accesses and line occupancy for
+ * 436.cactusADM and 464.h264ref under DRRIP, SPDP-NB and SPDP-B.
+ *
+ * Events are classified as Hit (promotion), Bypass, eviction after <= 16
+ * accesses to the set, or eviction after more than 16; occupancy is the
+ * per-category share of set-access residency.
+ *
+ * Paper reference: under DRRIP a small number of long-evicted lines
+ * (3% of accesses) consumes a large occupancy share (16% for cactusADM);
+ * the PDP variants cut the long-eviction occupancy sharply and SPDP-B
+ * bypasses most misses (89% for h264ref).
+ */
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "cache/hierarchy.h"
+#include "cache/occupancy_tracker.h"
+#include "sim/policy_factory.h"
+#include "sim/static_pd_search.h"
+#include "sim/single_core_sim.h"
+#include "trace/spec_suite.h"
+#include "util/table.h"
+
+using namespace pdp;
+
+namespace
+{
+
+void
+analyze(const std::string &bench, const SimConfig &config, Table &table)
+{
+    // Use each benchmark's best static PD for the SPDP rows (as in the
+    // paper) and DRRIP as the contrast.
+    const SimConfig search_cfg = config;
+    const uint32_t pd_nb = bestStaticPd(bench, false, search_cfg).bestPd;
+    const uint32_t pd_b = bestStaticPd(bench, true, search_cfg).bestPd;
+
+    struct Row
+    {
+        std::string label;
+        std::string spec;
+    };
+    const std::vector<Row> rows = {
+        {"DRRIP", "DRRIP"},
+        {"SPDP-NB", "SPDP-NB:" + std::to_string(pd_nb)},
+        {"SPDP-B", "SPDP-B:" + std::to_string(pd_b)},
+    };
+
+    for (const Row &row : rows) {
+        auto gen = SpecSuite::make(bench);
+        Hierarchy hierarchy(config.hierarchy, makePolicy(row.spec));
+        OccupancyTracker tracker(hierarchy.llc());
+        hierarchy.llc().setObserver(&tracker);
+        runSingleCore(*gen, hierarchy, config);
+
+        const OccupancyBreakdown &b = tracker.breakdown();
+        const double events = static_cast<double>(b.totalEvents());
+        const double occ = static_cast<double>(b.totalOccupancy());
+        auto epct = [&](uint64_t v) {
+            return Table::upct(events > 0 ? v / events : 0.0);
+        };
+        auto opct = [&](uint64_t v) {
+            return Table::upct(occ > 0 ? v / occ : 0.0);
+        };
+        table.addRow({bench, row.label,
+                      epct(b.hits), epct(b.bypasses), epct(b.evictsShort),
+                      epct(b.evictsLong),
+                      opct(b.occupancyHits), opct(b.occupancyShort),
+                      opct(b.occupancyLong),
+                      std::to_string(b.maxOccupancy)});
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const SimConfig config = pdpbench::standardConfig(2'000'000, 800'000);
+
+    std::cout << "==== Fig. 5a: access and occupancy breakdown ====\n\n";
+    Table table({"benchmark", "policy", "acc:hit", "acc:bypass",
+                 "acc:evict<=16", "acc:evict>16", "occ:hit",
+                 "occ:evict<=16", "occ:evict>16", "max occupancy"});
+    analyze("436.cactusADM", config, table);
+    analyze("464.h264ref", config, table);
+    table.print(std::cout);
+
+    std::cout << "\nPaper reference: PDP removes the long-eviction "
+                 "occupancy (no lines beyond ~90 accesses) and SPDP-B "
+                 "bypasses the bulk of h264ref's misses.\n";
+    return 0;
+}

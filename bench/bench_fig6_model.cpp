@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Reproduces Fig. 6: the hit-rate model E(d_p) against the actual hit
+ * rate of the static bypass PDP, as a function of d_p.
+ *
+ * For each benchmark, the exact RDD is measured once (software profiler),
+ * E(d_p) is evaluated from it, and SPDP-B is simulated at each d_p of the
+ * grid.  Both series are printed normalized to their maxima so the shapes
+ * can be compared directly, together with the positions of the two
+ * maxima.
+ *
+ * Paper reference: E approximates the hit rate well, especially around
+ * the PD that maximizes it.
+ */
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "cache/hierarchy.h"
+#include "core/hit_rate_model.h"
+#include "core/rd_profiler.h"
+#include "core/rdd.h"
+#include "policies/basic.h"
+#include "sim/policy_factory.h"
+#include "sim/single_core_sim.h"
+#include "trace/spec_suite.h"
+#include "util/table.h"
+
+using namespace pdp;
+
+namespace
+{
+
+void
+study(const std::string &bench, const SimConfig &config)
+{
+    // Exact RDD -> counter array (64-bit bridge scaled to avoid
+    // saturation).
+    auto gen = SpecSuite::make(bench);
+    Cache l2(CacheConfig::paperL2(), std::make_unique<LruPolicy>());
+    const uint32_t sets = CacheConfig::paperLlc().numSets();
+    RdProfiler profiler(sets, 256);
+    for (uint64_t i = 0; i < config.accesses; ++i) {
+        const Access a = gen->next();
+        AccessContext ctx;
+        ctx.lineAddr = a.lineAddr;
+        if (!l2.access(ctx).hit)
+            profiler.observe(a.lineAddr & (sets - 1), a.lineAddr);
+    }
+    RdCounterArray rdd(256, 4);
+    const uint64_t scale =
+        std::max<uint64_t>(1, profiler.accesses() / 40000);
+    for (uint32_t k = 0; k < rdd.numBuckets(); ++k) {
+        uint64_t count = 0;
+        for (uint32_t d = k * 4 + 1; d <= (k + 1) * 4; ++d)
+            count += profiler.rdd().at(d - 1);
+        rdd.addBucket(k, count / scale, 0);
+    }
+    rdd.addBucket(0, 0, profiler.accesses() / scale);
+
+    HitRateModel model(16);
+    const auto curve = model.curve(rdd);
+
+    // Measured hit rate at a PD grid.
+    const std::vector<uint32_t> grid = {16, 32,  48,  64,  80,  96, 112,
+                                        128, 160, 192, 224, 256};
+    std::vector<double> measured;
+    for (uint32_t pd : grid) {
+        auto g = SpecSuite::make(bench);
+        Hierarchy h(config.hierarchy,
+                    makePolicy("SPDP-B:" + std::to_string(pd)));
+        const SimResult r = runSingleCore(*g, h, config);
+        measured.push_back(r.llcAccesses
+            ? static_cast<double>(r.llcHits) / r.llcAccesses : 0.0);
+    }
+
+    double e_max = 0.0, hr_max = 0.0;
+    uint32_t e_arg = 0, hr_arg = 0;
+    for (const EPoint &p : curve)
+        if (p.e > e_max) {
+            e_max = p.e;
+            e_arg = p.dp;
+        }
+    for (size_t i = 0; i < grid.size(); ++i)
+        if (measured[i] > hr_max) {
+            hr_max = measured[i];
+            hr_arg = grid[i];
+        }
+
+    std::cout << bench << "  (argmax E = " << e_arg
+              << ", argmax hit rate = " << hr_arg << ")\n";
+    Table table({"d_p", "E(d_p)/max", "hitrate/max"});
+    for (size_t i = 0; i < grid.size(); ++i) {
+        double e = 0.0;
+        for (const EPoint &p : curve)
+            if (p.dp <= grid[i])
+                e = p.e;
+        table.addRow({std::to_string(grid[i]),
+                      Table::num(e_max > 0 ? e / e_max : 0.0, 3),
+                      Table::num(hr_max > 0 ? measured[i] / hr_max : 0.0,
+                                 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    const SimConfig config = pdpbench::standardConfig(1'500'000, 600'000);
+    std::cout << "==== Fig. 6: E(d_p) vs the actual hit rate ====\n\n";
+    for (const char *bench :
+         {"403.gcc", "436.cactusADM", "464.h264ref", "482.sphinx3",
+          "483.xalancbmk.2", "450.soplex"})
+        study(bench, config);
+    std::cout << "Paper reference: the two argmax positions should fall "
+                 "in the same RDD region and the normalized shapes should "
+                 "track each other near the optimum.\n";
+    return 0;
+}

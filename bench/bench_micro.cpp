@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's hot paths: cache
+ * access under each policy family, RD sampler observation, and the PD
+ * solver.  These guard the simulation speed that every figure-level
+ * harness depends on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.h"
+#include "core/hit_rate_model.h"
+#include "core/pdp_policy.h"
+#include "core/rd_sampler.h"
+#include "hw/pdproc.h"
+#include "policies/basic.h"
+#include "policies/dip.h"
+#include "policies/rrip.h"
+#include "sim/policy_factory.h"
+#include "trace/spec_suite.h"
+
+namespace
+{
+
+using namespace pdp;
+
+void
+cacheAccessBenchmark(benchmark::State &state, const std::string &policy)
+{
+    Cache cache(CacheConfig::paperLlc(), makePolicy(policy));
+    auto gen = SpecSuite::make("403.gcc");
+    for (auto _ : state) {
+        const Access a = gen->next();
+        AccessContext ctx;
+        ctx.lineAddr = a.lineAddr;
+        ctx.pc = a.pc;
+        ctx.isWrite = a.isWrite;
+        benchmark::DoNotOptimize(cache.access(ctx));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_CacheAccessLru(benchmark::State &state)
+{
+    cacheAccessBenchmark(state, "LRU");
+}
+
+void
+BM_CacheAccessDrrip(benchmark::State &state)
+{
+    cacheAccessBenchmark(state, "DRRIP");
+}
+
+void
+BM_CacheAccessPdp8(benchmark::State &state)
+{
+    cacheAccessBenchmark(state, "PDP-8");
+}
+
+void
+BM_RdSamplerObserve(benchmark::State &state)
+{
+    RdSampler sampler(RdSamplerParams{}, 2048);
+    uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sampler.observe(
+            static_cast<uint32_t>(addr & 2047), addr * 0x9e3779b9ull));
+        ++addr;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_PdSolver(benchmark::State &state)
+{
+    RdCounterArray rdd(256, 4);
+    for (uint32_t d = 1; d <= 256; ++d)
+        for (uint32_t i = 0; i < (d % 13) * 3 + 1; ++i)
+            rdd.recordHit(d);
+    for (int i = 0; i < 20000; ++i)
+        rdd.recordAccess();
+    const HitRateModel model(16);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.bestPd(rdd));
+}
+
+void
+BM_PdProcMicroprogram(benchmark::State &state)
+{
+    RdCounterArray rdd(256, 4);
+    for (uint32_t d = 1; d <= 256; ++d)
+        rdd.recordHit(d);
+    for (int i = 0; i < 2000; ++i)
+        rdd.recordAccess();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pdprocBestPd(rdd));
+}
+
+BENCHMARK(BM_CacheAccessLru);
+BENCHMARK(BM_CacheAccessDrrip);
+BENCHMARK(BM_CacheAccessPdp8);
+BENCHMARK(BM_RdSamplerObserve);
+BENCHMARK(BM_PdSolver);
+BENCHMARK(BM_PdProcMicroprogram);
+
+} // namespace
+
+BENCHMARK_MAIN();

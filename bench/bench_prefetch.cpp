@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reproduces the Sec. 6.5 prefetch-aware PDP study.
+ *
+ * A simple stream prefetcher fills the LLC.  Compared policies (all with
+ * prefetching enabled): prefetch-unaware DRRIP, prefetch-unaware PDP-8,
+ * and the two prefetch-aware PDP variants — prefetched lines inserted
+ * with PD = 1, and prefetched lines bypassing the LLC.
+ *
+ * Paper reference: prefetch-unaware PDP beats prefetch-unaware DRRIP by
+ * about the no-prefetch margin; the two aware variants add further IPC
+ * (paper: +4.1% and +5.6% over prefetch-unaware PDP) because stale
+ * prefetched lines stop polluting the cache.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "cache/hierarchy.h"
+#include "core/pdp_policy.h"
+#include "sim/policy_factory.h"
+#include "sim/single_core_sim.h"
+#include "trace/spec_suite.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace pdp;
+
+namespace
+{
+
+SimResult
+runWithPrefetch(const std::string &bench, const SimConfig &config,
+                std::unique_ptr<ReplacementPolicy> policy)
+{
+    auto gen = SpecSuite::make(bench);
+    Hierarchy hierarchy(config.hierarchy, std::move(policy));
+    hierarchy.attachPrefetcher(std::make_unique<StreamPrefetcher>());
+    return runSingleCore(*gen, hierarchy, config);
+}
+
+std::unique_ptr<PdpPolicy>
+pdpWithPrefetchMode(PdpParams::PrefetchMode mode)
+{
+    PdpParams params;
+    params.prefetchMode = mode;
+    return std::make_unique<PdpPolicy>(params);
+}
+
+} // namespace
+
+int
+main()
+{
+    const SimConfig config = pdpbench::standardConfig();
+
+    std::cout << "==== Sec. 6.5: prefetch-aware PDP (IPC vs prefetching "
+                 "DRRIP) ====\n\n";
+
+    Table table({"benchmark", "PDP-8", "PDP-8 pf->PD=1", "PDP-8 pf-bypass"});
+    Accumulator a0, a1, a2;
+    for (const auto &bench : SpecSuite::singleCoreNames()) {
+        pdpbench::progress(bench);
+        const SimResult drrip =
+            runWithPrefetch(bench, config, makePolicy("DRRIP"));
+        const SimResult unaware = runWithPrefetch(
+            bench, config,
+            pdpWithPrefetchMode(PdpParams::PrefetchMode::Normal));
+        const SimResult pd1 = runWithPrefetch(
+            bench, config,
+            pdpWithPrefetchMode(PdpParams::PrefetchMode::InsertPdOne));
+        const SimResult bypass = runWithPrefetch(
+            bench, config,
+            pdpWithPrefetchMode(PdpParams::PrefetchMode::Bypass));
+
+        const double v0 = unaware.ipc / drrip.ipc - 1.0;
+        const double v1 = pd1.ipc / drrip.ipc - 1.0;
+        const double v2 = bypass.ipc / drrip.ipc - 1.0;
+        a0.add(v0);
+        a1.add(v1);
+        a2.add(v2);
+        table.addRow({bench, Table::pct(v0), Table::pct(v1),
+                      Table::pct(v2)});
+    }
+    table.addRow({"AVERAGE", Table::pct(a0.mean()), Table::pct(a1.mean()),
+                  Table::pct(a2.mean())});
+    table.print(std::cout);
+
+    std::cout << "\nPaper reference: aware variants >= unaware PDP >= "
+                 "DRRIP under prefetching.\n";
+    return 0;
+}

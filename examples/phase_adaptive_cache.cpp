@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Phase adaptation demo (the Sec. 6.4 story): run a phase-changing
+ * benchmark under dynamic PDP and watch the recomputed protecting
+ * distance track the phases; compare the end result against the best
+ * single static PD, which cannot serve both phases at once.
+ *
+ * Usage: phase_adaptive_cache [benchmark]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "cache/hierarchy.h"
+#include "core/pdp_policy.h"
+#include "sim/single_core_sim.h"
+#include "sim/static_pd_search.h"
+#include "trace/spec_suite.h"
+#include "util/table.h"
+
+using namespace pdp;
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench =
+        argc > 1 ? argv[1] : "483.xalancbmk.phased";
+    if (!SpecSuite::contains(bench)) {
+        std::cerr << "unknown benchmark; phased ones are:\n";
+        for (const auto &name : SpecSuite::phasedNames())
+            std::cerr << "  " << name << "\n";
+        return EXIT_FAILURE;
+    }
+
+    SimConfig config;
+    config.accesses = 6'000'000;
+    config.warmup = 500'000;
+
+    // Dynamic PDP with introspection.
+    auto gen = SpecSuite::make(bench);
+    PdpParams params;
+    params.recomputeInterval = 512 * 1024;
+    auto policy = std::make_unique<PdpPolicy>(params);
+    const PdpPolicy *pdp = policy.get();
+    Hierarchy hierarchy(config.hierarchy, std::move(policy));
+    const SimResult dynamic = runSingleCore(*gen, hierarchy, config);
+
+    std::cout << bench << ": PD recomputed every 512K accesses\n\n"
+              << "PD timeline: ";
+    for (const PdSample &s : pdp->pdHistory())
+        std::cout << s.pd << " ";
+    std::cout << "\n\n";
+
+    // The best single static PD for the whole phased window.
+    SimConfig search = config;
+    search.accesses = 3'000'000;
+    const StaticPdResult fixed = bestStaticPd(bench, true, search,
+                                              {24, 48, 72, 96, 120, 144});
+
+    auto rerun_static = [&](uint32_t pd) {
+        auto g = SpecSuite::make(bench);
+        Hierarchy h(config.hierarchy, makeSpdpB(pd));
+        return runSingleCore(*g, h, config);
+    };
+    const SimResult static_best = rerun_static(fixed.bestPd);
+
+    Table table({"policy", "MPKI", "IPC"});
+    table.addRow({"SPDP-B:" + std::to_string(fixed.bestPd) +
+                      " (best fixed PD)",
+                  Table::num(static_best.mpki, 2),
+                  Table::num(static_best.ipc, 3)});
+    table.addRow({"PDP-8 (dynamic)", Table::num(dynamic.mpki, 2),
+                  Table::num(dynamic.ipc, 3)});
+    table.print(std::cout);
+
+    std::cout << "\nThe dynamic policy re-learns the protecting distance "
+                 "at each phase, which a single static PD cannot do.\n";
+    return EXIT_SUCCESS;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Policy explorer: compare any set of LLC policies on any suite
+ * benchmark, and optionally sweep static protecting distances to see the
+ * E(d_p)-vs-reality picture for yourself.
+ *
+ * Usage:
+ *   policy_explorer list
+ *   policy_explorer <benchmark> [policy ...]
+ *   policy_explorer <benchmark> sweep
+ *
+ * Examples:
+ *   policy_explorer 450.soplex DIP DRRIP PDP-3 SPDP-B:56
+ *   policy_explorer 436.cactusADM sweep
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/single_core_sim.h"
+#include "sim/static_pd_search.h"
+#include "trace/spec_suite.h"
+#include "util/table.h"
+
+using namespace pdp;
+
+namespace
+{
+
+void
+listBenchmarks()
+{
+    Table table({"benchmark", "behaviour"});
+    for (const auto &info : SpecSuite::all())
+        table.addRow({info.name, info.description});
+    table.print(std::cout);
+}
+
+void
+comparePolicies(const std::string &bench,
+                const std::vector<std::string> &policies,
+                const SimConfig &config)
+{
+    Table table({"policy", "hit rate", "MPKI", "bypass", "IPC"});
+    for (const auto &policy : policies) {
+        const SimResult r = runSingleCore(bench, policy, config);
+        const double hit_rate = r.llcAccesses
+            ? static_cast<double>(r.llcHits) / r.llcAccesses : 0.0;
+        table.addRow({r.policy, Table::upct(hit_rate),
+                      Table::num(r.mpki, 2),
+                      Table::upct(r.bypassFraction),
+                      Table::num(r.ipc, 3)});
+    }
+    table.print(std::cout);
+}
+
+void
+sweepStaticPd(const std::string &bench, const SimConfig &config)
+{
+    std::cout << "static PD sweep (SPDP-B) for " << bench << ":\n\n";
+    const StaticPdResult result = bestStaticPd(bench, true, config);
+    Table table({"PD", "hit rate", "MPKI"});
+    for (const auto &[pd, r] : result.sweep) {
+        const double hit_rate = r.llcAccesses
+            ? static_cast<double>(r.llcHits) / r.llcAccesses : 0.0;
+        table.addRow({std::to_string(pd), Table::upct(hit_rate),
+                      Table::num(r.mpki, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nbest static PD: " << result.bestPd << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || std::string(argv[1]) == "list") {
+        listBenchmarks();
+        return EXIT_SUCCESS;
+    }
+
+    const std::string bench = argv[1];
+    if (!SpecSuite::contains(bench)) {
+        std::cerr << "unknown benchmark '" << bench
+                  << "'; run with 'list' to see the suite\n";
+        return EXIT_FAILURE;
+    }
+
+    SimConfig config;
+    config.accesses = 2'000'000;
+    config.warmup = 800'000;
+
+    if (argc > 2 && std::string(argv[2]) == "sweep") {
+        sweepStaticPd(bench, config);
+        return EXIT_SUCCESS;
+    }
+
+    std::vector<std::string> policies;
+    for (int i = 2; i < argc; ++i)
+        policies.push_back(argv[i]);
+    if (policies.empty())
+        policies = {"LRU", "DIP", "DRRIP", "SDP", "PDP-3", "PDP-8"};
+
+    comparePolicies(bench, policies, config);
+    return EXIT_SUCCESS;
+}

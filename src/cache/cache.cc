@@ -1,0 +1,161 @@
+#include "cache/cache.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pdp
+{
+
+Cache::Cache(const CacheConfig &config,
+             std::unique_ptr<ReplacementPolicy> policy)
+    : config_(config), numSets_(config.numSets()),
+      lines_(static_cast<size_t>(config.numSets()) * config.ways),
+      policy_(std::move(policy))
+{
+    if (!config_.valid())
+        throw std::invalid_argument("invalid cache geometry: " +
+                                    config_.label);
+    assert(policy_ != nullptr);
+    policy_->attach(*this, numSets_, config_.ways);
+}
+
+int
+Cache::findWay(uint32_t set, uint64_t line_addr) const
+{
+    for (uint32_t way = 0; way < config_.ways; ++way) {
+        const Line &l = line(set, way);
+        if (l.valid && l.addr == line_addr)
+            return static_cast<int>(way);
+    }
+    return -1;
+}
+
+int
+Cache::findInvalidWay(uint32_t set) const
+{
+    for (uint32_t way = 0; way < config_.ways; ++way)
+        if (!line(set, way).valid)
+            return static_cast<int>(way);
+    return -1;
+}
+
+uint32_t
+Cache::threadWaysInSet(uint32_t set, uint8_t thread) const
+{
+    uint32_t count = 0;
+    for (uint32_t way = 0; way < config_.ways; ++way) {
+        const Line &l = line(set, way);
+        if (l.valid && l.threadId == thread)
+            ++count;
+    }
+    return count;
+}
+
+bool
+Cache::contains(uint64_t line_addr) const
+{
+    return findWay(setIndex(line_addr), line_addr) >= 0;
+}
+
+bool
+Cache::invalidate(uint64_t line_addr)
+{
+    const uint32_t set = setIndex(line_addr);
+    const int way = findWay(set, line_addr);
+    if (way < 0)
+        return false;
+    line(set, way) = Line{};
+    return true;
+}
+
+AccessOutcome
+Cache::access(const AccessContext &ctx_in)
+{
+    AccessContext ctx = ctx_in;
+    ctx.set = setIndex(ctx.lineAddr);
+
+    AccessOutcome outcome;
+
+    const uint8_t tid = ctx.threadId < CacheStats::kMaxThreads
+        ? ctx.threadId : CacheStats::kMaxThreads - 1;
+
+    const bool demand = !ctx.isWriteback && !ctx.isPrefetch;
+    if (ctx.isWriteback)
+        ++stats_.writebackAccesses;
+    else if (demand) {
+        ++stats_.accesses;
+        ++stats_.threadAccesses[tid];
+    }
+
+    const int hit_way = findWay(ctx.set, ctx.lineAddr);
+    if (hit_way >= 0) {
+        // Hit: promote and mark reused.
+        Line &l = line(ctx.set, hit_way);
+        l.reused = true;
+        l.dirty = l.dirty || ctx.isWrite || ctx.isWriteback;
+        policy_->onHit(ctx, hit_way);
+        if (observer_)
+            observer_->onHit(ctx, hit_way);
+        if (demand) {
+            ++stats_.hits;
+            ++stats_.threadHits[tid];
+        }
+        outcome.hit = true;
+        outcome.way = hit_way;
+        return outcome;
+    }
+
+    // Miss.
+    if (demand) {
+        ++stats_.misses;
+        ++stats_.threadMisses[tid];
+    }
+
+    int victim_way = findInvalidWay(ctx.set);
+    if (victim_way < 0) {
+        victim_way = policy_->selectVictim(ctx);
+        if (victim_way == ReplacementPolicy::kBypass) {
+            if (!config_.allowBypass)
+                throw std::logic_error("policy bypassed an inclusive cache");
+            policy_->onBypass(ctx);
+            if (observer_)
+                observer_->onBypass(ctx);
+            if (demand)
+                ++stats_.bypasses;
+            outcome.bypassed = true;
+            return outcome;
+        }
+        assert(victim_way >= 0 &&
+               victim_way < static_cast<int>(config_.ways));
+
+        Line &victim = line(ctx.set, victim_way);
+        assert(victim.valid);
+        outcome.evictedValid = true;
+        outcome.evictedAddr = victim.addr;
+        outcome.evictedDirty = victim.dirty;
+        outcome.evictedReused = victim.reused;
+        outcome.evictedThread = victim.threadId;
+        if (victim.dirty)
+            ++stats_.evictionsDirty;
+        if (observer_)
+            observer_->onEvict(ctx, victim_way, victim.addr, victim.reused);
+    }
+
+    // Install the new line.
+    Line &l = line(ctx.set, victim_way);
+    l.addr = ctx.lineAddr;
+    l.valid = true;
+    l.dirty = ctx.isWrite || ctx.isWriteback;
+    l.reused = false;
+    l.threadId = ctx.threadId;
+    policy_->onInsert(ctx, victim_way);
+    if (observer_)
+        observer_->onInsert(ctx, victim_way);
+    if (ctx.isPrefetch)
+        ++stats_.prefetchFills;
+
+    outcome.way = victim_way;
+    return outcome;
+}
+
+} // namespace pdp

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Set-associative cache with a pluggable replacement/bypass policy.
+ */
+
+#ifndef PDP_CACHE_CACHE_H
+#define PDP_CACHE_CACHE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache_config.h"
+#include "cache/cache_stats.h"
+#include "policies/replacement_policy.h"
+
+namespace pdp
+{
+
+/** Outcome of one cache access. */
+struct AccessOutcome
+{
+    bool hit = false;
+    bool bypassed = false;
+    /** Way the line resides in after the access (-1 if bypassed). */
+    int way = -1;
+    /** A valid line was evicted to make room. */
+    bool evictedValid = false;
+    uint64_t evictedAddr = 0;
+    bool evictedDirty = false;
+    bool evictedReused = false;
+    uint8_t evictedThread = 0;
+};
+
+/** Observer hook for instrumentation (e.g. the occupancy tracker). */
+class CacheObserver
+{
+  public:
+    virtual ~CacheObserver() = default;
+    virtual void onHit(const AccessContext &ctx, int way) = 0;
+    virtual void onInsert(const AccessContext &ctx, int way) = 0;
+    virtual void onEvict(const AccessContext &ctx, int way,
+                         uint64_t victim_addr, bool victim_reused) = 0;
+    virtual void onBypass(const AccessContext &ctx) = 0;
+};
+
+/**
+ * A set-associative cache.
+ *
+ * The cache owns tags and line state; replacement decisions are delegated
+ * to the attached ReplacementPolicy.  Invalid ways are always filled
+ * first, without consulting the policy's victim selection.
+ */
+class Cache
+{
+  public:
+    Cache(const CacheConfig &config, std::unique_ptr<ReplacementPolicy> policy);
+
+    /** Perform one access (demand, writeback or prefetch per ctx flags). */
+    AccessOutcome access(const AccessContext &ctx);
+
+    /** Probe without side effects: is the line present? */
+    bool contains(uint64_t line_addr) const;
+
+    /** Invalidate a line if present (returns true if it was). */
+    bool invalidate(uint64_t line_addr);
+
+    // --- geometry ---
+    uint32_t numSets() const { return numSets_; }
+    uint32_t numWays() const { return config_.ways; }
+    const CacheConfig &config() const { return config_; }
+
+    uint32_t
+    setIndex(uint64_t line_addr) const
+    {
+        return static_cast<uint32_t>(line_addr & (numSets_ - 1));
+    }
+
+    // --- line state exposed to policies ---
+    bool isValid(uint32_t set, uint32_t way) const { return line(set, way).valid; }
+    bool isReused(uint32_t set, uint32_t way) const { return line(set, way).reused; }
+    bool isDirty(uint32_t set, uint32_t way) const { return line(set, way).dirty; }
+    uint8_t lineThread(uint32_t set, uint32_t way) const { return line(set, way).threadId; }
+    uint64_t lineAddr(uint32_t set, uint32_t way) const { return line(set, way).addr; }
+
+    /** Number of valid lines owned by `thread` in `set` (partitioning). */
+    uint32_t threadWaysInSet(uint32_t set, uint8_t thread) const;
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+    ReplacementPolicy &policy() { return *policy_; }
+    const ReplacementPolicy &policy() const { return *policy_; }
+
+    /** Register an instrumentation observer (nullptr to remove). */
+    void setObserver(CacheObserver *observer) { observer_ = observer; }
+
+  private:
+    struct Line
+    {
+        uint64_t addr = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool reused = false;
+        uint8_t threadId = 0;
+    };
+
+    Line &line(uint32_t set, uint32_t way)
+    {
+        return lines_[static_cast<size_t>(set) * config_.ways + way];
+    }
+
+    const Line &line(uint32_t set, uint32_t way) const
+    {
+        return lines_[static_cast<size_t>(set) * config_.ways + way];
+    }
+
+    int findWay(uint32_t set, uint64_t line_addr) const;
+    int findInvalidWay(uint32_t set) const;
+
+    CacheConfig config_;
+    uint32_t numSets_;
+    std::vector<Line> lines_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    CacheStats stats_;
+    CacheObserver *observer_ = nullptr;
+};
+
+} // namespace pdp
+
+#endif // PDP_CACHE_CACHE_H

@@ -1,0 +1,74 @@
+#include "cache/occupancy_tracker.h"
+
+namespace pdp
+{
+
+OccupancyTracker::OccupancyTracker(const Cache &cache, uint32_t threshold)
+    : ways_(cache.numWays()), threshold_(threshold),
+      setCounter_(cache.numSets(), 0),
+      lastEvent_(static_cast<size_t>(cache.numSets()) * cache.numWays(), 0)
+{
+}
+
+void
+OccupancyTracker::bump(uint32_t set)
+{
+    ++setCounter_[set];
+}
+
+void
+OccupancyTracker::onHit(const AccessContext &ctx, int way)
+{
+    if (ctx.isWriteback || ctx.isPrefetch)
+        return;
+    bump(ctx.set);
+    const uint64_t occ = setCounter_[ctx.set] - lastEvent(ctx.set, way);
+    ++breakdown_.hits;
+    breakdown_.occupancyHits += occ;
+    breakdown_.maxOccupancy = std::max(breakdown_.maxOccupancy, occ);
+    lastEvent(ctx.set, way) = setCounter_[ctx.set];
+}
+
+void
+OccupancyTracker::onInsert(const AccessContext &ctx, int way)
+{
+    if (!ctx.isWriteback && !ctx.isPrefetch)
+        bump(ctx.set);
+    lastEvent(ctx.set, way) = setCounter_[ctx.set];
+}
+
+void
+OccupancyTracker::onEvict(const AccessContext &ctx, int way,
+                          uint64_t victim_addr, bool victim_reused)
+{
+    (void)victim_addr;
+    (void)victim_reused;
+    const uint64_t occ = setCounter_[ctx.set] - lastEvent(ctx.set, way);
+    if (occ <= threshold_) {
+        ++breakdown_.evictsShort;
+        breakdown_.occupancyShort += occ;
+    } else {
+        ++breakdown_.evictsLong;
+        breakdown_.occupancyLong += occ;
+    }
+    breakdown_.maxOccupancy = std::max(breakdown_.maxOccupancy, occ);
+}
+
+void
+OccupancyTracker::onBypass(const AccessContext &ctx)
+{
+    if (ctx.isWriteback || ctx.isPrefetch)
+        return;
+    bump(ctx.set);
+    ++breakdown_.bypasses;
+}
+
+void
+OccupancyTracker::reset()
+{
+    std::fill(setCounter_.begin(), setCounter_.end(), 0);
+    std::fill(lastEvent_.begin(), lastEvent_.end(), 0);
+    breakdown_ = OccupancyBreakdown{};
+}
+
+} // namespace pdp

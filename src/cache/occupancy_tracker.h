@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Occupancy instrumentation for the Fig. 5a study.
+ *
+ * The paper defines the occupancy of a line as the number of accesses to
+ * its cache set between an insertion or a promotion and the eviction or
+ * the next promotion.  This observer classifies LLC events into the four
+ * Fig. 5a categories — Hit (promotion), Bypass, Evict at <= threshold
+ * accesses, Evict at > threshold accesses — and accumulates both the
+ * access breakdown and the total occupancy attributed to each category.
+ */
+
+#ifndef PDP_CACHE_OCCUPANCY_TRACKER_H
+#define PDP_CACHE_OCCUPANCY_TRACKER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.h"
+
+namespace pdp
+{
+
+/** Fig. 5a occupancy/access breakdown. */
+struct OccupancyBreakdown
+{
+    uint64_t hits = 0;
+    uint64_t bypasses = 0;
+    uint64_t evictsShort = 0;     //!< evictions after <= threshold accesses
+    uint64_t evictsLong = 0;      //!< evictions after > threshold accesses
+    uint64_t occupancyHits = 0;   //!< occupancy consumed before promotions
+    uint64_t occupancyShort = 0;
+    uint64_t occupancyLong = 0;
+    uint64_t maxOccupancy = 0;    //!< longest single residency observed
+
+    uint64_t
+    totalEvents() const
+    {
+        return hits + bypasses + evictsShort + evictsLong;
+    }
+
+    uint64_t
+    totalOccupancy() const
+    {
+        return occupancyHits + occupancyShort + occupancyLong;
+    }
+};
+
+/** CacheObserver computing the Fig. 5a breakdown. */
+class OccupancyTracker : public CacheObserver
+{
+  public:
+    /**
+     * @param cache the observed cache (geometry source)
+     * @param threshold the short/long eviction split (paper: 16)
+     */
+    explicit OccupancyTracker(const Cache &cache, uint32_t threshold = 16);
+
+    void onHit(const AccessContext &ctx, int way) override;
+    void onInsert(const AccessContext &ctx, int way) override;
+    void onEvict(const AccessContext &ctx, int way, uint64_t victim_addr,
+                 bool victim_reused) override;
+    void onBypass(const AccessContext &ctx) override;
+
+    const OccupancyBreakdown &breakdown() const { return breakdown_; }
+
+    void reset();
+
+  private:
+    uint64_t &lastEvent(uint32_t set, int way)
+    {
+        return lastEvent_[static_cast<size_t>(set) * ways_ + way];
+    }
+
+    void bump(uint32_t set);
+
+    uint32_t ways_;
+    uint32_t threshold_;
+    /** Per-set access counter (every demand access, bypass included). */
+    std::vector<uint64_t> setCounter_;
+    /** Per-line set-counter value at the last insert/promotion. */
+    std::vector<uint64_t> lastEvent_;
+    OccupancyBreakdown breakdown_;
+};
+
+} // namespace pdp
+
+#endif // PDP_CACHE_OCCUPANCY_TRACKER_H

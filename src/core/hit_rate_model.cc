@@ -1,0 +1,121 @@
+#include "core/hit_rate_model.h"
+
+#include <algorithm>
+
+namespace pdp
+{
+
+uint64_t
+HitRateModel::hits(const RdCounterArray &rdd, uint32_t dp)
+{
+    // Buckets whose entire range (k*step, (k+1)*step] lies within dp.
+    uint64_t sum = 0;
+    for (uint32_t k = 0; k < rdd.numBuckets(); ++k) {
+        const uint32_t upper = (k + 1) * rdd.step();
+        if (upper > dp)
+            break;
+        sum += rdd.bucket(k);
+    }
+    return sum;
+}
+
+uint64_t
+HitRateModel::occupancy(const RdCounterArray &rdd, uint32_t dp) const
+{
+    uint64_t occ = 0;
+    uint64_t protected_hits = 0;
+    for (uint32_t k = 0; k < rdd.numBuckets(); ++k) {
+        const uint32_t upper = (k + 1) * rdd.step();
+        if (upper > dp)
+            break;
+        occ += static_cast<uint64_t>(rdd.bucket(k)) * upper;
+        protected_hits += rdd.bucket(k);
+    }
+    const uint64_t total = rdd.total();
+    const uint64_t longs = total > protected_hits ? total - protected_hits : 0;
+    occ += longs * (static_cast<uint64_t>(dp) + de_);
+    return occ;
+}
+
+double
+HitRateModel::evaluate(const RdCounterArray &rdd, uint32_t dp) const
+{
+    const uint64_t h = hits(rdd, dp);
+    const uint64_t occ = occupancy(rdd, dp);
+    if (occ == 0)
+        return 0.0;
+    return static_cast<double>(h) / static_cast<double>(occ);
+}
+
+std::vector<EPoint>
+HitRateModel::curve(const RdCounterArray &rdd) const
+{
+    std::vector<EPoint> points;
+    points.reserve(rdd.numBuckets());
+
+    // Incremental formulation: running prefix sums of hits and weighted
+    // occupancy, exactly as the PD-compute processor does it.
+    uint64_t h = 0, occ_protected = 0;
+    const uint64_t total = rdd.total();
+    for (uint32_t k = 0; k < rdd.numBuckets(); ++k) {
+        const uint32_t dp = (k + 1) * rdd.step();
+        h += rdd.bucket(k);
+        occ_protected += static_cast<uint64_t>(rdd.bucket(k)) * dp;
+        const uint64_t longs = total > h ? total - h : 0;
+        const uint64_t occ = occ_protected +
+                             longs * (static_cast<uint64_t>(dp) + de_);
+        const double e = occ == 0
+            ? 0.0 : static_cast<double>(h) / static_cast<double>(occ);
+        if (dp >= minPd_)
+            points.push_back({dp, e});
+    }
+    return points;
+}
+
+uint32_t
+HitRateModel::bestPd(const RdCounterArray &rdd) const
+{
+    const auto points = curve(rdd);
+    size_t best = points.size();
+    double best_e = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (points[i].e > best_e) {
+            best_e = points[i].e;
+            best = i;
+        }
+    }
+    if (best == points.size())
+        return 0;
+    // Walk to the upper edge of the plateau containing the maximum, but
+    // never past the last bucket with observed reuse mass: extending the
+    // PD beyond all recorded distances buys no hits and only slows
+    // adaptation.
+    size_t edge = best;
+    for (size_t i = best + 1; i < points.size(); ++i) {
+        if (points[i].e < best_e * (1.0 - plateauTolerance_))
+            break;
+        if (rdd.bucket(static_cast<uint32_t>(i)) > 0)
+            edge = i;
+    }
+    return points[edge].dp;
+}
+
+std::vector<EPoint>
+HitRateModel::peaks(const RdCounterArray &rdd, size_t max_peaks) const
+{
+    const auto points = curve(rdd);
+    std::vector<EPoint> local;
+    for (size_t i = 0; i < points.size(); ++i) {
+        const double left = i > 0 ? points[i - 1].e : -1.0;
+        const double right = i + 1 < points.size() ? points[i + 1].e : -1.0;
+        if (points[i].e > 0.0 && points[i].e >= left && points[i].e >= right)
+            local.push_back(points[i]);
+    }
+    std::sort(local.begin(), local.end(),
+              [](const EPoint &a, const EPoint &b) { return a.e > b.e; });
+    if (local.size() > max_peaks)
+        local.resize(max_peaks);
+    return local;
+}
+
+} // namespace pdp

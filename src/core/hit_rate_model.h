@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The hit-rate model of Sec. 2.4 and the protecting-distance solver.
+ *
+ * For a candidate protecting distance d_p the model estimates a quantity
+ * E(d_p) proportional to the hit rate of a non-inclusive cache with
+ * bypass:
+ *
+ *              sum_{i<=dp} N_i
+ *   E(d_p) = ---------------------------------------------------------
+ *            sum_{i<=dp} N_i * i  +  (N_t - sum_{i<=dp} N_i)*(d_p + d_e)
+ *
+ * where {N_i} is the RDD, N_t the total access count and d_e the eviction
+ * slack, experimentally a constant equal to the associativity W.  The
+ * numerator counts hits; the denominator is total line occupancy, i.e.
+ * W times the access count.  The PD is the d_p maximizing E.
+ *
+ * Candidates are the bucket upper edges k*S_c of the counter array.  An
+ * incremental formulation (running prefix sums) makes the search O(K).
+ */
+
+#ifndef PDP_CORE_HIT_RATE_MODEL_H
+#define PDP_CORE_HIT_RATE_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rdd.h"
+
+namespace pdp
+{
+
+/** One point of the E(d_p) curve. */
+struct EPoint
+{
+    uint32_t dp;
+    double e;
+};
+
+/** The single-core hit-rate model. */
+class HitRateModel
+{
+  public:
+    /**
+     * @param de eviction-delay constant d_e (paper: the associativity W)
+     * @param min_pd smallest candidate PD considered
+     * @param plateau_tolerance when selecting the best PD, extend the
+     *        choice to the upper edge of the E-plateau containing the
+     *        argmax (all contiguous points within this relative
+     *        tolerance).  Measured RDD peaks have jitter; a PD at the
+     *        plateau's upper edge "covers the highest peak" (Sec. 2.3)
+     *        instead of cutting it in half.
+     */
+    explicit HitRateModel(uint32_t de = 16, uint32_t min_pd = 1,
+                          double plateau_tolerance = 0.05)
+        : de_(de), minPd_(min_pd), plateauTolerance_(plateau_tolerance)
+    {}
+
+    /** E(d_p) for one candidate (d_p need not be a bucket edge). */
+    double evaluate(const RdCounterArray &rdd, uint32_t dp) const;
+
+    /** The full curve over all bucket upper edges. */
+    std::vector<EPoint> curve(const RdCounterArray &rdd) const;
+
+    /**
+     * The PD maximizing E, or 0 if the RDD holds no information
+     * (no recorded accesses or no hits at all).
+     */
+    uint32_t bestPd(const RdCounterArray &rdd) const;
+
+    /**
+     * Up to `max_peaks` local maxima of E, best-first, for the multi-core
+     * partitioning heuristic of Sec. 4 ("three peaks per thread").
+     */
+    std::vector<EPoint> peaks(const RdCounterArray &rdd,
+                              size_t max_peaks = 3) const;
+
+    /** Per-thread hit count H_t(d_p) (numerator; Sec. 4). */
+    static uint64_t hits(const RdCounterArray &rdd, uint32_t dp);
+
+    /** Per-thread occupancy A_t(d_p) (denominator; Sec. 4). */
+    uint64_t occupancy(const RdCounterArray &rdd, uint32_t dp) const;
+
+    uint32_t de() const { return de_; }
+
+  private:
+    uint32_t de_;
+    uint32_t minPd_;
+    double plateauTolerance_;
+};
+
+} // namespace pdp
+
+#endif // PDP_CORE_HIT_RATE_MODEL_H

@@ -1,0 +1,231 @@
+#include "core/pdp_policy.h"
+
+#include <cassert>
+
+#include "cache/cache.h"
+#include "util/bitutil.h"
+
+namespace pdp
+{
+
+PdpPolicy::PdpPolicy(PdpParams params)
+    : params_(params),
+      model_(params.de, /*min_pd=*/1)
+{
+    assert(params_.ncBits >= 1 && params_.ncBits <= 8);
+    assert(params_.dMax >= 1 && params_.counterStep >= 1);
+    maxRpd_ = static_cast<uint8_t>((1u << params_.ncBits) - 1);
+    sd_ = std::max<uint32_t>(1, params_.dMax >> params_.ncBits);
+    pd_ = params_.dynamic ? params_.initialPd : params_.staticPd;
+}
+
+std::string
+PdpPolicy::name() const
+{
+    if (!params_.dynamic)
+        return params_.bypass ? "SPDP-B" : "SPDP-NB";
+    return "PDP-" + std::to_string(params_.ncBits) +
+           (params_.bypass ? "" : "-NB");
+}
+
+void
+PdpPolicy::attach(Cache &cache, uint32_t num_sets, uint32_t num_ways)
+{
+    ReplacementPolicy::attach(cache, num_sets, num_ways);
+    rpds_.assign(static_cast<size_t>(num_sets) * num_ways, 0);
+    sdCounter_.assign(num_sets, 0);
+    if (params_.de == 0)
+        model_ = HitRateModel(num_ways, 1);
+    if (params_.dynamic) {
+        sampler_ = std::make_unique<RdSampler>(params_.sampler, num_sets);
+        rdd_ = std::make_unique<RdCounterArray>(params_.dMax,
+                                                params_.counterStep);
+    } else {
+        // Static PDP still exposes a (never-updated) counter array so
+        // diagnostics can query it uniformly.
+        rdd_ = std::make_unique<RdCounterArray>(params_.dMax,
+                                                params_.counterStep);
+    }
+}
+
+uint8_t
+PdpPolicy::protectValue(uint32_t pd) const
+{
+    // With a coarse distance step the per-set aging counter is free
+    // running, so a line inserted just before a decrement boundary loses
+    // up to one whole quantum; one extra quantum guarantees at least
+    // `pd` accesses of protection (over-protection is benign under
+    // bypass, under-protection poisons the protected slots).
+    const uint32_t guard = sd_ > 1 ? 1 : 0;
+    const uint32_t units = ceilDiv(pd, sd_) + guard;
+    return static_cast<uint8_t>(std::min<uint32_t>(units, maxRpd_));
+}
+
+uint32_t
+PdpPolicy::currentPd(const AccessContext &ctx) const
+{
+    (void)ctx;
+    return pd_;
+}
+
+void
+PdpPolicy::recordObservation(const AccessContext &ctx,
+                             const RdObservation &obs)
+{
+    (void)ctx;
+    if (obs.rd)
+        rdd_->recordHit(*obs.rd);
+    if (obs.inserted)
+        rdd_->recordAccess();
+}
+
+void
+PdpPolicy::recompute()
+{
+    if (rdd_->total() >= params_.minSamples &&
+        rdd_->hitSum() >= params_.minHits) {
+        const uint32_t best = model_.bestPd(*rdd_);
+        if (best != 0)
+            pd_ = best;
+    }
+    history_.push_back({accessCount_, pd_});
+    rdd_->reset();
+}
+
+void
+PdpPolicy::tick(uint32_t set)
+{
+    // Age the set: one RPD decrement every S_d accesses.
+    if (sd_ > 1) {
+        if (++sdCounter_[set] < sd_)
+            return;
+        sdCounter_[set] = 0;
+    }
+    uint8_t *base = &rpds_[static_cast<size_t>(set) * numWays_];
+    for (uint32_t way = 0; way < numWays_; ++way)
+        if (base[way] > 0)
+            --base[way];
+}
+
+void
+PdpPolicy::step(const AccessContext &ctx)
+{
+    // RPD aging follows the demand stream only: the sampler measures
+    // reuse distances over demand accesses, so writebacks and prefetch
+    // fills must not age lines or the enforced protection would fall
+    // short of the measured distances.
+    if (ctx.isWriteback || ctx.isPrefetch)
+        return;
+    tick(ctx.set);
+    if (!params_.dynamic)
+        return;
+    ++accessCount_;
+    if (accessCount_ <= params_.samplerWarmup)
+        return;
+    recordObservation(ctx, sampler_->observe(ctx.set, ctx.lineAddr));
+    const uint64_t next = history_.empty()
+        ? params_.firstRecompute
+        : history_.back().accessCount + params_.recomputeInterval;
+    if (accessCount_ >= next)
+        recompute();
+}
+
+void
+PdpPolicy::onHit(const AccessContext &ctx, int way)
+{
+    // Promotion: re-protect, then age the set (including this line).
+    rpd(ctx.set, way) = protectValue(currentPd(ctx));
+    step(ctx);
+}
+
+int
+PdpPolicy::selectVictim(const AccessContext &ctx)
+{
+    // Prefetch bypass variant: never allocate prefetches.
+    if (ctx.isPrefetch &&
+        params_.prefetchMode == PdpParams::PrefetchMode::Bypass &&
+        params_.bypass)
+        return kBypass;
+
+    const uint8_t *base = &rpds_[static_cast<size_t>(ctx.set) * numWays_];
+
+    // An unprotected line, if present, is the victim.
+    for (uint32_t way = 0; way < numWays_; ++way)
+        if (base[way] == 0)
+            return static_cast<int>(way);
+
+    if (params_.bypass)
+        return kBypass;
+
+    // Inclusive / no-bypass: evict the youngest inserted line, falling
+    // back to the youngest reused line (Sec. 2.2, Fig. 3c/3d).
+    int victim = -1;
+    uint8_t best = 0;
+    for (uint32_t way = 0; way < numWays_; ++way) {
+        if (!cache_->isReused(ctx.set, way) && base[way] >= best) {
+            best = base[way];
+            victim = static_cast<int>(way);
+        }
+    }
+    if (victim >= 0)
+        return victim;
+    for (uint32_t way = 0; way < numWays_; ++way) {
+        if (base[way] >= best) {
+            best = base[way];
+            victim = static_cast<int>(way);
+        }
+    }
+    return victim;
+}
+
+void
+PdpPolicy::onInsert(const AccessContext &ctx, int way)
+{
+    uint32_t pd = currentPd(ctx);
+    if (params_.insertWithPdOne && !ctx.isPrefetch)
+        pd = 1;
+    if (ctx.isPrefetch &&
+        params_.prefetchMode == PdpParams::PrefetchMode::InsertPdOne)
+        pd = 1;
+    rpd(ctx.set, way) = protectValue(pd);
+    step(ctx);
+}
+
+void
+PdpPolicy::onBypass(const AccessContext &ctx)
+{
+    // A bypass still counts as an access to the set (Sec. 3: the S_d
+    // counter counts bypasses).
+    step(ctx);
+}
+
+std::unique_ptr<PdpPolicy>
+makeSpdpNb(uint32_t static_pd)
+{
+    PdpParams params;
+    params.dynamic = false;
+    params.bypass = false;
+    params.staticPd = static_pd;
+    return std::make_unique<PdpPolicy>(params);
+}
+
+std::unique_ptr<PdpPolicy>
+makeSpdpB(uint32_t static_pd)
+{
+    PdpParams params;
+    params.dynamic = false;
+    params.bypass = true;
+    params.staticPd = static_pd;
+    return std::make_unique<PdpPolicy>(params);
+}
+
+std::unique_ptr<PdpPolicy>
+makeDynamicPdp(unsigned nc_bits, bool bypass)
+{
+    PdpParams params;
+    params.ncBits = nc_bits;
+    params.bypass = bypass;
+    return std::make_unique<PdpPolicy>(params);
+}
+
+} // namespace pdp

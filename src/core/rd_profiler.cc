@@ -1,0 +1,81 @@
+#include "core/rd_profiler.h"
+
+namespace pdp
+{
+
+RdProfiler::RdProfiler(uint32_t num_sets, uint32_t d_max)
+    : dMax_(d_max), sets_(num_sets), histogram_(d_max)
+{
+}
+
+void
+RdProfiler::prune(SetState &state)
+{
+    // Entries older than d_max can only produce overflow observations;
+    // drop them to bound memory on streaming workloads.
+    if (state.lastAccess.size() < 4ull * dMax_)
+        return;
+    for (auto it = state.lastAccess.begin(); it != state.lastAccess.end();) {
+        if (state.counter - it->second > dMax_)
+            it = state.lastAccess.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+RdProfiler::observe(uint32_t set, uint64_t line_addr)
+{
+    SetState &state = sets_[set];
+    ++state.counter;
+    ++accesses_;
+
+    auto it = state.lastAccess.find(line_addr);
+    if (it != state.lastAccess.end()) {
+        const uint64_t rd = state.counter - it->second;
+        if (rd >= 1 && rd <= dMax_)
+            histogram_.add(static_cast<size_t>(rd - 1));
+        else
+            histogram_.add(dMax_); // overflow bucket
+        it->second = state.counter;
+    } else {
+        state.lastAccess.emplace(line_addr, state.counter);
+        prune(state);
+    }
+}
+
+double
+RdProfiler::coveredFraction() const
+{
+    if (accesses_ == 0)
+        return 0.0;
+    uint64_t covered = 0;
+    for (size_t d = 0; d < histogram_.size(); ++d)
+        covered += histogram_.at(d);
+    return static_cast<double>(covered) / static_cast<double>(accesses_);
+}
+
+uint32_t
+RdProfiler::peakRd() const
+{
+    uint32_t peak = 1;
+    uint64_t best = 0;
+    for (size_t d = 0; d < histogram_.size(); ++d) {
+        if (histogram_.at(d) > best) {
+            best = histogram_.at(d);
+            peak = static_cast<uint32_t>(d + 1);
+        }
+    }
+    return peak;
+}
+
+void
+RdProfiler::reset()
+{
+    for (auto &state : sets_)
+        state = SetState{};
+    histogram_.reset();
+    accesses_ = 0;
+}
+
+} // namespace pdp

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The RD counter array of Sec. 3: a compact dynamic representation of the
+ * reuse-distance distribution (RDD).
+ *
+ * Counter k accumulates hits for the RD range ((k-1)*S_c, k*S_c] where
+ * S_c is the counter step; an extra 32-bit counter tracks the total
+ * number of sampled accesses N_t.  Counters saturate at 16 bits; when any
+ * hit counter saturates, the whole array freezes so the RDD shape is
+ * preserved until the next reset.
+ */
+
+#ifndef PDP_CORE_RDD_H
+#define PDP_CORE_RDD_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace pdp
+{
+
+/** The hardware RD counter array. */
+class RdCounterArray
+{
+  public:
+    /**
+     * @param d_max maximum measured reuse distance (paper: 256)
+     * @param step counter step S_c (paper: 4 single-core, 16 multi-core)
+     * @param counter_bits hit-counter width (paper: 16)
+     */
+    explicit RdCounterArray(uint32_t d_max = 256, uint32_t step = 4,
+                            unsigned counter_bits = 16)
+        : dMax_(d_max), step_(step),
+          counterMax_((counter_bits >= 32) ? 0xffffffffu
+                                           : ((1u << counter_bits) - 1)),
+          counters_((d_max + step - 1) / step, 0)
+    {
+        assert(step >= 1 && d_max >= step);
+    }
+
+    /** Record a measured reuse distance (1-based). */
+    void
+    recordHit(uint32_t rd)
+    {
+        if (frozen_ || rd == 0 || rd > dMax_)
+            return;
+        uint32_t &counter = counters_[(rd - 1) / step_];
+        if (++counter >= counterMax_)
+            frozen_ = true;
+    }
+
+    /** Record one sampled access (N_t). */
+    void
+    recordAccess()
+    {
+        if (frozen_)
+            return;
+        if (++total_ == 0xffffffffu)
+            frozen_ = true;
+    }
+
+    /** Merge counts (used by tests and the exact profiler bridge). */
+    void
+    addBucket(uint32_t bucket, uint64_t hits, uint64_t accesses)
+    {
+        assert(bucket < counters_.size());
+        counters_[bucket] = static_cast<uint32_t>(
+            std::min<uint64_t>(counters_[bucket] + hits, counterMax_));
+        total_ = static_cast<uint32_t>(
+            std::min<uint64_t>(static_cast<uint64_t>(total_) + accesses,
+                               0xfffffffeull));
+    }
+
+    uint32_t numBuckets() const { return static_cast<uint32_t>(counters_.size()); }
+    uint32_t step() const { return step_; }
+    uint32_t dMax() const { return dMax_; }
+    bool frozen() const { return frozen_; }
+
+    /** Hit count of bucket k (RDs in ((k)*step, (k+1)*step], 0-based). */
+    uint32_t bucket(uint32_t k) const { return counters_[k]; }
+    uint32_t total() const { return total_; }
+
+    /** Sum of all hit counters (<= total()). */
+    uint64_t
+    hitSum() const
+    {
+        uint64_t sum = 0;
+        for (uint32_t c : counters_)
+            sum += c;
+        return sum;
+    }
+
+    void
+    reset()
+    {
+        std::fill(counters_.begin(), counters_.end(), 0);
+        total_ = 0;
+        frozen_ = false;
+    }
+
+    /** Halve all counters (exponential decay across intervals; unfreezes).
+     *  Used by the multi-core policy, whose per-thread sample rate is too
+     *  low for full resets every interval. */
+    void
+    decay()
+    {
+        for (uint32_t &c : counters_)
+            c /= 2;
+        total_ /= 2;
+        frozen_ = false;
+    }
+
+    /** Storage in bits: buckets x counter width + 32-bit N_t (Sec. 3). */
+    uint64_t
+    storageBits() const
+    {
+        unsigned width = 0;
+        uint32_t m = counterMax_;
+        while (m) {
+            ++width;
+            m >>= 1;
+        }
+        return static_cast<uint64_t>(counters_.size()) * width + 32;
+    }
+
+  private:
+    uint32_t dMax_;
+    uint32_t step_;
+    uint32_t counterMax_;
+    std::vector<uint32_t> counters_;
+    uint32_t total_ = 0;
+    bool frozen_ = false;
+};
+
+} // namespace pdp
+
+#endif // PDP_CORE_RDD_H

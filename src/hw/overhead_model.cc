@@ -1,0 +1,132 @@
+#include "hw/overhead_model.h"
+
+#include <stdexcept>
+
+#include "core/rd_sampler.h"
+#include "core/rdd.h"
+#include "util/bitutil.h"
+
+namespace pdp
+{
+
+OverheadModel::OverheadModel(const CacheConfig &llc, unsigned phys_addr_bits)
+    : llc_(llc), addrBits_(phys_addr_bits)
+{
+}
+
+uint64_t
+OverheadModel::llcBits() const
+{
+    const uint64_t data = llc_.sizeBytes * 8;
+    const unsigned tag_bits = addrBits_ - floorLog2(llc_.numSets()) -
+                              floorLog2(llc_.lineBytes);
+    // tag + valid + dirty per line.
+    const uint64_t tags = llc_.numLines() * (tag_bits + 2);
+    return data + tags;
+}
+
+uint64_t
+OverheadModel::perLine(unsigned bits) const
+{
+    return llc_.numLines() * bits;
+}
+
+uint64_t
+OverheadModel::perSet(unsigned bits) const
+{
+    return static_cast<uint64_t>(llc_.numSets()) * bits;
+}
+
+uint64_t
+OverheadModel::pdpBits(unsigned nc_bits, unsigned threads) const
+{
+    RdSamplerParams sampler;
+    sampler.sampledSets = std::max<uint32_t>(32, llc_.numSets() / 64);
+    const RdCounterArray counters(256, threads > 1 ? 16 : 4);
+
+    uint64_t bits = 0;
+    bits += perLine(nc_bits);                      // RPD field
+    bits += sampler.sampledSets * sampler.bitsPerSet();
+    bits += counters.storageBits() * threads;     // one array per thread
+    const unsigned sd = 256 >> nc_bits;
+    if (sd > 1)
+        bits += perSet(ceilLog2(sd));             // per-set S_d counter
+    bits += 8;                                     // the PD register
+    bits += 9 * threads;                           // per-thread PDs
+    return bits;
+}
+
+OverheadReport
+OverheadModel::report(const std::string &policy) const
+{
+    OverheadReport out;
+    out.policy = policy;
+
+    const unsigned lru_bits = ceilLog2(llc_.ways); // rank-based LRU
+
+    if (policy == "LRU") {
+        out.bits = perLine(lru_bits);
+    } else if (policy == "DIP") {
+        out.bits = perLine(lru_bits) + 10;
+        out.notes = "LRU ranks + 10-bit PSEL";
+    } else if (policy == "SRRIP") {
+        out.bits = perLine(2);
+    } else if (policy == "DRRIP") {
+        out.bits = perLine(2) + 10;
+        out.notes = "2-bit RRPVs + 10-bit PSEL";
+    } else if (policy == "EELRU") {
+        // Per-set recency queue to depth 256 of 16-bit tags + counters.
+        out.bits = perSet(256 * 17) + 2 * 257 * 32;
+        out.notes = "shadow recency queues dominate";
+    } else if (policy == "SDP") {
+        out.bits = perLine(lru_bits + 1) +
+                   32ull * 12 * (16 + 16 + 1) +     // sampler entries
+                   3ull * (1 << 13) * 2;            // predictor tables
+        out.notes = "LRU + dead bits + sampler + 3 tables";
+    } else if (policy == "PDP-2") {
+        out.bits = pdpBits(2, 1);
+        out.notes = "+ ~1K NAND PD-compute logic";
+    } else if (policy == "PDP-3") {
+        out.bits = pdpBits(3, 1);
+        out.notes = "+ ~1K NAND PD-compute logic";
+    } else if (policy == "PDP-8") {
+        out.bits = pdpBits(8, 1);
+        out.notes = "+ ~1K NAND PD-compute logic";
+    } else if (policy.rfind("PDP-part:", 0) == 0) {
+        const unsigned threads =
+            static_cast<unsigned>(std::stoul(policy.substr(9)));
+        out.bits = pdpBits(3, threads);
+        out.notes = "n_c=3, one counter array per thread";
+    } else if (policy == "UCP") {
+        const uint64_t umon = 32ull * llc_.ways * (16 + 4 + 1);
+        out.bits = perLine(lru_bits + 4) + umon;
+        out.notes = "LRU + owner ids + UMON per thread (x threads)";
+    } else if (policy == "PIPP") {
+        const uint64_t umon = 32ull * llc_.ways * (16 + 4 + 1);
+        out.bits = perLine(ceilLog2(llc_.ways) + 4) + umon;
+        out.notes = "priority order + owner ids + UMON per thread";
+    } else if (policy == "TA-DRRIP") {
+        out.bits = perLine(2) + 10 * 16;
+        out.notes = "2-bit RRPVs + per-thread PSELs";
+    } else {
+        throw std::invalid_argument("overhead model: unknown policy " +
+                                    policy);
+    }
+
+    out.percentOfLlc =
+        100.0 * static_cast<double>(out.bits) / static_cast<double>(llcBits());
+    return out;
+}
+
+std::vector<OverheadReport>
+OverheadModel::standardReports() const
+{
+    std::vector<OverheadReport> reports;
+    for (const char *policy :
+         {"LRU", "DIP", "SRRIP", "DRRIP", "EELRU", "SDP", "PDP-2", "PDP-3",
+          "PDP-8", "TA-DRRIP", "UCP", "PIPP"})
+        reports.push_back(report(policy));
+    return reports;
+}
+
+} // namespace pdp

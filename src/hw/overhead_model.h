@@ -1,0 +1,63 @@
+/**
+ * @file
+ * SRAM storage overhead accounting (Sec. 6.2).
+ *
+ * Expresses each policy's bookkeeping state in SRAM bits and as a
+ * percentage of the LLC (data + tag array), reproducing the paper's
+ * numbers: PDP-2 ~0.6%, PDP-3 ~0.8%, DRRIP ~0.4%, DIP ~0.8% of a 2 MB
+ * LLC.  The PD-compute processor itself is logic (~1K NAND gates), not
+ * SRAM, and is reported separately.
+ */
+
+#ifndef PDP_HW_OVERHEAD_MODEL_H
+#define PDP_HW_OVERHEAD_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/cache_config.h"
+
+namespace pdp
+{
+
+/** One policy's storage cost. */
+struct OverheadReport
+{
+    std::string policy;
+    uint64_t bits = 0;
+    double percentOfLlc = 0.0;
+    std::string notes;
+};
+
+/** Computes per-policy overhead for a given LLC geometry. */
+class OverheadModel
+{
+  public:
+    /** @param llc LLC geometry
+     *  @param phys_addr_bits physical address width (tag sizing) */
+    explicit OverheadModel(const CacheConfig &llc,
+                           unsigned phys_addr_bits = 48);
+
+    /** LLC data + tag array size in bits (the denominator). */
+    uint64_t llcBits() const;
+
+    /** Overhead of one policy by name (same specs as the factory),
+     *  plus "PDP-part:<threads>" for the partitioned variant. */
+    OverheadReport report(const std::string &policy) const;
+
+    /** All policies of the paper's comparison. */
+    std::vector<OverheadReport> standardReports() const;
+
+  private:
+    uint64_t perLine(unsigned bits) const;
+    uint64_t perSet(unsigned bits) const;
+    uint64_t pdpBits(unsigned nc_bits, unsigned threads) const;
+
+    CacheConfig llc_;
+    unsigned addrBits_;
+};
+
+} // namespace pdp
+
+#endif // PDP_HW_OVERHEAD_MODEL_H

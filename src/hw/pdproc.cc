@@ -1,0 +1,297 @@
+#include "hw/pdproc.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pdp
+{
+
+std::vector<Instr>
+ProgramBuilder::finish()
+{
+    std::vector<Instr> program = code_;
+    for (Instr &instr : program) {
+        if ((instr.op == Op::Bne || instr.op == Op::Bge) && instr.imm < 0) {
+            const int label_id = -instr.imm - 1;
+            assert(label_id >= 0 &&
+                   label_id < static_cast<int>(labels_.size()));
+            assert(labels_[label_id] >= 0 && "unbound label");
+            instr.imm = labels_[label_id];
+        }
+    }
+    return program;
+}
+
+uint32_t
+PdProcessor::read(unsigned idx) const
+{
+    return idx < 8 ? (regs_[idx] & 0xff) : regs_[idx];
+}
+
+void
+PdProcessor::write(unsigned idx, uint32_t value)
+{
+    regs_[idx] = idx < 8 ? (value & 0xff) : value;
+}
+
+PdProcResult
+PdProcessor::run(const std::vector<Instr> &program,
+                 uint64_t max_instructions)
+{
+    PdProcResult result;
+    for (auto &r : regs_)
+        r = 0;
+
+    // Cycle model: 1 cycle per single-cycle op, 8 for the shift-add
+    // mult8, 33 for the non-restoring div32, +3 pipeline flush on a
+    // taken branch (4-stage pipeline, Fig. 8).
+    size_t pc = 0;
+    while (pc < program.size() && result.instructions < max_instructions) {
+        const Instr &in = program[pc];
+        ++result.instructions;
+        ++pc;
+        switch (in.op) {
+          case Op::Movi:
+            write(in.dst, static_cast<uint32_t>(in.imm));
+            result.cycles += 1;
+            break;
+          case Op::Mov:
+            write(in.dst, read(in.a));
+            result.cycles += 1;
+            break;
+          case Op::Add:
+            write(in.dst, read(in.a) + read(in.b));
+            result.cycles += 1;
+            break;
+          case Op::Addi:
+            write(in.dst, read(in.a) + static_cast<uint32_t>(in.imm));
+            result.cycles += 1;
+            break;
+          case Op::Sub:
+            write(in.dst, read(in.a) - read(in.b));
+            result.cycles += 1;
+            break;
+          case Op::And:
+            write(in.dst, read(in.a) & read(in.b));
+            result.cycles += 1;
+            break;
+          case Op::Or:
+            write(in.dst, read(in.a) | read(in.b));
+            result.cycles += 1;
+            break;
+          case Op::Xor:
+            write(in.dst, read(in.a) ^ read(in.b));
+            result.cycles += 1;
+            break;
+          case Op::Shl:
+            write(in.dst, read(in.a) << (in.imm & 31));
+            result.cycles += 1;
+            break;
+          case Op::Shr:
+            write(in.dst, read(in.a) >> (in.imm & 31));
+            result.cycles += 1;
+            break;
+          case Op::Ldc: {
+            const uint32_t idx = read(in.a);
+            const uint32_t value = idx < rdd_->numBuckets()
+                ? rdd_->bucket(idx) : rdd_->total();
+            write(in.dst, value);
+            result.cycles += 1;
+            break;
+          }
+          case Op::Mult8:
+            write(in.dst, read(in.a) * (read(in.b) & 0xff));
+            result.cycles += 8;
+            break;
+          case Op::Div32: {
+            const uint32_t divisor = read(in.b);
+            write(in.dst, divisor == 0 ? 0 : read(in.a) / divisor);
+            result.cycles += 33;
+            break;
+          }
+          case Op::Bne:
+            result.cycles += 1;
+            if (read(in.a) != read(in.b)) {
+                pc = static_cast<size_t>(in.imm);
+                result.cycles += 3;
+            }
+            break;
+          case Op::Bge:
+            result.cycles += 1;
+            if (read(in.a) >= read(in.b)) {
+                pc = static_cast<size_t>(in.imm);
+                result.cycles += 3;
+            }
+            break;
+          case Op::Halt:
+            result.cycles += 1;
+            result.pd = regs_[12];
+            return result;
+        }
+    }
+    throw std::runtime_error("pdproc: program did not halt");
+}
+
+std::vector<Instr>
+buildArgmaxProgram(uint32_t num_buckets, uint32_t log2_step, uint32_t de)
+{
+    assert(num_buckets >= 1 && num_buckets <= 256);
+    assert(de >= 1 && (de & (de - 1)) == 0 && "d_e must be a power of two");
+    uint32_t log2_de = 0;
+    while ((1u << log2_de) < de)
+        ++log2_de;
+
+    // Register allocation:
+    //   r0 = k, r1 = K, r2 = k+1, r7 = in-plateau flag
+    //   r8 = H, r9 = OCC, r10 = N_t, r11 = bestE, r12 = plateau-edge PD
+    //   r13/r15 = scratch, r14 = 2^17 (normalization bound)
+    enum : uint8_t
+    {
+        K = 0, KMAX = 1, KP1 = 2, FLAG = 7,
+        H = 8, OCC = 9, NT = 10, BESTE = 11, EDGE = 12,
+        T1 = 13, BOUND = 14, T2 = 15,
+    };
+
+    ProgramBuilder b;
+    const int loop = b.label();
+    const int norm_top = b.label();
+    const int norm_done = b.label();
+    const int maybe_plateau = b.label();
+    const int check_ratio = b.label();
+    const int extend = b.label();
+    const int next = b.label();
+
+    // --- prologue ---
+    b.movi(K, 0);
+    b.movi(KMAX, static_cast<int32_t>(num_buckets));
+    b.movi(H, 0);
+    b.movi(OCC, 0);
+    b.movi(BESTE, 0);
+    b.movi(EDGE, 0);
+    b.movi(FLAG, 0);
+    b.movi(BOUND, 1);
+    b.shl(BOUND, BOUND, 17);
+    // Load N_t through a 32-bit scratch index: with S_c = 1 the array
+    // has 256 buckets, which wraps to 0 in an 8-bit register (the loop
+    // itself exits correctly via the same wraparound).
+    b.movi(T1, static_cast<int32_t>(num_buckets));
+    b.ldc(NT, T1);
+
+    // --- per-bucket body: incremental E(d_p) ---
+    b.bind(loop);
+    b.addi(KP1, K, 1);
+    b.ldc(T1, K);                                     // N_k
+    b.add(H, H, T1);                                  // H += N_k
+    b.mult8(T1, T1, KP1);                             // N_k * (k+1)
+    b.shl(T1, T1, static_cast<int32_t>(log2_step));   // ... * S_c = N_k*dp
+    b.add(OCC, OCC, T1);
+    b.sub(T1, NT, H);                                 // long lines
+    b.mult8(T2, T1, KP1);
+    b.shl(T2, T2, static_cast<int32_t>(log2_step));   // long * dp
+    b.shl(T1, T1, static_cast<int32_t>(log2_de));     // long * d_e
+    b.add(T1, T1, T2);
+    b.add(T1, T1, OCC);                               // denominator
+    b.addi(T1, T1, 1);                                // /0 guard
+    b.mov(T2, H);
+
+    // Normalize the numerator below 2^17 so (H' << 14) fits 32 bits;
+    // the denominator shifts along to preserve the ratio.
+    b.bind(norm_top);
+    b.bge(BOUND, T2, norm_done);
+    b.shr(T2, T2, 1);
+    b.shr(T1, T1, 1);
+    b.bge(T2, T2, norm_top); // unconditional (x >= x)
+    b.bind(norm_done);
+
+    b.shl(T2, T2, 14);
+    b.div32(T2, T2, T1); // E = (H' << 14) / den'
+
+    // New maximum: reset the plateau at this dp.
+    b.bge(BESTE, T2, maybe_plateau); // skip unless E > bestE
+    b.mov(BESTE, T2);
+    // dp needs 9 bits at the last bucket; build it in the 32-bit EDGE.
+    b.mov(EDGE, K);
+    b.addi(EDGE, EDGE, 1);
+    b.shl(EDGE, EDGE, static_cast<int32_t>(log2_step));
+    b.movi(FLAG, 1);
+    b.bge(T2, T2, next); // unconditional
+
+    // Otherwise: still inside the plateau if the flag holds and
+    // 20*E >= 19*bestE (the 5% tolerance); then the edge advances.
+    b.bind(maybe_plateau);
+    b.movi(T1, 1);
+    b.bge(FLAG, T1, check_ratio);
+    b.bge(T2, T2, next); // flag clear: unconditional skip
+    b.bind(check_ratio);
+    b.movi(T1, 20);
+    b.mult8(T1, T2, T1);      // 20 * E
+    b.movi(T2, 19);
+    b.mult8(T2, BESTE, T2);   // 19 * bestE
+    b.bge(T1, T2, extend);
+    b.movi(FLAG, 0);          // fell off the plateau
+    b.bge(T1, T1, next);      // unconditional
+    b.bind(extend);
+    b.mov(EDGE, K);
+    b.addi(EDGE, EDGE, 1);
+    b.shl(EDGE, EDGE, static_cast<int32_t>(log2_step));
+
+    // --- loop control ---
+    b.bind(next);
+    b.addi(K, K, 1);
+    b.bne(K, KMAX, loop);
+    b.halt();
+    return b.finish();
+}
+
+PdProcResult
+pdprocBestPd(const RdCounterArray &rdd, uint32_t de)
+{
+    uint32_t log2_step = 0;
+    while ((1u << log2_step) < rdd.step())
+        ++log2_step;
+    const auto program = buildArgmaxProgram(rdd.numBuckets(), log2_step, de);
+    PdProcessor proc(rdd);
+    return proc.run(program);
+}
+
+uint32_t
+pdprocReferenceBestPd(const RdCounterArray &rdd, uint32_t de)
+{
+    uint64_t h = 0;
+    uint64_t occ = 0;
+    const uint32_t nt = rdd.total();
+    uint32_t best_e = 0;
+    uint32_t edge = 0;
+    bool in_plateau = false;
+    for (uint32_t k = 0; k < rdd.numBuckets(); ++k) {
+        const uint32_t dp = (k + 1) * rdd.step();
+        // The microprogram's mult8 sees (k+1) through an 8-bit register,
+        // which wraps at the 256th bucket; mirror that for bit-exactness.
+        const uint32_t kp1_hw = (k + 1) & 0xff;
+        h += rdd.bucket(k);
+        occ += static_cast<uint64_t>(rdd.bucket(k)) *
+               (kp1_hw << __builtin_ctz(rdd.step() == 0 ? 1 : rdd.step()));
+        const uint64_t longs = nt > h ? nt - h : 0;
+        uint64_t den = occ +
+                       longs * ((kp1_hw * rdd.step()) + de) + 1;
+        uint64_t hn = h;
+        while (hn > (1u << 17)) {
+            hn >>= 1;
+            den >>= 1;
+        }
+        const uint32_t e = den == 0
+            ? 0 : static_cast<uint32_t>((hn << 14) / den);
+        if (e > best_e) {
+            best_e = e;
+            edge = dp;
+            in_plateau = true;
+        } else if (in_plateau && 20ull * e >= 19ull * best_e) {
+            edge = dp;
+        } else {
+            in_plateau = false;
+        }
+    }
+    return edge;
+}
+
+} // namespace pdp

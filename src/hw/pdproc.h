@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The "PD compute logic" special-purpose processor of Fig. 8.
+ *
+ * A 4-stage pipelined micro-controller with eight 8-bit registers
+ * (R0..R7), eight 32-bit registers (R8..R15), a small ALU and read access
+ * to the RD counter array.  Its sixteen-instruction ISA (add/sub,
+ * logical, shifts, moves, branches, an 8x32 shift-add multiplier and a
+ * 33-cycle non-restoring 32/32 divider) matches the paper's description;
+ * the paper's synthesis yielded ~1K NAND gates at 500 MHz.
+ *
+ * This module provides:
+ *  - an ISA-level simulator with per-instruction cycle accounting,
+ *  - a tiny assembler (ProgramBuilder) with label patching,
+ *  - the argmax-E(d_p) microprogram (incremental formulation with the
+ *    same fixed-point arithmetic a hardware implementation would use:
+ *    E_scaled = (H << 14) / occupancy, 19/20 plateau tolerance),
+ *  - a bit-exact C++ reference of that fixed-point computation, used by
+ *    the tests to verify the microprogram instruction by instruction.
+ */
+
+#ifndef PDP_HW_PDPROC_H
+#define PDP_HW_PDPROC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rdd.h"
+
+namespace pdp
+{
+
+/** The sixteen operations of the PD-compute ISA. */
+enum class Op : uint8_t
+{
+    Movi,   //!< dst <- imm16
+    Mov,    //!< dst <- a
+    Add,    //!< dst <- a + b
+    Addi,   //!< dst <- a + imm
+    Sub,    //!< dst <- a - b
+    And,    //!< dst <- a & b
+    Or,     //!< dst <- a | b
+    Xor,    //!< dst <- a ^ b
+    Shl,    //!< dst <- a << imm
+    Shr,    //!< dst <- a >> imm
+    Ldc,    //!< dst <- counterArray[a] (index K loads N_t)
+    Mult8,  //!< dst <- a * (b & 0xff), shift-add (8 cycles)
+    Div32,  //!< dst <- a / b, non-restoring (33 cycles); x/0 = 0
+    Bne,    //!< if (a != b) pc <- imm
+    Bge,    //!< if (a >= b) pc <- imm (unsigned)
+    Halt,
+};
+
+/** One decoded instruction. */
+struct Instr
+{
+    Op op;
+    uint8_t dst = 0;
+    uint8_t a = 0;
+    uint8_t b = 0;
+    int32_t imm = 0;
+};
+
+/** Tiny assembler with forward-label patching. */
+class ProgramBuilder
+{
+  public:
+    /** Reserve a label id. */
+    int
+    label()
+    {
+        labels_.push_back(-1);
+        return static_cast<int>(labels_.size()) - 1;
+    }
+
+    /** Bind a label to the next emitted instruction. */
+    void bind(int label_id) { labels_[label_id] = static_cast<int>(code_.size()); }
+
+    void movi(uint8_t dst, int32_t imm) { code_.push_back({Op::Movi, dst, 0, 0, imm}); }
+    void mov(uint8_t dst, uint8_t a) { code_.push_back({Op::Mov, dst, a, 0, 0}); }
+    void add(uint8_t dst, uint8_t a, uint8_t b) { code_.push_back({Op::Add, dst, a, b, 0}); }
+    void addi(uint8_t dst, uint8_t a, int32_t imm) { code_.push_back({Op::Addi, dst, a, 0, imm}); }
+    void sub(uint8_t dst, uint8_t a, uint8_t b) { code_.push_back({Op::Sub, dst, a, b, 0}); }
+    void shl(uint8_t dst, uint8_t a, int32_t imm) { code_.push_back({Op::Shl, dst, a, 0, imm}); }
+    void shr(uint8_t dst, uint8_t a, int32_t imm) { code_.push_back({Op::Shr, dst, a, 0, imm}); }
+    void ldc(uint8_t dst, uint8_t a) { code_.push_back({Op::Ldc, dst, a, 0, 0}); }
+    void mult8(uint8_t dst, uint8_t a, uint8_t b) { code_.push_back({Op::Mult8, dst, a, b, 0}); }
+    void div32(uint8_t dst, uint8_t a, uint8_t b) { code_.push_back({Op::Div32, dst, a, b, 0}); }
+    void bne(uint8_t a, uint8_t b, int label_id) { code_.push_back({Op::Bne, 0, a, b, -label_id - 1}); }
+    void bge(uint8_t a, uint8_t b, int label_id) { code_.push_back({Op::Bge, 0, a, b, -label_id - 1}); }
+    void halt() { code_.push_back({Op::Halt, 0, 0, 0, 0}); }
+
+    /** Resolve labels and return the program. */
+    std::vector<Instr> finish();
+
+  private:
+    std::vector<Instr> code_;
+    std::vector<int> labels_;
+};
+
+/** Result of one processor run. */
+struct PdProcResult
+{
+    uint32_t pd = 0;            //!< computed protecting distance (R12)
+    uint64_t cycles = 0;        //!< total cycles (4-stage model)
+    uint64_t instructions = 0;  //!< dynamic instruction count
+};
+
+/** The ISA-level simulator. */
+class PdProcessor
+{
+  public:
+    /** @param rdd the counter array the Ldc instruction reads */
+    explicit PdProcessor(const RdCounterArray &rdd) : rdd_(&rdd) {}
+
+    /** Run a program to Halt (or the safety limit) and report R12. */
+    PdProcResult run(const std::vector<Instr> &program,
+                     uint64_t max_instructions = 1u << 20);
+
+    /** Register file after the last run (tests). */
+    uint32_t reg(unsigned idx) const { return regs_[idx]; }
+
+  private:
+    uint32_t read(unsigned idx) const;
+    void write(unsigned idx, uint32_t value);
+
+    const RdCounterArray *rdd_;
+    uint32_t regs_[16] = {};
+};
+
+/** Assemble the argmax-E microprogram for a counter array geometry.
+ *  @param num_buckets K
+ *  @param log2_step log2(S_c)
+ *  @param de eviction slack (must be a power of two; paper: W = 16) */
+std::vector<Instr> buildArgmaxProgram(uint32_t num_buckets,
+                                      uint32_t log2_step, uint32_t de);
+
+/** Convenience: run the microprogram against a counter array. */
+PdProcResult pdprocBestPd(const RdCounterArray &rdd, uint32_t de = 16);
+
+/** Bit-exact C++ reference of the fixed-point argmax (for verification). */
+uint32_t pdprocReferenceBestPd(const RdCounterArray &rdd, uint32_t de = 16);
+
+} // namespace pdp
+
+#endif // PDP_HW_PDPROC_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * PD-based shared-cache partitioning (Sec. 4).
+ *
+ * Each thread owns an RD counter array (step S_c = 16); the shared RD
+ * sampler routes each observation to the accessing thread's array.  At
+ * every recomputation the per-thread E curves are evaluated, the top
+ * peaks of each are extracted, and a greedy search (threads in order of
+ * their best single-thread E, trying each thread's peaks against the
+ * partial vector) picks the PD vector maximizing the multi-core hit-rate
+ * approximation
+ *
+ *   E_m(pd) = sum_t H_t(pd_t) / sum_t A_t(pd_t).
+ *
+ * Decreasing a thread's PD ages its lines faster, shrinking its share of
+ * the cache; the vector search thus realizes a soft partition.
+ */
+
+#ifndef PDP_PARTITION_PDP_PARTITION_H
+#define PDP_PARTITION_PDP_PARTITION_H
+
+#include <memory>
+#include <vector>
+
+#include "core/pdp_policy.h"
+
+namespace pdp
+{
+
+/** The multi-core PD-based partitioning policy. */
+class PdpPartitionPolicy : public PdpPolicy
+{
+  public:
+    /**
+     * @param num_threads threads sharing the cache
+     * @param nc_bits per-line RPD width (Fig. 12 evaluates 2 and 3)
+     * @param peaks_per_thread candidate peaks per thread (paper: 3)
+     */
+    explicit PdpPartitionPolicy(unsigned num_threads, unsigned nc_bits = 3,
+                                unsigned peaks_per_thread = 3);
+
+    std::string name() const override;
+
+    void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;
+
+    /** Current PD of each thread. */
+    const std::vector<uint32_t> &threadPds() const { return pds_; }
+
+  protected:
+    uint32_t currentPd(const AccessContext &ctx) const override;
+    void recordObservation(const AccessContext &ctx,
+                           const RdObservation &obs) override;
+    void recompute() override;
+
+  private:
+    /** E_m for a candidate PD vector over threads [0, upto). */
+    double evaluateEm(const std::vector<uint32_t> &pds,
+                      const std::vector<unsigned> &threads) const;
+
+    unsigned numThreads_;
+    unsigned peaksPerThread_;
+    std::vector<RdCounterArray> perThreadRdd_;
+    std::vector<uint32_t> pds_;
+};
+
+/** Make the defaults used by Fig. 12 (S_c = 16, n_c in {2, 3}). */
+std::unique_ptr<PdpPartitionPolicy> makePdpPartition(unsigned num_threads,
+                                                     unsigned nc_bits);
+
+} // namespace pdp
+
+#endif // PDP_PARTITION_PDP_PARTITION_H

@@ -1,0 +1,124 @@
+#include "partition/pipp.h"
+
+#include <algorithm>
+
+#include "cache/cache.h"
+
+namespace pdp
+{
+
+PippPolicy::PippPolicy(unsigned num_threads)
+    : PippPolicy(num_threads, Params{})
+{
+}
+
+PippPolicy::PippPolicy(unsigned num_threads, Params params, uint64_t seed)
+    : numThreads_(num_threads), params_(params), rng_(seed)
+{
+}
+
+void
+PippPolicy::attach(Cache &cache, uint32_t num_sets, uint32_t num_ways)
+{
+    ReplacementPolicy::attach(cache, num_sets, num_ways);
+    // Monitor coverage scales with the cache (see pdp_partition.cc).
+    umon_ = std::make_unique<Umon>(numThreads_, num_sets, num_ways,
+                                   std::max<uint32_t>(32, num_sets / 64));
+    alloc_.assign(numThreads_,
+                  std::max<uint32_t>(1, num_ways / numThreads_));
+    order_.resize(static_cast<size_t>(num_sets) * num_ways);
+    for (uint32_t set = 0; set < num_sets; ++set)
+        for (uint32_t pos = 0; pos < num_ways; ++pos)
+            orderAt(set, pos) = static_cast<uint8_t>(pos);
+    streaming_.assign(numThreads_, false);
+    epochMisses_.assign(numThreads_, 0);
+    epochAccesses_.assign(numThreads_, 0);
+}
+
+uint32_t
+PippPolicy::positionOf(uint32_t set, int way) const
+{
+    for (uint32_t pos = 0; pos < numWays_; ++pos)
+        if (orderAt(set, pos) == way)
+            return pos;
+    return 0;
+}
+
+void
+PippPolicy::placeAt(uint32_t set, int way, uint32_t pos)
+{
+    const uint32_t cur = positionOf(set, way);
+    if (cur == pos)
+        return;
+    const uint8_t id = static_cast<uint8_t>(way);
+    if (cur < pos) {
+        for (uint32_t p = cur; p < pos; ++p)
+            orderAt(set, p) = orderAt(set, p + 1);
+    } else {
+        for (uint32_t p = cur; p > pos; --p)
+            orderAt(set, p) = orderAt(set, p - 1);
+    }
+    orderAt(set, pos) = id;
+}
+
+void
+PippPolicy::observe(const AccessContext &ctx)
+{
+    if (ctx.isWriteback || ctx.isPrefetch)
+        return;
+    umon_->observe(ctx.set, ctx.lineAddr, ctx.threadId);
+    const unsigned t = ctx.threadId < numThreads_ ? ctx.threadId : 0;
+    ++epochAccesses_[t];
+
+    if (++accesses_ % params_.repartitionInterval == 0) {
+        alloc_ = umon_->lookaheadPartition();
+        umon_->decay();
+    }
+    // Stream detection epoch (per thread).
+    if (epochAccesses_[t] >= params_.epochAccesses) {
+        const double miss_rate = static_cast<double>(epochMisses_[t]) /
+                                 static_cast<double>(epochAccesses_[t]);
+        streaming_[t] = epochMisses_[t] >= params_.streamMissThreshold &&
+                        miss_rate >= params_.streamMissRate;
+        epochAccesses_[t] = 0;
+        epochMisses_[t] = 0;
+    }
+}
+
+void
+PippPolicy::onHit(const AccessContext &ctx, int way)
+{
+    // Promote by a single position with probability p_prom.
+    if (!ctx.isWriteback && rng_.chance(params_.promotionProb)) {
+        const uint32_t pos = positionOf(ctx.set, way);
+        if (pos + 1 < numWays_)
+            placeAt(ctx.set, way, pos + 1);
+    }
+    observe(ctx);
+}
+
+int
+PippPolicy::selectVictim(const AccessContext &ctx)
+{
+    (void)ctx;
+    // Always the lowest-priority line.
+    return orderAt(ctx.set, 0);
+}
+
+void
+PippPolicy::onInsert(const AccessContext &ctx, int way)
+{
+    const unsigned t = ctx.threadId < numThreads_ ? ctx.threadId : 0;
+    if (!ctx.isWriteback)
+        ++epochMisses_[t];
+
+    // Insertion position: the thread's allocation, clamped; streaming
+    // threads insert at the bottom except with probability p_stream.
+    uint32_t pos = std::min<uint32_t>(alloc_[t], numWays_ - 1);
+    if (streaming_[t] && !rng_.chance(params_.streamInsertProb))
+        pos = 0;
+    placeAt(ctx.set, way, pos);
+    observe(ctx);
+}
+
+} // namespace pdp

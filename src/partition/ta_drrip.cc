@@ -1,0 +1,40 @@
+#include "partition/ta_drrip.h"
+
+namespace pdp
+{
+
+TaDrripPolicy::TaDrripPolicy(unsigned num_threads, double epsilon)
+    : RripPolicy(Mode::Drrip, epsilon), numThreads_(num_threads)
+{
+}
+
+void
+TaDrripPolicy::attach(Cache &cache, uint32_t num_sets, uint32_t num_ways)
+{
+    RripPolicy::attach(cache, num_sets, num_ways);
+    perThread_.clear();
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        // Distinct salts spread each thread's leader sets across the
+        // index space so monitors do not overlap.
+        perThread_.emplace_back(num_sets, /*leaders_per_policy=*/32,
+                                /*psel_bits=*/10, /*salt=*/t * 97 + 13);
+    }
+}
+
+bool
+TaDrripPolicy::setUsesBrrip(const AccessContext &ctx) const
+{
+    const unsigned t = ctx.threadId < numThreads_ ? ctx.threadId : 0;
+    return perThread_[t].setUsesB(ctx.set);
+}
+
+void
+TaDrripPolicy::recordMiss(const AccessContext &ctx)
+{
+    if (ctx.isWriteback)
+        return;
+    const unsigned t = ctx.threadId < numThreads_ ? ctx.threadId : 0;
+    perThread_[t].recordMiss(ctx.set);
+}
+
+} // namespace pdp

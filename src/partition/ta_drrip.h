@@ -1,0 +1,46 @@
+/**
+ * @file
+ * TA-DRRIP — thread-aware dynamic RRIP (Jaleel et al., ISCA 2010), the
+ * baseline of the paper's multi-core evaluation (Fig. 12).
+ *
+ * Each thread owns a set-dueling monitor (with distinct leader sets) and
+ * independently chooses SRRIP or BRRIP insertion for its own fills; all
+ * threads share the RRPV state and victim selection.
+ */
+
+#ifndef PDP_PARTITION_TA_DRRIP_H
+#define PDP_PARTITION_TA_DRRIP_H
+
+#include <vector>
+
+#include "policies/rrip.h"
+
+namespace pdp
+{
+
+/** Thread-aware DRRIP. */
+class TaDrripPolicy : public RripPolicy
+{
+  public:
+    /**
+     * @param num_threads threads sharing the cache
+     * @param epsilon BRRIP long-insertion probability
+     */
+    explicit TaDrripPolicy(unsigned num_threads, double epsilon = 1.0 / 32);
+
+    std::string name() const override { return "TA-DRRIP"; }
+
+    void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;
+
+  protected:
+    bool setUsesBrrip(const AccessContext &ctx) const override;
+    void recordMiss(const AccessContext &ctx) override;
+
+  private:
+    unsigned numThreads_;
+    std::vector<SetDueling> perThread_;
+};
+
+} // namespace pdp
+
+#endif // PDP_PARTITION_TA_DRRIP_H

@@ -1,0 +1,97 @@
+#include "partition/ucp.h"
+
+#include <algorithm>
+
+#include "cache/cache.h"
+
+namespace pdp
+{
+
+UcpPolicy::UcpPolicy(unsigned num_threads, uint64_t repartition_interval)
+    : numThreads_(num_threads), interval_(repartition_interval)
+{
+}
+
+void
+UcpPolicy::attach(Cache &cache, uint32_t num_sets, uint32_t num_ways)
+{
+    LruPolicy::attach(cache, num_sets, num_ways);
+    // Monitor coverage scales with the cache (see pdp_partition.cc).
+    umon_ = std::make_unique<Umon>(numThreads_, num_sets, num_ways,
+                                   std::max<uint32_t>(32, num_sets / 64));
+    alloc_.assign(numThreads_,
+                  std::max<uint32_t>(1, num_ways / numThreads_));
+}
+
+void
+UcpPolicy::observe(const AccessContext &ctx)
+{
+    if (ctx.isWriteback || ctx.isPrefetch)
+        return;
+    umon_->observe(ctx.set, ctx.lineAddr, ctx.threadId);
+    if (++accesses_ % interval_ == 0) {
+        alloc_ = umon_->lookaheadPartition();
+        umon_->decay();
+    }
+}
+
+void
+UcpPolicy::onHit(const AccessContext &ctx, int way)
+{
+    LruPolicy::onHit(ctx, way);
+    observe(ctx);
+}
+
+int
+UcpPolicy::selectVictim(const AccessContext &ctx)
+{
+    const unsigned requester =
+        ctx.threadId < numThreads_ ? ctx.threadId : 0;
+
+    // Current per-thread occupancy of the set.
+    std::vector<uint32_t> usage(numThreads_, 0);
+    for (uint32_t way = 0; way < numWays_; ++way) {
+        const uint8_t owner = cache_->lineThread(ctx.set, way);
+        if (owner < numThreads_)
+            ++usage[owner];
+    }
+
+    auto lru_among = [&](auto &&predicate) {
+        int victim = -1;
+        int64_t oldest = INT64_MAX;
+        for (uint32_t way = 0; way < numWays_; ++way) {
+            const uint8_t owner = cache_->lineThread(ctx.set, way);
+            if (!predicate(owner))
+                continue;
+            if (stamp(ctx.set, static_cast<int>(way)) < oldest) {
+                oldest = stamp(ctx.set, static_cast<int>(way));
+                victim = static_cast<int>(way);
+            }
+        }
+        return victim;
+    };
+
+    int victim = -1;
+    if (usage[requester] >= alloc_[requester]) {
+        // The requester is at (or above) its budget: recycle its own LRU
+        // line so other partitions stay intact.
+        victim = lru_among([&](uint8_t owner) { return owner == requester; });
+    } else {
+        // Under budget: take the LRU line of an over-allocated thread.
+        victim = lru_among([&](uint8_t owner) {
+            return owner < numThreads_ && usage[owner] > alloc_[owner];
+        });
+    }
+    if (victim < 0)
+        victim = lruWay(ctx.set);
+    return victim;
+}
+
+void
+UcpPolicy::onInsert(const AccessContext &ctx, int way)
+{
+    LruPolicy::onInsert(ctx, way);
+    observe(ctx);
+}
+
+} // namespace pdp

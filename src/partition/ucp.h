@@ -1,0 +1,55 @@
+/**
+ * @file
+ * UCP — utility-based cache partitioning (Qureshi & Patt, MICRO 2006).
+ *
+ * A UMON per thread measures the utility curve; the lookahead algorithm
+ * periodically recomputes a way partition; enforcement replaces the LRU
+ * line of an over-allocated thread on each miss.
+ */
+
+#ifndef PDP_PARTITION_UCP_H
+#define PDP_PARTITION_UCP_H
+
+#include <memory>
+#include <vector>
+
+#include "partition/umon.h"
+#include "policies/basic.h"
+
+namespace pdp
+{
+
+/** UCP replacement with way-partition enforcement. */
+class UcpPolicy : public LruPolicy
+{
+  public:
+    /**
+     * @param num_threads threads sharing the cache
+     * @param repartition_interval accesses between lookahead runs
+     */
+    explicit UcpPolicy(unsigned num_threads,
+                       uint64_t repartition_interval = 1'000'000);
+
+    std::string name() const override { return "UCP"; }
+
+    void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;
+    void onHit(const AccessContext &ctx, int way) override;
+    int selectVictim(const AccessContext &ctx) override;
+    void onInsert(const AccessContext &ctx, int way) override;
+
+    const std::vector<uint32_t> &allocation() const { return alloc_; }
+    const Umon &umon() const { return *umon_; }
+
+  private:
+    void observe(const AccessContext &ctx);
+
+    unsigned numThreads_;
+    uint64_t interval_;
+    uint64_t accesses_ = 0;
+    std::unique_ptr<Umon> umon_;
+    std::vector<uint32_t> alloc_;
+};
+
+} // namespace pdp
+
+#endif // PDP_PARTITION_UCP_H

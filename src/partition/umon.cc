@@ -1,0 +1,158 @@
+#include "partition/umon.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pdp
+{
+
+Umon::Umon(unsigned num_threads, uint32_t num_cache_sets, uint32_t assoc,
+           uint32_t sampled_sets)
+    : numThreads_(num_threads), assoc_(assoc),
+      sampledSets_(std::min(sampled_sets, num_cache_sets)),
+      stride_(std::max<uint32_t>(1, num_cache_sets / sampledSets_)),
+      shadow_(static_cast<size_t>(num_threads) * sampledSets_ * assoc),
+      wayHits_(num_threads, std::vector<uint64_t>(assoc, 0))
+{
+}
+
+Umon::Entry &
+Umon::entry(unsigned thread, uint32_t sset, uint32_t way)
+{
+    return shadow_[(static_cast<size_t>(thread) * sampledSets_ + sset) *
+                       assoc_ +
+                   way];
+}
+
+const Umon::Entry &
+Umon::entry(unsigned thread, uint32_t sset, uint32_t way) const
+{
+    return shadow_[(static_cast<size_t>(thread) * sampledSets_ + sset) *
+                       assoc_ +
+                   way];
+}
+
+void
+Umon::observe(uint32_t set, uint64_t line_addr, uint8_t thread)
+{
+    if (set % stride_ != 0 || thread >= numThreads_)
+        return;
+    const uint32_t sset = set / stride_;
+    ++clock_;
+
+    // Find the line and its LRU stack position in one pass.
+    int hit_way = -1;
+    uint32_t stack_pos = 0;
+    for (uint32_t way = 0; way < assoc_; ++way) {
+        const Entry &e = entry(thread, sset, way);
+        if (!e.valid)
+            continue;
+        if (e.tag == line_addr)
+            hit_way = static_cast<int>(way);
+    }
+    if (hit_way >= 0) {
+        const uint64_t my_lru = entry(thread, sset, hit_way).lru;
+        for (uint32_t way = 0; way < assoc_; ++way) {
+            const Entry &e = entry(thread, sset, way);
+            if (e.valid && e.lru > my_lru)
+                ++stack_pos;
+        }
+        ++wayHits_[thread][std::min(stack_pos, assoc_ - 1)];
+        entry(thread, sset, hit_way).lru = clock_;
+        return;
+    }
+
+    // Miss: install over the invalid or LRU entry.
+    uint32_t victim = 0;
+    uint64_t oldest = ~0ull;
+    for (uint32_t way = 0; way < assoc_; ++way) {
+        const Entry &e = entry(thread, sset, way);
+        if (!e.valid) {
+            victim = way;
+            oldest = 0;
+            break;
+        }
+        if (e.lru < oldest) {
+            oldest = e.lru;
+            victim = way;
+        }
+    }
+    entry(thread, sset, victim) = Entry{line_addr, clock_, true};
+}
+
+uint64_t
+Umon::hitsWithWays(unsigned thread, uint32_t ways) const
+{
+    uint64_t sum = 0;
+    for (uint32_t i = 0; i < std::min(ways, assoc_); ++i)
+        sum += wayHits_[thread][i];
+    return sum;
+}
+
+std::vector<uint32_t>
+Umon::lookaheadPartition() const
+{
+    // Everyone starts with one way; the rest go to whoever has the best
+    // marginal utility per way, looking ahead past plateaus (Qureshi's
+    // get_max_mu).
+    std::vector<uint32_t> alloc(numThreads_, 1);
+    uint32_t remaining = assoc_ >= numThreads_ ? assoc_ - numThreads_ : 0;
+
+    while (remaining > 0) {
+        double best_mu = -1.0;
+        unsigned best_thread = 0;
+        uint32_t best_span = 1;
+        for (unsigned t = 0; t < numThreads_; ++t) {
+            const uint32_t have = alloc[t];
+            if (have >= assoc_)
+                continue;
+            // Look ahead: utility of taking 1..remaining more ways.
+            const uint64_t base = hitsWithWays(t, have);
+            for (uint32_t span = 1;
+                 span <= remaining && have + span <= assoc_; ++span) {
+                const double mu =
+                    static_cast<double>(hitsWithWays(t, have + span) - base) /
+                    span;
+                if (mu > best_mu) {
+                    best_mu = mu;
+                    best_thread = t;
+                    best_span = span;
+                }
+            }
+        }
+        if (best_mu <= 0.0)
+            break; // no one benefits; leave the rest unassigned
+        alloc[best_thread] += best_span;
+        remaining -= best_span;
+    }
+
+    // Distribute any leftover ways round-robin so they are not wasted.
+    for (unsigned t = 0; remaining > 0; t = (t + 1) % numThreads_) {
+        if (alloc[t] < assoc_) {
+            ++alloc[t];
+            --remaining;
+        }
+    }
+    return alloc;
+}
+
+void
+Umon::decay()
+{
+    for (auto &hits : wayHits_)
+        for (auto &h : hits)
+            h /= 2;
+}
+
+uint64_t
+Umon::storageBits() const
+{
+    // Shadow entries: ~16-bit partial tag + 4-bit LRU rank + valid.
+    const uint64_t entry_bits = 16 + 4 + 1;
+    const uint64_t counters = static_cast<uint64_t>(numThreads_) * assoc_ * 32;
+    return static_cast<uint64_t>(numThreads_) * sampledSets_ * assoc_ *
+               entry_bits +
+           counters;
+}
+
+} // namespace pdp

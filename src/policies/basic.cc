@@ -1,0 +1,106 @@
+#include "policies/basic.h"
+
+#include "cache/cache.h"
+
+namespace pdp
+{
+
+void
+LruPolicy::attach(Cache &cache, uint32_t num_sets, uint32_t num_ways)
+{
+    ReplacementPolicy::attach(cache, num_sets, num_ways);
+    stamps_.assign(static_cast<size_t>(num_sets) * num_ways, 0);
+}
+
+void
+LruPolicy::onHit(const AccessContext &ctx, int way)
+{
+    stamp(ctx.set, way) = nextStamp();
+}
+
+int
+LruPolicy::lruWay(uint32_t set) const
+{
+    int victim = 0;
+    int64_t oldest = INT64_MAX;
+    for (uint32_t way = 0; way < numWays_; ++way) {
+        const int64_t s = stamps_[static_cast<size_t>(set) * numWays_ + way];
+        if (s < oldest) {
+            oldest = s;
+            victim = static_cast<int>(way);
+        }
+    }
+    return victim;
+}
+
+int
+LruPolicy::selectVictim(const AccessContext &ctx)
+{
+    return lruWay(ctx.set);
+}
+
+void
+LruPolicy::onInsert(const AccessContext &ctx, int way)
+{
+    stamp(ctx.set, way) = nextStamp();
+}
+
+void
+FifoPolicy::attach(Cache &cache, uint32_t num_sets, uint32_t num_ways)
+{
+    ReplacementPolicy::attach(cache, num_sets, num_ways);
+    stamps_.assign(static_cast<size_t>(num_sets) * num_ways, 0);
+}
+
+void
+FifoPolicy::onHit(const AccessContext &ctx, int way)
+{
+    // FIFO ignores hits.
+    (void)ctx;
+    (void)way;
+}
+
+int
+FifoPolicy::selectVictim(const AccessContext &ctx)
+{
+    int victim = 0;
+    uint64_t oldest = ~0ull;
+    for (uint32_t way = 0; way < numWays_; ++way) {
+        const uint64_t s =
+            stamps_[static_cast<size_t>(ctx.set) * numWays_ + way];
+        if (s < oldest) {
+            oldest = s;
+            victim = static_cast<int>(way);
+        }
+    }
+    return victim;
+}
+
+void
+FifoPolicy::onInsert(const AccessContext &ctx, int way)
+{
+    stamps_[static_cast<size_t>(ctx.set) * numWays_ + way] = ++clock_;
+}
+
+void
+RandomPolicy::onHit(const AccessContext &ctx, int way)
+{
+    (void)ctx;
+    (void)way;
+}
+
+int
+RandomPolicy::selectVictim(const AccessContext &ctx)
+{
+    (void)ctx;
+    return static_cast<int>(rng_.below(numWays_));
+}
+
+void
+RandomPolicy::onInsert(const AccessContext &ctx, int way)
+{
+    (void)ctx;
+    (void)way;
+}
+
+} // namespace pdp

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The classic baseline replacement policies: LRU, FIFO and Random.
+ */
+
+#ifndef PDP_POLICIES_BASIC_H
+#define PDP_POLICIES_BASIC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "policies/replacement_policy.h"
+#include "util/rng.h"
+
+namespace pdp
+{
+
+/** True least-recently-used replacement (recency stamps). */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    std::string name() const override { return "LRU"; }
+
+    void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;
+    void onHit(const AccessContext &ctx, int way) override;
+    int selectVictim(const AccessContext &ctx) override;
+    void onInsert(const AccessContext &ctx, int way) override;
+
+    /** Recency stamp accessors for subclasses (DIP reuses the machinery). */
+  protected:
+    int64_t &stamp(uint32_t set, int way)
+    {
+        return stamps_[static_cast<size_t>(set) * numWays_ + way];
+    }
+
+    /** Stamp newer than every existing one (MRU position). */
+    int64_t nextStamp() { return ++clock_; }
+
+    /** Stamp older than every existing one (LRU position, used by LIP). */
+    int64_t oldestStamp() { return --lowClock_; }
+
+    /** Way with the smallest stamp (the LRU way). */
+    int lruWay(uint32_t set) const;
+
+  private:
+    std::vector<int64_t> stamps_;
+    int64_t clock_ = 0;
+    int64_t lowClock_ = 0;
+};
+
+/** First-in-first-out replacement (insertion stamps only). */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    std::string name() const override { return "FIFO"; }
+
+    void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;
+    void onHit(const AccessContext &ctx, int way) override;
+    int selectVictim(const AccessContext &ctx) override;
+    void onInsert(const AccessContext &ctx, int way) override;
+
+  private:
+    std::vector<uint64_t> stamps_;
+    uint64_t clock_ = 0;
+};
+
+/** Uniform-random replacement (deterministic seeded RNG). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(uint64_t seed = 0xbadc0ffee) : rng_(seed) {}
+
+    std::string name() const override { return "Random"; }
+
+    void onHit(const AccessContext &ctx, int way) override;
+    int selectVictim(const AccessContext &ctx) override;
+    void onInsert(const AccessContext &ctx, int way) override;
+
+  private:
+    Rng rng_;
+};
+
+} // namespace pdp
+
+#endif // PDP_POLICIES_BASIC_H

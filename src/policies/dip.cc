@@ -1,0 +1,92 @@
+#include "policies/dip.h"
+
+#include "cache/cache.h"
+
+namespace pdp
+{
+
+InsertionLruPolicy::InsertionLruPolicy(Mode mode, double epsilon,
+                                       uint64_t seed)
+    : mode_(mode), epsilon_(epsilon), rng_(seed)
+{
+}
+
+std::string
+InsertionLruPolicy::name() const
+{
+    switch (mode_) {
+      case Mode::Lru: return "LRU";
+      case Mode::Lip: return "LIP";
+      case Mode::Bip: return "BIP";
+      case Mode::Dip: return "DIP";
+    }
+    return "?";
+}
+
+void
+InsertionLruPolicy::attach(Cache &cache, uint32_t num_sets,
+                           uint32_t num_ways)
+{
+    LruPolicy::attach(cache, num_sets, num_ways);
+    if (mode_ == Mode::Dip)
+        dueling_.emplace(num_sets, /*leaders_per_policy=*/32,
+                         /*psel_bits=*/10);
+}
+
+bool
+InsertionLruPolicy::insertAtMru(const AccessContext &ctx)
+{
+    switch (mode_) {
+      case Mode::Lru:
+        return true;
+      case Mode::Lip:
+        return false;
+      case Mode::Bip:
+        return rng_.chance(epsilon_);
+      case Mode::Dip:
+        // Leaders of A run LRU insertion; leaders of B (and followers
+        // when B is winning) run BIP.
+        if (dueling_->setUsesB(ctx.set))
+            return rng_.chance(epsilon_);
+        return true;
+    }
+    return true;
+}
+
+int
+InsertionLruPolicy::selectVictim(const AccessContext &ctx)
+{
+    return lruWay(ctx.set);
+}
+
+void
+InsertionLruPolicy::onInsert(const AccessContext &ctx, int way)
+{
+    // Every demand miss inserts, so PSEL is updated here; the paper
+    // excludes writebacks from PSEL updates (Sec. 5).
+    if (mode_ == Mode::Dip && !ctx.isWriteback)
+        dueling_->recordMiss(ctx.set);
+    stamp(ctx.set, way) = insertAtMru(ctx) ? nextStamp() : oldestStamp();
+}
+
+std::unique_ptr<InsertionLruPolicy>
+makeLip()
+{
+    return std::make_unique<InsertionLruPolicy>(InsertionLruPolicy::Mode::Lip);
+}
+
+std::unique_ptr<InsertionLruPolicy>
+makeBip(double epsilon)
+{
+    return std::make_unique<InsertionLruPolicy>(InsertionLruPolicy::Mode::Bip,
+                                                epsilon);
+}
+
+std::unique_ptr<InsertionLruPolicy>
+makeDip(double epsilon)
+{
+    return std::make_unique<InsertionLruPolicy>(InsertionLruPolicy::Mode::Dip,
+                                                epsilon);
+}
+
+} // namespace pdp

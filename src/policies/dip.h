@@ -1,0 +1,62 @@
+/**
+ * @file
+ * LIP / BIP / DIP insertion policies (Qureshi et al., ISCA 2007).
+ *
+ * All three share LRU recency machinery and differ only in where a missed
+ * line is inserted:
+ *   - LIP inserts at the LRU position,
+ *   - BIP inserts at MRU with probability epsilon (1/32), else at LRU,
+ *   - DIP set-duels LRU insertion against BIP.
+ * DIP is the paper's normalization baseline for all single-core figures.
+ */
+
+#ifndef PDP_POLICIES_DIP_H
+#define PDP_POLICIES_DIP_H
+
+#include <memory>
+#include <optional>
+
+#include "policies/basic.h"
+#include "policies/dueling.h"
+#include "util/rng.h"
+
+namespace pdp
+{
+
+/** The shared LRU-with-configurable-insertion machinery. */
+class InsertionLruPolicy : public LruPolicy
+{
+  public:
+    enum class Mode { Lru, Lip, Bip, Dip };
+
+    /**
+     * @param mode insertion mode
+     * @param epsilon BIP probability of an MRU insertion
+     * @param seed RNG seed for the BIP coin
+     */
+    explicit InsertionLruPolicy(Mode mode, double epsilon = 1.0 / 32,
+                                uint64_t seed = 0xd1b0);
+
+    std::string name() const override;
+
+    void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;
+    void onInsert(const AccessContext &ctx, int way) override;
+    int selectVictim(const AccessContext &ctx) override;
+
+  private:
+    bool insertAtMru(const AccessContext &ctx);
+
+    Mode mode_;
+    double epsilon_;
+    Rng rng_;
+    std::optional<SetDueling> dueling_;
+};
+
+/** Convenience factories. */
+std::unique_ptr<InsertionLruPolicy> makeLip();
+std::unique_ptr<InsertionLruPolicy> makeBip(double epsilon = 1.0 / 32);
+std::unique_ptr<InsertionLruPolicy> makeDip(double epsilon = 1.0 / 32);
+
+} // namespace pdp
+
+#endif // PDP_POLICIES_DIP_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Set-dueling monitor (SDM) shared by DIP, DRRIP and TA-DRRIP.
+ *
+ * A handful of leader sets always run policy A, another handful always
+ * run policy B; a saturating PSEL counter tallies leader misses and the
+ * remaining follower sets adopt the winner (Qureshi et al., ISCA'07).
+ */
+
+#ifndef PDP_POLICIES_DUELING_H
+#define PDP_POLICIES_DUELING_H
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/sat_counter.h"
+
+namespace pdp
+{
+
+/** One A-vs-B set-dueling monitor. */
+class SetDueling
+{
+  public:
+    /**
+     * @param num_sets cache sets
+     * @param leaders_per_policy leader sets dedicated to each policy
+     * @param psel_bits PSEL width (paper: 32 leaders, 10-bit PSEL)
+     * @param salt offsets the leader mapping so several monitors (e.g.
+     *             per-thread in TA-DRRIP) use different leader sets
+     */
+    SetDueling(uint32_t num_sets, uint32_t leaders_per_policy = 32,
+               unsigned psel_bits = 10, uint32_t salt = 0)
+        : numSets_(num_sets),
+          region_(num_sets / leaders_per_policy),
+          salt_(salt % num_sets),
+          psel_(psel_bits, (1u << psel_bits) / 2)
+    {
+        assert(leaders_per_policy > 0 && region_ >= 2);
+    }
+
+    /** 0 = leader of A, 1 = leader of B, -1 = follower. */
+    int
+    leaderType(uint32_t set) const
+    {
+        const uint32_t pos = (set + salt_) % numSets_ % region_;
+        if (pos == 0)
+            return 0;
+        if (pos == region_ / 2)
+            return 1;
+        return -1;
+    }
+
+    /** Record a demand miss (call for leader and follower sets alike;
+     *  followers are ignored).  A-leader misses push PSEL toward B. */
+    void
+    recordMiss(uint32_t set)
+    {
+        const int type = leaderType(set);
+        if (type == 0)
+            psel_.increment();
+        else if (type == 1)
+            psel_.decrement();
+    }
+
+    /** Policy the given set should run right now. */
+    bool
+    setUsesB(uint32_t set) const
+    {
+        const int type = leaderType(set);
+        if (type == 0)
+            return false;
+        if (type == 1)
+            return true;
+        return psel_.msbSet();
+    }
+
+    uint32_t pselValue() const { return psel_.value(); }
+
+  private:
+    uint32_t numSets_;
+    uint32_t region_;
+    uint32_t salt_;
+    SatCounter psel_;
+};
+
+} // namespace pdp
+
+#endif // PDP_POLICIES_DUELING_H

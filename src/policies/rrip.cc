@@ -1,0 +1,108 @@
+#include "policies/rrip.h"
+
+#include "cache/cache.h"
+
+namespace pdp
+{
+
+RripPolicy::RripPolicy(Mode mode, double epsilon, unsigned rrpv_bits,
+                       uint64_t seed)
+    : mode_(mode), epsilon_(epsilon),
+      maxRrpv_(static_cast<uint8_t>((1u << rrpv_bits) - 1)), rng_(seed)
+{
+}
+
+std::string
+RripPolicy::name() const
+{
+    switch (mode_) {
+      case Mode::Srrip: return "SRRIP";
+      case Mode::Brrip: return "BRRIP";
+      case Mode::Drrip: return "DRRIP";
+    }
+    return "?";
+}
+
+void
+RripPolicy::attach(Cache &cache, uint32_t num_sets, uint32_t num_ways)
+{
+    ReplacementPolicy::attach(cache, num_sets, num_ways);
+    rrpvs_.assign(static_cast<size_t>(num_sets) * num_ways, maxRrpv_);
+    if (mode_ == Mode::Drrip)
+        dueling_.emplace(num_sets, /*leaders_per_policy=*/32,
+                         /*psel_bits=*/10);
+}
+
+void
+RripPolicy::onHit(const AccessContext &ctx, int way)
+{
+    // Hit promotion: predict near-immediate re-reference.
+    rrpv(ctx.set, way) = 0;
+}
+
+bool
+RripPolicy::setUsesBrrip(const AccessContext &ctx) const
+{
+    switch (mode_) {
+      case Mode::Srrip: return false;
+      case Mode::Brrip: return true;
+      case Mode::Drrip: return dueling_->setUsesB(ctx.set);
+    }
+    return false;
+}
+
+void
+RripPolicy::recordMiss(const AccessContext &ctx)
+{
+    if (mode_ == Mode::Drrip && !ctx.isWriteback)
+        dueling_->recordMiss(ctx.set);
+}
+
+int
+RripPolicy::selectVictim(const AccessContext &ctx)
+{
+    // Find a distant (RRPV == max) line, aging the set until one exists.
+    for (;;) {
+        for (uint32_t way = 0; way < numWays_; ++way)
+            if (rrpv(ctx.set, way) == maxRrpv_)
+                return static_cast<int>(way);
+        for (uint32_t way = 0; way < numWays_; ++way)
+            ++rrpv(ctx.set, way);
+    }
+}
+
+void
+RripPolicy::onInsert(const AccessContext &ctx, int way)
+{
+    recordMiss(ctx);
+    uint8_t insert_rrpv;
+    if (setUsesBrrip(ctx)) {
+        // BRRIP: mostly distant, occasionally long.
+        insert_rrpv = rng_.chance(epsilon_) ? static_cast<uint8_t>(maxRrpv_ - 1)
+                                            : maxRrpv_;
+    } else {
+        // SRRIP: long.
+        insert_rrpv = static_cast<uint8_t>(maxRrpv_ - 1);
+    }
+    rrpv(ctx.set, way) = insert_rrpv;
+}
+
+std::unique_ptr<RripPolicy>
+makeSrrip()
+{
+    return std::make_unique<RripPolicy>(RripPolicy::Mode::Srrip);
+}
+
+std::unique_ptr<RripPolicy>
+makeBrrip(double epsilon)
+{
+    return std::make_unique<RripPolicy>(RripPolicy::Mode::Brrip, epsilon);
+}
+
+std::unique_ptr<RripPolicy>
+makeDrrip(double epsilon)
+{
+    return std::make_unique<RripPolicy>(RripPolicy::Mode::Drrip, epsilon);
+}
+
+} // namespace pdp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * RRIP family: SRRIP, BRRIP and DRRIP (Jaleel et al., ISCA 2010).
+ *
+ * 2-bit re-reference prediction values (RRPV).  SRRIP inserts with a
+ * "long" prediction (RRPV = max-1); BRRIP inserts "distant" (RRPV = max)
+ * except with probability epsilon, where it inserts long; DRRIP set-duels
+ * the two.  Epsilon is a constructor parameter so Fig. 2's sweep can vary
+ * it from 1/4 down to 1/256.
+ */
+
+#ifndef PDP_POLICIES_RRIP_H
+#define PDP_POLICIES_RRIP_H
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "policies/dueling.h"
+#include "policies/replacement_policy.h"
+#include "util/rng.h"
+
+namespace pdp
+{
+
+/** SRRIP / BRRIP / DRRIP in one implementation. */
+class RripPolicy : public ReplacementPolicy
+{
+  public:
+    enum class Mode { Srrip, Brrip, Drrip };
+
+    /**
+     * @param mode which member of the family
+     * @param epsilon BRRIP probability of a "long" insertion (paper: 1/32)
+     * @param rrpv_bits RRPV width (paper: 2)
+     */
+    explicit RripPolicy(Mode mode, double epsilon = 1.0 / 32,
+                        unsigned rrpv_bits = 2, uint64_t seed = 0x5712);
+
+    std::string name() const override;
+
+    void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;
+    void onHit(const AccessContext &ctx, int way) override;
+    int selectVictim(const AccessContext &ctx) override;
+    void onInsert(const AccessContext &ctx, int way) override;
+
+  protected:
+    /** Should this set insert with BRRIP behaviour right now? */
+    virtual bool setUsesBrrip(const AccessContext &ctx) const;
+
+    /** Record a demand miss for dueling (overridden by TA-DRRIP). */
+    virtual void recordMiss(const AccessContext &ctx);
+
+    uint8_t &rrpv(uint32_t set, int way)
+    {
+        return rrpvs_[static_cast<size_t>(set) * numWays_ + way];
+    }
+
+    Mode mode_;
+    double epsilon_;
+    uint8_t maxRrpv_;
+    Rng rng_;
+    std::optional<SetDueling> dueling_;
+
+  private:
+    std::vector<uint8_t> rrpvs_;
+};
+
+std::unique_ptr<RripPolicy> makeSrrip();
+std::unique_ptr<RripPolicy> makeBrrip(double epsilon = 1.0 / 32);
+std::unique_ptr<RripPolicy> makeDrrip(double epsilon = 1.0 / 32);
+
+} // namespace pdp
+
+#endif // PDP_POLICIES_RRIP_H

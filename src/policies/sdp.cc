@@ -1,0 +1,187 @@
+#include "policies/sdp.h"
+
+#include <cassert>
+
+#include "cache/cache.h"
+#include "util/bitutil.h"
+#include "util/rng.h"
+
+namespace pdp
+{
+
+DeadBlockPredictor::DeadBlockPredictor() : DeadBlockPredictor(Params{}) {}
+
+DeadBlockPredictor::DeadBlockPredictor(Params params) : params_(params)
+{
+    tables_.assign(params_.tables, {});
+    for (auto &table : tables_)
+        table.assign(1u << params_.entriesLog2,
+                     SatCounter(params_.counterBits, 0));
+}
+
+uint32_t
+DeadBlockPredictor::index(unsigned table, uint16_t signature) const
+{
+    // Per-table salts give the skewed organization its independence.
+    const uint64_t salted =
+        hashMix64(signature + (static_cast<uint64_t>(table + 1) << 40));
+    return static_cast<uint32_t>(salted & ((1u << params_.entriesLog2) - 1));
+}
+
+void
+DeadBlockPredictor::train(uint16_t signature, bool dead)
+{
+    for (unsigned t = 0; t < params_.tables; ++t) {
+        SatCounter &counter = tables_[t][index(t, signature)];
+        if (dead)
+            counter.increment();
+        else
+            counter.decrement();
+    }
+}
+
+bool
+DeadBlockPredictor::predictDead(uint16_t signature) const
+{
+    uint32_t sum = 0;
+    for (unsigned t = 0; t < params_.tables; ++t)
+        sum += tables_[t][index(t, signature)].value();
+    return sum >= params_.threshold;
+}
+
+uint64_t
+DeadBlockPredictor::storageBits() const
+{
+    return static_cast<uint64_t>(params_.tables) *
+           (1ull << params_.entriesLog2) * params_.counterBits;
+}
+
+SdpPolicy::SdpPolicy() : SdpPolicy(Params{}) {}
+
+SdpPolicy::SdpPolicy(Params params)
+    : params_(params), predictor_(params.predictor)
+{
+}
+
+void
+SdpPolicy::attach(Cache &cache, uint32_t num_sets, uint32_t num_ways)
+{
+    LruPolicy::attach(cache, num_sets, num_ways);
+    assert(num_sets >= params_.samplerSets);
+    sampleStride_ = num_sets / params_.samplerSets;
+    sampler_.assign(static_cast<size_t>(params_.samplerSets) *
+                        params_.samplerAssoc,
+                    SamplerEntry{});
+    deadBits_.assign(static_cast<size_t>(num_sets) * num_ways, 0);
+}
+
+uint16_t
+SdpPolicy::pcSignature(uint64_t pc)
+{
+    return static_cast<uint16_t>(foldXor(hashMix64(pc), 16));
+}
+
+int
+SdpPolicy::samplerIndex(uint32_t set) const
+{
+    if (set % sampleStride_ != 0)
+        return -1;
+    return static_cast<int>(set / sampleStride_);
+}
+
+void
+SdpPolicy::sample(const AccessContext &ctx)
+{
+    const int sset = samplerIndex(ctx.set);
+    if (sset < 0)
+        return;
+
+    const uint16_t tag =
+        static_cast<uint16_t>(foldXor(hashMix64(ctx.lineAddr), 16));
+    const uint16_t sig = pcSignature(ctx.pc);
+    SamplerEntry *base =
+        &sampler_[static_cast<size_t>(sset) * params_.samplerAssoc];
+
+    // Sampler hit: the previous toucher was not dead after all.
+    for (uint32_t i = 0; i < params_.samplerAssoc; ++i) {
+        SamplerEntry &entry = base[i];
+        if (entry.valid && entry.tag == tag) {
+            predictor_.train(entry.signature, false);
+            entry.signature = sig;
+            entry.lru = ++samplerClock_;
+            return;
+        }
+    }
+
+    // Sampler miss: evict the sampler-LRU entry, training its last
+    // toucher as dead.
+    uint32_t victim = 0;
+    uint64_t oldest = ~0ull;
+    for (uint32_t i = 0; i < params_.samplerAssoc; ++i) {
+        if (!base[i].valid) {
+            victim = i;
+            oldest = 0;
+            break;
+        }
+        if (base[i].lru < oldest) {
+            oldest = base[i].lru;
+            victim = i;
+        }
+    }
+    if (base[victim].valid)
+        predictor_.train(base[victim].signature, true);
+    base[victim] = SamplerEntry{tag, sig, true, ++samplerClock_};
+}
+
+void
+SdpPolicy::onHit(const AccessContext &ctx, int way)
+{
+    LruPolicy::onHit(ctx, way);
+    if (!ctx.isWriteback) {
+        // A demand hit in a sampled set is direct evidence that this
+        // PC's lines see reuse; train toward live in addition to the
+        // sampler-internal training.
+        if (samplerIndex(ctx.set) >= 0)
+            predictor_.train(pcSignature(ctx.pc), false);
+        sample(ctx);
+        // Last-touch prediction: if this PC's touches tend to be final,
+        // mark the line as a preferred victim.
+        deadBit(ctx.set, way) =
+            predictor_.predictDead(pcSignature(ctx.pc)) ? 1 : 0;
+    }
+}
+
+int
+SdpPolicy::selectVictim(const AccessContext &ctx)
+{
+    // Dead-on-arrival lines are bypassed in non-inclusive caches.
+    if (!ctx.isWriteback && cache_->config().allowBypass &&
+        predictor_.predictDead(pcSignature(ctx.pc)))
+        return kBypass;
+
+    for (uint32_t way = 0; way < numWays_; ++way)
+        if (deadBit(ctx.set, static_cast<int>(way)))
+            return static_cast<int>(way);
+    return lruWay(ctx.set);
+}
+
+void
+SdpPolicy::onInsert(const AccessContext &ctx, int way)
+{
+    LruPolicy::onInsert(ctx, way);
+    // A writeback allocation carries no PC; the line was already evicted
+    // or bypassed once, so treat it as dead on arrival (preferred victim)
+    // rather than letting it churn predicted-live residents.
+    deadBit(ctx.set, way) = ctx.isWriteback ? 1 : 0;
+    if (!ctx.isWriteback)
+        sample(ctx);
+}
+
+void
+SdpPolicy::onBypass(const AccessContext &ctx)
+{
+    if (!ctx.isWriteback)
+        sample(ctx);
+}
+
+} // namespace pdp

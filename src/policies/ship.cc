@@ -1,0 +1,68 @@
+#include "policies/ship.h"
+
+#include "cache/cache.h"
+#include "util/bitutil.h"
+
+namespace pdp
+{
+
+ShipPolicy::ShipPolicy() : ShipPolicy(Params{}) {}
+
+ShipPolicy::ShipPolicy(Params params)
+    : RripPolicy(RripPolicy::Mode::Srrip), params_(params)
+{
+}
+
+void
+ShipPolicy::attach(Cache &cache, uint32_t num_sets, uint32_t num_ways)
+{
+    RripPolicy::attach(cache, num_sets, num_ways);
+    shct_.assign(1u << params_.shctLog2,
+                 SatCounter(params_.shctBits, 1));
+    lineSignature_.assign(static_cast<size_t>(num_sets) * num_ways, 0);
+    lineOutcome_.assign(static_cast<size_t>(num_sets) * num_ways, false);
+}
+
+uint32_t
+ShipPolicy::shctIndex(uint64_t pc) const
+{
+    return foldXor(hashMix64(pc), params_.shctLog2);
+}
+
+void
+ShipPolicy::onHit(const AccessContext &ctx, int way)
+{
+    RripPolicy::onHit(ctx, way);
+    const size_t idx = lineIdx(ctx.set, way);
+    if (!lineOutcome_[idx]) {
+        lineOutcome_[idx] = true;
+        shct_[lineSignature_[idx]].increment();
+    }
+}
+
+int
+ShipPolicy::selectVictim(const AccessContext &ctx)
+{
+    const int victim = RripPolicy::selectVictim(ctx);
+    const size_t idx = lineIdx(ctx.set, victim);
+    // An eviction without re-reference is negative feedback for the
+    // signature that inserted the line.
+    if (!lineOutcome_[idx])
+        shct_[lineSignature_[idx]].decrement();
+    return victim;
+}
+
+void
+ShipPolicy::onInsert(const AccessContext &ctx, int way)
+{
+    RripPolicy::onInsert(ctx, way);
+    const uint32_t sig = shctIndex(ctx.pc);
+    const size_t idx = lineIdx(ctx.set, way);
+    lineSignature_[idx] = sig;
+    lineOutcome_[idx] = false;
+    // Distant re-reference for never-rewarded signatures, long otherwise.
+    rrpv(ctx.set, way) = shct_[sig].value() == 0
+        ? maxRrpv_ : static_cast<uint8_t>(maxRrpv_ - 1);
+}
+
+} // namespace pdp

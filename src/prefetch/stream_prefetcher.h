@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A simple stream prefetcher (Sec. 6.5's "simple stream prefetcher").
+ *
+ * Tracks a small table of streams keyed by line-address region.  A stream
+ * is allocated on an LLC demand miss; two further misses in ascending
+ * (or descending) order within the region confirm the direction, after
+ * which every demand access to the stream issues `degree` prefetches
+ * ahead of the demand address.
+ */
+
+#ifndef PDP_PREFETCH_STREAM_PREFETCHER_H
+#define PDP_PREFETCH_STREAM_PREFETCHER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace pdp
+{
+
+/** Stream prefetcher with per-stream direction confirmation. */
+class StreamPrefetcher
+{
+  public:
+    struct Params
+    {
+        uint32_t streams = 16;      //!< tracked streams
+        uint32_t degree = 2;        //!< prefetches per trigger
+        uint32_t distance = 4;      //!< lines ahead of the demand
+        uint64_t regionLines = 64;  //!< stream window size
+    };
+
+    StreamPrefetcher();
+    explicit StreamPrefetcher(Params params);
+
+    /**
+     * Feed a demand access; returns the line addresses to prefetch.
+     *
+     * @param line_addr demand line address
+     * @param was_miss true if the demand missed the LLC
+     */
+    std::vector<uint64_t> onDemand(uint64_t line_addr, bool was_miss);
+
+    uint64_t issued() const { return issued_; }
+
+  private:
+    struct Stream
+    {
+        uint64_t lastAddr = 0;
+        int direction = 0;   //!< -1, 0 (untrained), +1
+        int confidence = 0;
+        bool valid = false;
+        uint64_t lruStamp = 0;
+    };
+
+    Params params_;
+    std::vector<Stream> streams_;
+    uint64_t clock_ = 0;
+    uint64_t issued_ = 0;
+};
+
+} // namespace pdp
+
+#endif // PDP_PREFETCH_STREAM_PREFETCHER_H

@@ -1,0 +1,79 @@
+#include "sim/policy_factory.h"
+
+#include <stdexcept>
+
+#include "core/pdp_policy.h"
+#include "policies/basic.h"
+#include "policies/dip.h"
+#include "policies/eelru.h"
+#include "policies/rrip.h"
+#include "policies/sdp.h"
+#include "policies/ship.h"
+
+namespace pdp
+{
+
+std::unique_ptr<ReplacementPolicy>
+makePolicy(const std::string &spec)
+{
+    std::string base = spec;
+    uint32_t arg = 0;
+    bool has_arg = false;
+    if (const auto colon = spec.find(':'); colon != std::string::npos) {
+        base = spec.substr(0, colon);
+        arg = static_cast<uint32_t>(std::stoul(spec.substr(colon + 1)));
+        has_arg = true;
+    }
+
+    if (base == "LRU")
+        return std::make_unique<LruPolicy>();
+    if (base == "FIFO")
+        return std::make_unique<FifoPolicy>();
+    if (base == "Random")
+        return std::make_unique<RandomPolicy>();
+    if (base == "LIP")
+        return makeLip();
+    if (base == "BIP")
+        return makeBip();
+    if (base == "DIP")
+        return makeDip();
+    if (base == "SRRIP")
+        return makeSrrip();
+    if (base == "BRRIP")
+        return makeBrrip();
+    if (base == "DRRIP")
+        return makeDrrip();
+    if (base == "EELRU")
+        return std::make_unique<EelruPolicy>();
+    if (base == "SDP")
+        return std::make_unique<SdpPolicy>();
+    if (base == "SHiP")
+        return std::make_unique<ShipPolicy>();
+    if (base == "PDP-2")
+        return makeDynamicPdp(2);
+    if (base == "PDP-3")
+        return makeDynamicPdp(3);
+    if (base == "PDP-8")
+        return makeDynamicPdp(8);
+    if (base == "PDP-8-NB")
+        return makeDynamicPdp(8, /*bypass=*/false);
+    if (base == "PDP-1INS") {
+        PdpParams params;
+        params.insertWithPdOne = true;
+        return std::make_unique<PdpPolicy>(params);
+    }
+    if (base == "SPDP-B")
+        return makeSpdpB(has_arg ? arg : 64);
+    if (base == "SPDP-NB")
+        return makeSpdpNb(has_arg ? arg : 64);
+
+    throw std::invalid_argument("unknown policy spec: " + spec);
+}
+
+std::vector<std::string>
+fig10PolicyNames()
+{
+    return {"DIP", "DRRIP", "EELRU", "SDP", "PDP-2", "PDP-3", "PDP-8"};
+}
+
+} // namespace pdp

@@ -1,0 +1,59 @@
+#include "sim/single_core_sim.h"
+
+#include "sim/policy_factory.h"
+#include "trace/spec_suite.h"
+
+namespace pdp
+{
+
+SimResult
+runSingleCore(AccessGenerator &gen, Hierarchy &hierarchy,
+              const SimConfig &config)
+{
+    TimingModel timing(config.timing);
+
+    for (uint64_t i = 0; i < config.warmup; ++i)
+        hierarchy.access(gen.next());
+    hierarchy.resetStats();
+
+    for (uint64_t i = 0; i < config.accesses; ++i) {
+        const Access access = gen.next();
+        const HierarchyResult res = hierarchy.access(access);
+        timing.onAccess(access.instrGap, res.level);
+    }
+
+    const CacheStats &llc = hierarchy.llc().stats();
+
+    SimResult result;
+    result.benchmark = gen.name();
+    result.policy = hierarchy.llc().policy().name();
+    result.instructions = timing.instructions();
+    result.cycles = timing.cycles();
+    result.ipc = timing.ipc();
+    result.llcAccesses = llc.accesses;
+    result.llcHits = llc.hits;
+    result.llcMisses = llc.misses;
+    result.llcBypasses = llc.bypasses;
+    result.mpki = result.instructions
+        ? 1000.0 * static_cast<double>(llc.misses) /
+              static_cast<double>(result.instructions)
+        : 0.0;
+    result.bypassFraction = llc.accesses
+        ? static_cast<double>(llc.bypasses) /
+              static_cast<double>(llc.accesses)
+        : 0.0;
+    return result;
+}
+
+SimResult
+runSingleCore(const std::string &benchmark, const std::string &policy_spec,
+              const SimConfig &config)
+{
+    auto gen = SpecSuite::make(benchmark);
+    Hierarchy hierarchy(config.hierarchy, makePolicy(policy_spec));
+    if (config.withPrefetcher)
+        hierarchy.attachPrefetcher(std::make_unique<StreamPrefetcher>());
+    return runSingleCore(*gen, hierarchy, config);
+}
+
+} // namespace pdp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The single-core trace-driven simulator: generator -> L2 -> LLC with a
+ * timing model, producing the MPKI / IPC / bypass metrics of Sec. 5.
+ */
+
+#ifndef PDP_SIM_SINGLE_CORE_SIM_H
+#define PDP_SIM_SINGLE_CORE_SIM_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/hierarchy.h"
+#include "sim/timing_model.h"
+#include "trace/generator.h"
+
+namespace pdp
+{
+
+/** Run-length and environment configuration. */
+struct SimConfig
+{
+    /** Measured accesses after warmup. */
+    uint64_t accesses = 4'000'000;
+    /** Warmup accesses (caches filled, stats discarded). */
+    uint64_t warmup = 1'000'000;
+    TimingParams timing{};
+    HierarchyConfig hierarchy{};
+    bool withPrefetcher = false;
+
+    /** Scale both run length and warmup (quick CI runs). */
+    SimConfig
+    scaled(double factor) const
+    {
+        SimConfig cfg = *this;
+        cfg.accesses = static_cast<uint64_t>(accesses * factor);
+        cfg.warmup = static_cast<uint64_t>(warmup * factor);
+        return cfg;
+    }
+};
+
+/** Results of one single-core run. */
+struct SimResult
+{
+    std::string benchmark;
+    std::string policy;
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    double ipc = 0.0;
+    /** LLC demand misses per 1000 instructions. */
+    double mpki = 0.0;
+    uint64_t llcAccesses = 0;
+    uint64_t llcHits = 0;
+    uint64_t llcMisses = 0;
+    uint64_t llcBypasses = 0;
+    /** Bypassed fills as a fraction of LLC accesses (Fig. 10c). */
+    double bypassFraction = 0.0;
+};
+
+/**
+ * Drive `gen` through an existing hierarchy.  The caller keeps access to
+ * the hierarchy for instrumentation (PD history, occupancy observers).
+ */
+SimResult runSingleCore(AccessGenerator &gen, Hierarchy &hierarchy,
+                        const SimConfig &config);
+
+/** Convenience wrapper: build benchmark + policy + hierarchy and run. */
+SimResult runSingleCore(const std::string &benchmark,
+                        const std::string &policy_spec,
+                        const SimConfig &config);
+
+} // namespace pdp
+
+#endif // PDP_SIM_SINGLE_CORE_SIM_H

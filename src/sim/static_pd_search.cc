@@ -1,0 +1,38 @@
+#include "sim/static_pd_search.h"
+
+#include "core/pdp_policy.h"
+#include "trace/spec_suite.h"
+
+namespace pdp
+{
+
+std::vector<uint32_t>
+defaultPdGrid()
+{
+    return {16, 24, 32, 40, 48, 56, 64, 72, 80, 88, 96, 104, 112, 128,
+            144, 160, 192, 224, 256};
+}
+
+StaticPdResult
+bestStaticPd(const std::string &benchmark, bool bypass,
+             const SimConfig &config, std::vector<uint32_t> grid)
+{
+    if (grid.empty())
+        grid = defaultPdGrid();
+
+    StaticPdResult out;
+    for (uint32_t pd : grid) {
+        auto gen = SpecSuite::make(benchmark);
+        Hierarchy hierarchy(config.hierarchy,
+                            bypass ? makeSpdpB(pd) : makeSpdpNb(pd));
+        SimResult r = runSingleCore(*gen, hierarchy, config);
+        if (out.bestPd == 0 || r.llcMisses < out.best.llcMisses) {
+            out.bestPd = pd;
+            out.best = r;
+        }
+        out.sweep.emplace_back(pd, std::move(r));
+    }
+    return out;
+}
+
+} // namespace pdp

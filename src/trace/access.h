@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The memory access record exchanged between trace generators and the
+ * cache simulators.
+ *
+ * Generators emit the post-L1 access stream (the stream entering the L2),
+ * mirroring the trace-driven methodology of the paper: CMP$im fed SPEC
+ * CPU2006 instruction windows to a 3-level hierarchy; here the L1 filter
+ * is folded into the generator and the simulated hierarchy is the L2 plus
+ * the LLC under study.
+ */
+
+#ifndef PDP_TRACE_ACCESS_H
+#define PDP_TRACE_ACCESS_H
+
+#include <cstdint>
+
+namespace pdp
+{
+
+/** A single demand access to the memory hierarchy. */
+struct Access
+{
+    /** Cache-line address (byte address >> 6). */
+    uint64_t lineAddr = 0;
+    /** Synthetic program counter of the triggering instruction. */
+    uint64_t pc = 0;
+    /** Instructions retired since the previous access of this thread. */
+    uint32_t instrGap = 0;
+    /** Issuing thread (core) id. */
+    uint8_t threadId = 0;
+    /** True for stores. */
+    bool isWrite = false;
+};
+
+} // namespace pdp
+
+#endif // PDP_TRACE_ACCESS_H

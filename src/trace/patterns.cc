@@ -1,0 +1,156 @@
+#include "trace/patterns.h"
+
+#include <cassert>
+
+namespace pdp
+{
+
+LoopPattern::LoopPattern(uint64_t lines, uint64_t stride,
+                         uint64_t drift_period)
+    : lines_(lines), stride_(stride), driftPeriod_(drift_period),
+      ringLines_(lines * 4)
+{
+    assert(lines_ > 0 && stride_ > 0);
+}
+
+uint64_t
+LoopPattern::nextLine(Rng &rng)
+{
+    (void)rng;
+    if (driftPeriod_ && ++sinceDrift_ >= driftPeriod_) {
+        sinceDrift_ = 0;
+        offset_ = (offset_ + 1) % ringLines_;
+    }
+    const uint64_t line =
+        regionBase_ + (offset_ + (pos_ * stride_) % lines_) % ringLines_;
+    ++pos_;
+    if (pos_ == lines_)
+        pos_ = 0;
+    return line;
+}
+
+void
+LoopPattern::reset()
+{
+    pos_ = 0;
+    offset_ = 0;
+    sinceDrift_ = 0;
+}
+
+ScanPattern::ScanPattern(uint64_t wrapLines) : wrapLines_(wrapLines)
+{
+    assert(wrapLines_ > 0);
+}
+
+uint64_t
+ScanPattern::nextLine(Rng &rng)
+{
+    (void)rng;
+    const uint64_t line = regionBase_ + pos_;
+    pos_ = (pos_ + 1) % wrapLines_;
+    return line;
+}
+
+void
+ScanPattern::reset()
+{
+    pos_ = 0;
+}
+
+ChasePattern::ChasePattern(uint64_t lines) : lines_(lines)
+{
+    assert(lines_ > 0);
+}
+
+uint64_t
+ChasePattern::nextLine(Rng &rng)
+{
+    return regionBase_ + rng.below(lines_);
+}
+
+void
+ChasePattern::reset()
+{
+}
+
+HotColdPattern::HotColdPattern(std::vector<Level> levels,
+                               uint64_t drift_period)
+    : levels_(std::move(levels)), driftPeriod_(drift_period),
+      ringLines_(0)
+{
+    assert(!levels_.empty());
+    for (size_t k = 1; k < levels_.size(); ++k)
+        assert(levels_[k].lines > levels_[k - 1].lines &&
+               "hot-cold levels are nested and must grow");
+    // Normalize probabilities to a proper distribution.
+    double total = 0.0;
+    for (const auto &level : levels_)
+        total += level.prob;
+    assert(total > 0.0);
+    for (auto &level : levels_)
+        level.prob /= total;
+    ringLines_ = levels_.back().lines * 4;
+}
+
+uint64_t
+HotColdPattern::nextLine(Rng &rng)
+{
+    if (driftPeriod_ && ++sinceDrift_ >= driftPeriod_) {
+        sinceDrift_ = 0;
+        offset_ = (offset_ + 1) % ringLines_;
+    }
+    double u = rng.uniform();
+    uint64_t lines = levels_.back().lines;
+    for (const auto &level : levels_) {
+        if (u < level.prob) {
+            lines = level.lines;
+            break;
+        }
+        u -= level.prob;
+    }
+    return regionBase_ + (offset_ + rng.below(lines)) % ringLines_;
+}
+
+void
+HotColdPattern::reset()
+{
+    offset_ = 0;
+    sinceDrift_ = 0;
+}
+
+MixturePattern::MixturePattern(std::vector<MixtureComponent> components)
+    : components_(std::move(components))
+{
+    assert(!components_.empty());
+    double total = 0.0;
+    for (const auto &component : components_)
+        total += component.weight;
+    assert(total > 0.0);
+    double acc = 0.0;
+    for (const auto &component : components_) {
+        acc += component.weight / total;
+        cumulative_.push_back(acc);
+    }
+    cumulative_.back() = 1.0;
+}
+
+uint64_t
+MixturePattern::nextLine(Rng &rng)
+{
+    const double u = rng.uniform();
+    size_t idx = 0;
+    while (idx + 1 < cumulative_.size() && u >= cumulative_[idx])
+        ++idx;
+    last_ = idx;
+    return components_[idx].pattern->nextLine(rng);
+}
+
+void
+MixturePattern::reset()
+{
+    for (auto &component : components_)
+        component.pattern->reset();
+    last_ = 0;
+}
+
+} // namespace pdp

@@ -1,0 +1,574 @@
+#include "trace/spec_suite.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <stdexcept>
+
+#include "trace/synthetic_generator.h"
+#include "util/rng.h"
+
+namespace pdp
+{
+
+namespace
+{
+
+/** Working-set size (lines) that yields an LLC set-level RDD peak at
+ *  `peak_rd` when the pattern holds `weight` of the access mixture. */
+uint64_t
+peakLines(double peak_rd, double weight)
+{
+    const double lines = peak_rd * static_cast<double>(kLlcRefSets) * weight;
+    return std::max<uint64_t>(16, static_cast<uint64_t>(lines));
+}
+
+/** One mixture component plus the size of its synthetic-PC pool. */
+struct CompSpec
+{
+    double weight;
+    PatternPtr pattern;
+    unsigned numPcs;
+};
+
+/**
+ * Assemble a bound mixture.  Each component gets a disjoint address
+ * region.  With shared_pcs the components draw from one common PC pool,
+ * which destroys the PC->liveness correlation that PC-based dead-block
+ * predictors rely on (reproducing the benchmarks where SDP loses).
+ */
+std::unique_ptr<MixturePattern>
+mixOf(uint64_t name_hash, unsigned phase, bool shared_pcs,
+      std::vector<CompSpec> comps)
+{
+    std::vector<MixtureComponent> bound;
+    for (size_t k = 0; k < comps.size(); ++k) {
+        const uint64_t region =
+            (static_cast<uint64_t>(phase * 16 + k + 1) << 44);
+        const uint64_t pc_base = shared_pcs
+            ? (name_hash & 0xffffffff000ULL)
+            : ((name_hash & 0xffffffff000ULL) ^
+               (static_cast<uint64_t>(phase * 16 + k + 1) << 14));
+        const unsigned pcs = shared_pcs ? 16 : comps[k].numPcs;
+        comps[k].pattern->bind(region, pc_base | 0x400000ULL, pcs);
+        bound.push_back({comps[k].weight, std::move(comps[k].pattern)});
+    }
+    return std::make_unique<MixturePattern>(std::move(bound));
+}
+
+/**
+ * A drifting loop: the window slides one line per ~500 global accesses
+ * (scaled by the component weight so the rate is uniform across recipes),
+ * modelling slow working-set turnover.  Pass drift_global = 0 for a
+ * perfectly stationary loop.
+ */
+PatternPtr
+loop(double peak_rd, double weight, uint64_t drift_global = 500)
+{
+    const uint64_t period = drift_global == 0
+        ? 0
+        : std::max<uint64_t>(1,
+              static_cast<uint64_t>(drift_global * weight));
+    return std::make_unique<LoopPattern>(peakLines(peak_rd, weight), 1,
+                                         period);
+}
+
+PatternPtr
+scan()
+{
+    return std::make_unique<ScanPattern>();
+}
+
+PatternPtr
+chase(uint64_t lines)
+{
+    return std::make_unique<ChasePattern>(lines);
+}
+
+PatternPtr
+hotcold(std::vector<HotColdPattern::Level> levels, uint64_t drift_period = 0)
+{
+    return std::make_unique<HotColdPattern>(std::move(levels), drift_period);
+}
+
+/** Full recipe of one synthetic benchmark. */
+struct Recipe
+{
+    std::string description;
+    uint32_t meanGap;       //!< mean instructions between L2 accesses
+    double writeFrac;
+    bool sharedPcs;
+    /** Builds the phase list; phase durations cycle. */
+    std::function<std::vector<PhaseSpec>(uint64_t name_hash)> build;
+};
+
+std::vector<PhaseSpec>
+onePhase(std::unique_ptr<MixturePattern> mixture)
+{
+    std::vector<PhaseSpec> phases;
+    phases.push_back({~0ull, std::move(mixture)});
+    return phases;
+}
+
+/** The static recipe table, in suite order. */
+const std::vector<std::pair<std::string, Recipe>> &
+recipes()
+{
+    static const auto table = [] {
+        std::vector<std::pair<std::string, Recipe>> t;
+
+        t.emplace_back("403.gcc", Recipe{
+            "multi-peak RDD (peaks ~32 and ~100) with scan pollution; "
+            "DRRIP prefers a larger epsilon; moderate PDP gain",
+            35, 0.30, false,
+            [](uint64_t h) {
+                return onePhase(mixOf(h, 0, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.40, loop(32, 0.40), 8});
+                    c.push_back({0.25, loop(100, 0.25), 8});
+                    c.push_back({0.20, scan(), 6});
+                    c.push_back({0.15, hotcold({{2048, 0.6}, {16384, 0.4}}), 6});
+                    return c;
+                }()));
+            }});
+
+        t.emplace_back("429.mcf", Recipe{
+            "giant random working set (thrash, most lines dead on "
+            "arrival); best served by PD=1-style insertion",
+            12, 0.25, false,
+            [](uint64_t h) {
+                return onePhase(mixOf(h, 0, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.70, chase(1u << 20), 8});
+                    c.push_back({0.20, hotcold({{4096, 0.7}, {32768, 0.3}}), 6});
+                    c.push_back({0.10, scan(), 4});
+                    return c;
+                }()));
+            }});
+
+        t.emplace_back("433.milc", Recipe{
+            "streaming with a faint far peak (~200); little any policy "
+            "can do",
+            40, 0.30, false,
+            [](uint64_t h) {
+                return onePhase(mixOf(h, 0, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.85, scan(), 6});
+                    c.push_back({0.15, loop(200, 0.15), 6});
+                    return c;
+                }()));
+            }});
+
+        t.emplace_back("434.zeusmp", Recipe{
+            "moderate peak (~48) plus random medium working set",
+            45, 0.30, false,
+            [](uint64_t h) {
+                return onePhase(mixOf(h, 0, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.50, loop(48, 0.50), 8});
+                    c.push_back({0.30, chase(98304), 8});
+                    c.push_back({0.20, scan(), 4});
+                    return c;
+                }()));
+            }});
+
+        t.emplace_back("436.cactusADM", Recipe{
+            "single strong RDD peak near 72 (paper: best PD 72-76); "
+            "flagship PDP win over DIP/DRRIP",
+            30, 0.30, false,
+            [](uint64_t h) {
+                return onePhase(mixOf(h, 0, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.75, loop(72, 0.75), 8});
+                    c.push_back({0.15, scan(), 4});
+                    c.push_back({0.10, hotcold({{2048, 0.7}, {8192, 0.3}}), 4});
+                    return c;
+                }()));
+            }});
+
+        t.emplace_back("437.leslie3d", Recipe{
+            "PC-predictable streaming over an in-capacity working set "
+            "whose cold fraction reuses beyond any protecting distance; "
+            "SDP's home turf",
+            35, 0.30, false,
+            [](uint64_t h) {
+                return onePhase(mixOf(h, 0, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.52, scan(), 2});
+                    c.push_back({0.48, hotcold({{6144, 0.90},
+                                                {28672, 0.10}}, 120), 8});
+                    return c;
+                }()));
+            }});
+
+        t.emplace_back("450.soplex", Recipe{
+            "two RDD peaks (24 and 120) with fast working-set turnover; "
+            "big PDP and dynamic-epsilon DRRIP gains",
+            25, 0.30, false,
+            [](uint64_t h) {
+                return onePhase(mixOf(h, 0, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.30, loop(24, 0.30, 250), 8});
+                    c.push_back({0.30, loop(120, 0.30), 8});
+                    c.push_back({0.25, scan(), 6});
+                    c.push_back({0.15, hotcold({{2048, 0.6}, {12288, 0.4}}), 6});
+                    return c;
+                }()));
+            }});
+
+        t.emplace_back("456.hmmer", Recipe{
+            "near-associativity peak (26) plus a far peak (200), fast "
+            "turnover; sensitive to counter-step rounding in the PD "
+            "computation",
+            50, 0.35, false,
+            [](uint64_t h) {
+                return onePhase(mixOf(h, 0, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.55, loop(26, 0.55, 250), 8});
+                    c.push_back({0.25, loop(200, 0.25), 8});
+                    c.push_back({0.20, scan(), 6});
+                    return c;
+                }()));
+            }});
+
+        t.emplace_back("459.GemsFDTD", Recipe{
+            "heavy streaming with dedicated PCs over an in-capacity "
+            "working set with a beyond-d_max cold tail; SDP bypasses the "
+            "dead blocks that distance-only policies cannot classify",
+            30, 0.30, false,
+            [](uint64_t h) {
+                return onePhase(mixOf(h, 0, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.62, scan(), 2});
+                    c.push_back({0.38, hotcold({{4096, 0.92},
+                                                {26624, 0.08}}, 150), 8});
+                    return c;
+                }()));
+            }});
+
+        t.emplace_back("462.libquantum", Recipe{
+            "single peak at ~250 = d_max; needs the full n_c = 8 bits of "
+            "protection (PDP-2/PDP-3 cannot protect far enough)",
+            28, 0.20, false,
+            [](uint64_t h) {
+                return onePhase(mixOf(h, 0, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.90, loop(250, 0.90), 4});
+                    c.push_back({0.10, scan(), 4});
+                    return c;
+                }()));
+            }});
+
+        t.emplace_back("464.h264ref", Recipe{
+            "small hot loop (peak ~20) drowned in scans; huge bypass "
+            "benefit (paper: 89% of misses bypassed), DRRIP loses to DIP",
+            45, 0.30, true,
+            [](uint64_t h) {
+                return onePhase(mixOf(h, 0, true, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.30, loop(20, 0.30), 8});
+                    c.push_back({0.55, scan(), 8});
+                    c.push_back({0.15, chase(1u << 18), 8});
+                    return c;
+                }()));
+            }});
+
+        t.emplace_back("470.lbm", Recipe{
+            "pure streaming; high store fraction",
+            25, 0.45, false,
+            [](uint64_t h) {
+                return onePhase(mixOf(h, 0, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.90, scan(), 4});
+                    c.push_back({0.10, hotcold({{2048, 0.8}, {8192, 0.2}}), 4});
+                    return c;
+                }()));
+            }});
+
+        t.emplace_back("471.omnetpp", Recipe{
+            "random medium working set plus a far peak (~90)",
+            30, 0.30, false,
+            [](uint64_t h) {
+                return onePhase(mixOf(h, 0, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.50, chase(204800), 8});
+                    c.push_back({0.30, loop(90, 0.30), 8});
+                    c.push_back({0.20, scan(), 6});
+                    return c;
+                }()));
+            }});
+
+        t.emplace_back("473.astar", Recipe{
+            "LRU-friendly: nested hot sets that mostly fit in the LLC; "
+            "all policies perform alike",
+            40, 0.30, false,
+            [](uint64_t h) {
+                return onePhase(mixOf(h, 0, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.80, hotcold({{2048, 0.5},
+                                                {12288, 0.3},
+                                                {28672, 0.2}}), 8});
+                    c.push_back({0.20, chase(30720), 8});
+                    return c;
+                }()));
+            }});
+
+        t.emplace_back("482.sphinx3", Recipe{
+            "strong peak near 100; >10% PDP improvement over DIP",
+            30, 0.20, false,
+            [](uint64_t h) {
+                return onePhase(mixOf(h, 0, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.65, loop(100, 0.65), 8});
+                    c.push_back({0.20, scan(), 6});
+                    c.push_back({0.15, hotcold({{2048, 0.6}, {10240, 0.4}}), 6});
+                    return c;
+                }()));
+            }});
+
+        t.emplace_back("483.xalancbmk.1", Recipe{
+            "window 1: peak ~100 (paper best PD 100)",
+            30, 0.30, true,
+            [](uint64_t h) {
+                return onePhase(mixOf(h, 0, true, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.60, loop(100, 0.60), 8});
+                    c.push_back({0.20, chase(1u << 17), 8});
+                    c.push_back({0.20, scan(), 8});
+                    return c;
+                }()));
+            }});
+
+        t.emplace_back("483.xalancbmk.2", Recipe{
+            "window 2: peak ~88 (paper best PD 88; largest improvement)",
+            30, 0.30, true,
+            [](uint64_t h) {
+                return onePhase(mixOf(h, 0, true, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.70, loop(88, 0.70), 8});
+                    c.push_back({0.30, scan(), 8});
+                    return c;
+                }()));
+            }});
+
+        t.emplace_back("483.xalancbmk.3", Recipe{
+            "window 3: peaks ~124 and ~40 (paper best PD 124); "
+            "epsilon-sensitive for DRRIP",
+            30, 0.30, true,
+            [](uint64_t h) {
+                return onePhase(mixOf(h, 0, true, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.55, loop(124, 0.55), 8});
+                    c.push_back({0.20, loop(40, 0.20, 250), 8});
+                    c.push_back({0.25, scan(), 8});
+                    return c;
+                }()));
+            }});
+
+        // ---- Fig. 11 long-window phase-change variants ----
+
+        auto two_phase = [](std::unique_ptr<MixturePattern> a,
+                            std::unique_ptr<MixturePattern> b,
+                            uint64_t dur_a, uint64_t dur_b) {
+            std::vector<PhaseSpec> phases;
+            phases.push_back({dur_a, std::move(a)});
+            phases.push_back({dur_b, std::move(b)});
+            return phases;
+        };
+
+        t.emplace_back("403.gcc.phased", Recipe{
+            "alternates between a peak-32 regime and a peak-96 regime",
+            35, 0.30, false,
+            [two_phase](uint64_t h) {
+                auto a = mixOf(h, 0, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.60, loop(32, 0.60), 8});
+                    c.push_back({0.25, scan(), 6});
+                    c.push_back({0.15, hotcold({{2048, 0.6}, {16384, 0.4}}), 6});
+                    return c;
+                }());
+                auto b = mixOf(h, 1, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.55, loop(96, 0.55), 8});
+                    c.push_back({0.30, scan(), 6});
+                    c.push_back({0.15, hotcold({{2048, 0.6}, {16384, 0.4}}), 6});
+                    return c;
+                }());
+                return two_phase(std::move(a), std::move(b), 2200000, 1800000);
+            }});
+
+        t.emplace_back("450.soplex.phased", Recipe{
+            "alternates between its two peaks (24-heavy vs 120-heavy)",
+            25, 0.30, false,
+            [two_phase](uint64_t h) {
+                auto a = mixOf(h, 0, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.60, loop(24, 0.60), 8});
+                    c.push_back({0.25, scan(), 6});
+                    c.push_back({0.15, hotcold({{2048, 0.6}, {12288, 0.4}}), 6});
+                    return c;
+                }());
+                auto b = mixOf(h, 1, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.60, loop(120, 0.60), 8});
+                    c.push_back({0.25, scan(), 6});
+                    c.push_back({0.15, hotcold({{2048, 0.6}, {12288, 0.4}}), 6});
+                    return c;
+                }());
+                return two_phase(std::move(a), std::move(b), 1600000, 2400000);
+            }});
+
+        t.emplace_back("483.xalancbmk.phased", Recipe{
+            "cycles through the three window profiles (peaks 100/88/124)",
+            30, 0.30, false,
+            [](uint64_t h) {
+                std::vector<PhaseSpec> phases;
+                phases.push_back({2000000, mixOf(h, 0, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.60, loop(100, 0.60), 8});
+                    c.push_back({0.40, scan(), 8});
+                    return c;
+                }())});
+                phases.push_back({2000000, mixOf(h, 1, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.70, loop(88, 0.70), 8});
+                    c.push_back({0.30, scan(), 8});
+                    return c;
+                }())});
+                phases.push_back({2000000, mixOf(h, 2, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.55, loop(124, 0.55), 8});
+                    c.push_back({0.45, scan(), 8});
+                    return c;
+                }())});
+                return phases;
+            }});
+
+        t.emplace_back("429.mcf.phased", Recipe{
+            "alternates between thrash (giant chase) and a protectable "
+            "peak-48 regime",
+            12, 0.25, false,
+            [two_phase](uint64_t h) {
+                auto a = mixOf(h, 0, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.80, chase(1u << 20), 8});
+                    c.push_back({0.20, hotcold({{4096, 0.7}, {32768, 0.3}}), 6});
+                    return c;
+                }());
+                auto b = mixOf(h, 1, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.70, loop(48, 0.70), 8});
+                    c.push_back({0.30, scan(), 6});
+                    return c;
+                }());
+                return two_phase(std::move(a), std::move(b), 1500000, 2500000);
+            }});
+
+        t.emplace_back("482.sphinx3.phased", Recipe{
+            "alternates between peak-100 and peak-60-with-more-scan "
+            "regimes",
+            30, 0.20, false,
+            [two_phase](uint64_t h) {
+                auto a = mixOf(h, 0, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.65, loop(100, 0.65), 8});
+                    c.push_back({0.35, scan(), 6});
+                    return c;
+                }());
+                auto b = mixOf(h, 1, false, [] {
+                    std::vector<CompSpec> c;
+                    c.push_back({0.50, loop(60, 0.50), 8});
+                    c.push_back({0.50, scan(), 6});
+                    return c;
+                }());
+                return two_phase(std::move(a), std::move(b), 2000000, 2000000);
+            }});
+
+        return t;
+    }();
+    return table;
+}
+
+uint64_t
+nameHash(const std::string &name)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char ch : name)
+        h = (h ^ static_cast<unsigned char>(ch)) * 0x100000001b3ULL;
+    return hashMix64(h);
+}
+
+} // namespace
+
+const std::vector<BenchmarkInfo> &
+SpecSuite::all()
+{
+    static const std::vector<BenchmarkInfo> info = [] {
+        std::vector<BenchmarkInfo> v;
+        for (const auto &[name, recipe] : recipes())
+            v.push_back({name, recipe.description});
+        return v;
+    }();
+    return info;
+}
+
+bool
+SpecSuite::contains(const std::string &name)
+{
+    for (const auto &[bench, recipe] : recipes())
+        if (bench == name)
+            return true;
+    return false;
+}
+
+GeneratorPtr
+SpecSuite::make(const std::string &name, uint64_t seed, uint8_t thread_id,
+                uint64_t instance)
+{
+    for (const auto &[bench, recipe] : recipes()) {
+        if (bench != name)
+            continue;
+        const uint64_t h = nameHash(name);
+        auto generator = std::make_unique<SyntheticGenerator>(
+            name, seed ^ hashMix64(h + 0x1234), recipe.build(h),
+            recipe.meanGap, recipe.writeFrac);
+        generator->setThreadId(thread_id);
+        generator->setAddressOffset(instance);
+        return generator;
+    }
+    throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+std::vector<std::string>
+SpecSuite::singleCoreNames()
+{
+    return {
+        "403.gcc", "429.mcf", "433.milc", "434.zeusmp", "436.cactusADM",
+        "437.leslie3d", "450.soplex", "456.hmmer", "459.GemsFDTD",
+        "462.libquantum", "464.h264ref", "470.lbm", "471.omnetpp",
+        "473.astar", "482.sphinx3",
+        "483.xalancbmk.1", "483.xalancbmk.2", "483.xalancbmk.3",
+    };
+}
+
+std::vector<std::string>
+SpecSuite::multiCoreNames()
+{
+    return {
+        "403.gcc", "429.mcf", "433.milc", "434.zeusmp", "436.cactusADM",
+        "437.leslie3d", "450.soplex", "456.hmmer", "459.GemsFDTD",
+        "462.libquantum", "464.h264ref", "470.lbm", "471.omnetpp",
+        "473.astar", "482.sphinx3", "483.xalancbmk.3",
+    };
+}
+
+std::vector<std::string>
+SpecSuite::phasedNames()
+{
+    return {
+        "403.gcc.phased", "450.soplex.phased", "483.xalancbmk.phased",
+        "429.mcf.phased", "482.sphinx3.phased",
+    };
+}
+
+} // namespace pdp

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The synthetic SPEC CPU2006-like benchmark suite.
+ *
+ * The paper evaluates 16 SPEC CPU2006 benchmarks (plus three execution
+ * windows of 483.xalancbmk) whose common trait is LLC pressure (MPKI >= 1
+ * under DIP).  Real traces are unavailable here, so each benchmark is
+ * replaced by a synthetic generator whose LLC reuse-distance distribution
+ * (RDD) reproduces the fingerprint the paper reports for it: peak
+ * positions (Fig. 1, Fig. 5b, Appendix A), streaming/thrash/LRU-friendly
+ * class, phase behaviour (Sec. 6.4), and PC-predictability of dead blocks
+ * (the benchmarks where SDP wins).
+ *
+ * Naming: "<spec-name>" for steady-state windows, "<name>.N" for the
+ * xalancbmk windows, and "<name>.phased" for the five long-window phase-
+ * change studies of Fig. 11.
+ */
+
+#ifndef PDP_TRACE_SPEC_SUITE_H
+#define PDP_TRACE_SPEC_SUITE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/generator.h"
+
+namespace pdp
+{
+
+/** Reference LLC set count the RDD fingerprints are calibrated against
+ *  (2 MB, 16-way, 64 B lines => 2048 sets). */
+constexpr uint64_t kLlcRefSets = 2048;
+
+/** Descriptor of one synthetic benchmark. */
+struct BenchmarkInfo
+{
+    std::string name;
+    /** RDD class and the paper behaviour this benchmark reproduces. */
+    std::string description;
+};
+
+/** Registry of the synthetic suite. */
+class SpecSuite
+{
+  public:
+    /** All benchmarks, including xalancbmk windows and phased variants. */
+    static const std::vector<BenchmarkInfo> &all();
+
+    /** True if `name` is a known benchmark. */
+    static bool contains(const std::string &name);
+
+    /**
+     * Instantiate a benchmark.
+     *
+     * @param name benchmark name from all()
+     * @param seed RNG seed (vary to get a different but statistically
+     *             identical instance)
+     * @param thread_id thread id stamped on accesses
+     * @param instance address-space instance (for duplicates in one
+     *                 workload)
+     */
+    static GeneratorPtr make(const std::string &name, uint64_t seed = 1,
+                             uint8_t thread_id = 0, uint64_t instance = 0);
+
+    /** The 17 names used for single-core figures (16 benchmarks with
+     *  xalancbmk represented by window 3, plus windows 1 and 2 reported
+     *  but excluded from averages, as in the paper). */
+    static std::vector<std::string> singleCoreNames();
+
+    /** The 16 names eligible for multiprogrammed workload generation. */
+    static std::vector<std::string> multiCoreNames();
+
+    /** The five long-window phase-change benchmarks of Fig. 11. */
+    static std::vector<std::string> phasedNames();
+};
+
+} // namespace pdp
+
+#endif // PDP_TRACE_SPEC_SUITE_H

@@ -1,0 +1,50 @@
+#include "trace/synthetic_generator.h"
+
+#include <cassert>
+
+namespace pdp
+{
+
+SyntheticGenerator::SyntheticGenerator(std::string name, uint64_t seed,
+                                       std::vector<PhaseSpec> phases,
+                                       uint32_t mean_gap, double write_frac)
+    : name_(std::move(name)), seed_(seed), phases_(std::move(phases)),
+      meanGap_(mean_gap), writeFrac_(write_frac), rng_(seed)
+{
+    assert(!phases_.empty());
+    assert(meanGap_ >= 1);
+}
+
+Access
+SyntheticGenerator::next()
+{
+    // Advance the cyclic phase schedule.
+    if (phasePos_ >= phases_[phaseIdx_].durationAccesses) {
+        phasePos_ = 0;
+        phaseIdx_ = (phaseIdx_ + 1) % phases_.size();
+    }
+    ++phasePos_;
+
+    MixturePattern &mixture = *phases_[phaseIdx_].mixture;
+
+    Access access;
+    access.lineAddr = mixture.nextLine(rng_) + addrOffset_;
+    access.pc = mixture.lastComponent().nextPc(rng_);
+    access.instrGap = 1 + static_cast<uint32_t>(
+        rng_.below(meanGap_ > 1 ? 2 * meanGap_ - 1 : 1));
+    access.threadId = threadId_;
+    access.isWrite = rng_.chance(writeFrac_);
+    return access;
+}
+
+void
+SyntheticGenerator::reset()
+{
+    rng_.reseed(seed_);
+    phaseIdx_ = 0;
+    phasePos_ = 0;
+    for (auto &phase : phases_)
+        phase.mixture->reset();
+}
+
+} // namespace pdp

@@ -1,0 +1,52 @@
+#include "trace/workload.h"
+
+#include "trace/spec_suite.h"
+#include "util/rng.h"
+
+namespace pdp
+{
+
+std::string
+WorkloadSpec::label() const
+{
+    std::string out;
+    for (const std::string &bench : benchmarks) {
+        if (!out.empty())
+            out += "+";
+        // Strip the numeric SPEC prefix for compactness.
+        const auto dot = bench.find('.');
+        out += dot == std::string::npos ? bench : bench.substr(dot + 1, 6);
+    }
+    return out;
+}
+
+std::vector<WorkloadSpec>
+randomWorkloads(unsigned count, unsigned cores, uint64_t seed)
+{
+    const auto names = SpecSuite::multiCoreNames();
+    Rng rng(seed ^ (static_cast<uint64_t>(cores) << 32));
+    std::vector<WorkloadSpec> workloads;
+    for (unsigned w = 0; w < count; ++w) {
+        WorkloadSpec spec;
+        for (unsigned c = 0; c < cores; ++c)
+            spec.benchmarks.push_back(names[rng.below(names.size())]);
+        workloads.push_back(std::move(spec));
+    }
+    return workloads;
+}
+
+std::vector<GeneratorPtr>
+instantiate(const WorkloadSpec &spec)
+{
+    std::vector<GeneratorPtr> generators;
+    for (size_t core = 0; core < spec.benchmarks.size(); ++core) {
+        generators.push_back(SpecSuite::make(
+            spec.benchmarks[core],
+            /*seed=*/0x1234 + core * 7919,
+            /*thread_id=*/static_cast<uint8_t>(core),
+            /*instance=*/core + 1));
+    }
+    return generators;
+}
+
+} // namespace pdp

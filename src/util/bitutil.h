@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the simulator.
+ */
+
+#ifndef PDP_UTIL_BITUTIL_H
+#define PDP_UTIL_BITUTIL_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace pdp
+{
+
+/** True if x is a power of two (and nonzero). */
+constexpr bool
+isPow2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Floor of log2(x); x must be nonzero. */
+constexpr unsigned
+floorLog2(uint64_t x)
+{
+    unsigned r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+/** Ceiling of log2(x); x must be nonzero. */
+constexpr unsigned
+ceilLog2(uint64_t x)
+{
+    return isPow2(x) ? floorLog2(x) : floorLog2(x) + 1;
+}
+
+/** Ceiling division for unsigned integers. */
+constexpr uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Fold a 64-bit value down to `bits` bits by xor-folding. */
+inline uint32_t
+foldXor(uint64_t v, unsigned bits)
+{
+    assert(bits >= 1 && bits <= 32);
+    uint64_t folded = v;
+    for (unsigned shift = 64; shift > bits; shift = (shift + 1) / 2)
+        folded = (folded ^ (folded >> ((shift + 1) / 2)));
+    return static_cast<uint32_t>(folded & ((1ull << bits) - 1));
+}
+
+} // namespace pdp
+
+#endif // PDP_UTIL_BITUTIL_H

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * All randomness in the repository flows through Rng so that every
+ * experiment is reproducible bit-for-bit: a generator is always seeded
+ * explicitly (typically from a benchmark name and thread id) and never
+ * from wall-clock time.  The core is xoshiro256**, seeded via splitmix64.
+ */
+
+#ifndef PDP_UTIL_RNG_H
+#define PDP_UTIL_RNG_H
+
+#include <cstdint>
+
+namespace pdp
+{
+
+/** splitmix64 step; used for seeding and for cheap stateless hashing. */
+inline uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Stateless 64-bit mix of a single value (useful for hashing PCs etc.). */
+inline uint64_t
+hashMix64(uint64_t x)
+{
+    uint64_t s = x;
+    return splitmix64(s);
+}
+
+/**
+ * xoshiro256** generator.
+ *
+ * Small, fast, and of far higher quality than the simulation needs.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded through splitmix64). */
+    explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) { reseed(seed); }
+
+    /** Re-seed in place. */
+    void
+    reseed(uint64_t seed)
+    {
+        uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit output. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Multiply-shift range reduction (Lemire); bias is negligible
+        // for simulation purposes.
+        return static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Geometric-ish integer with the given mean (>= 1). */
+    uint64_t
+    geometric(double mean)
+    {
+        if (mean <= 1.0)
+            return 1;
+        // Inverse-CDF sampling of a geometric distribution with the
+        // requested mean; clamped to at least 1.
+        const double p = 1.0 / mean;
+        double u = uniform();
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        double v = 1.0;
+        // log(1-u)/log(1-p), computed without <cmath> surprises
+        v = __builtin_log(1.0 - u) / __builtin_log(1.0 - p);
+        uint64_t k = static_cast<uint64_t>(v) + 1;
+        return k == 0 ? 1 : k;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace pdp
+
+#endif // PDP_UTIL_RNG_H

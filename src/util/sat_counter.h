@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Saturating counters, the basic building block of adaptive hardware.
+ *
+ * Used for PSEL set-dueling counters, RRPV values, dead-block predictor
+ * tables and the PDP reuse-distance counter array.
+ */
+
+#ifndef PDP_UTIL_SAT_COUNTER_H
+#define PDP_UTIL_SAT_COUNTER_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace pdp
+{
+
+/**
+ * An n-bit unsigned saturating counter.
+ *
+ * The counter saturates at [0, 2^bits - 1].  Width is a runtime value so
+ * the same type serves 2-bit RRPVs and 10-bit PSELs.
+ */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /** @param bits counter width in bits (1..32)
+     *  @param initial initial value (clamped to the representable range) */
+    explicit SatCounter(unsigned bits, uint32_t initial = 0)
+        : max_((bits >= 32) ? 0xffffffffu : ((1u << bits) - 1)),
+          value_(initial > max_ ? max_ : initial)
+    {
+        assert(bits >= 1 && bits <= 32);
+    }
+
+    uint32_t value() const { return value_; }
+    uint32_t max() const { return max_; }
+    bool saturated() const { return value_ == max_; }
+
+    /** Increment, saturating at the maximum. @return true if saturated
+     *  after the operation. */
+    bool
+    increment(uint32_t amount = 1)
+    {
+        value_ = (max_ - value_ < amount) ? max_ : value_ + amount;
+        return value_ == max_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement(uint32_t amount = 1)
+    {
+        value_ = (value_ < amount) ? 0 : value_ - amount;
+    }
+
+    void set(uint32_t v) { value_ = v > max_ ? max_ : v; }
+    void reset() { value_ = 0; }
+
+    /** True if the counter is in its upper half (MSB set). A 10-bit PSEL
+     *  "prefers policy B" exactly when this holds. */
+    bool msbSet() const { return value_ > max_ / 2; }
+
+  private:
+    uint32_t max_ = 1;
+    uint32_t value_ = 0;
+};
+
+} // namespace pdp
+
+#endif // PDP_UTIL_SAT_COUNTER_H

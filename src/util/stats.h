@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the simulators and the
+ * benchmark harnesses.
+ */
+
+#ifndef PDP_UTIL_STATS_H
+#define PDP_UTIL_STATS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace pdp
+{
+
+/** Streaming accumulator for mean / min / max of a scalar series. */
+class Accumulator
+{
+  public:
+    void
+    add(double v)
+    {
+        sum_ += v;
+        count_ += 1;
+        min_ = count_ == 1 ? v : std::min(min_, v);
+        max_ = count_ == 1 ? v : std::max(max_, v);
+    }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double minimum() const { return min_; }
+    double maximum() const { return max_; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+        min_ = max_ = 0.0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    uint64_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-range histogram of integer observations.
+ *
+ * Observations above the range are accumulated in an overflow bucket,
+ * mirroring how the paper treats reuse distances above d_max.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(size_t buckets = 0) : buckets_(buckets, 0) {}
+
+    void resize(size_t buckets) { buckets_.assign(buckets, 0); overflow_ = 0; }
+
+    void
+    add(size_t bucket, uint64_t weight = 1)
+    {
+        if (bucket < buckets_.size())
+            buckets_[bucket] += weight;
+        else
+            overflow_ += weight;
+    }
+
+    uint64_t at(size_t bucket) const { return buckets_[bucket]; }
+    size_t size() const { return buckets_.size(); }
+    uint64_t overflow() const { return overflow_; }
+
+    uint64_t
+    total() const
+    {
+        uint64_t t = overflow_;
+        for (uint64_t b : buckets_)
+            t += b;
+        return t;
+    }
+
+    void
+    reset()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        overflow_ = 0;
+    }
+
+    const std::vector<uint64_t> &raw() const { return buckets_; }
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint64_t overflow_ = 0;
+};
+
+/** Harmonic mean of a vector of positive values (0 if empty). */
+inline double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double denom = 0.0;
+    for (double v : values)
+        denom += 1.0 / v;
+    return static_cast<double>(values.size()) / denom;
+}
+
+/** Geometric mean of a vector of positive values (0 if empty). */
+inline double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += __builtin_log(v);
+    return __builtin_exp(acc / static_cast<double>(values.size()));
+}
+
+} // namespace pdp
+
+#endif // PDP_UTIL_STATS_H

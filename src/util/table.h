@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Console table printer used by every benchmark harness to emit the
+ * rows/series of the paper's figures and tables in a uniform format.
+ */
+
+#ifndef PDP_UTIL_TABLE_H
+#define PDP_UTIL_TABLE_H
+
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pdp
+{
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Cells are strings; helpers format doubles/percentages consistently.
+ * The table renders with a header rule, suitable for diffing between
+ * runs of the same experiment.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header)
+        : header_(std::move(header))
+    {}
+
+    /** Append a row (must have the same arity as the header). */
+    void addRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+    /** Format a double with the given precision. */
+    static std::string
+    num(double v, int precision = 3)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision) << v;
+        return os.str();
+    }
+
+    /** Format a ratio as a signed percentage, e.g. +4.2%. */
+    static std::string
+    pct(double fraction, int precision = 1)
+    {
+        std::ostringstream os;
+        os << std::showpos << std::fixed << std::setprecision(precision)
+           << fraction * 100.0 << "%";
+        return os.str();
+    }
+
+    /** Format an unsigned percentage, e.g. 39.8%. */
+    static std::string
+    upct(double fraction, int precision = 1)
+    {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(precision)
+           << fraction * 100.0 << "%";
+        return os.str();
+    }
+
+    /** Render the table to a stream. */
+    void
+    print(std::ostream &os) const
+    {
+        std::vector<size_t> width(header_.size(), 0);
+        for (size_t c = 0; c < header_.size(); ++c)
+            width[c] = header_[c].size();
+        for (const auto &row : rows_)
+            for (size_t c = 0; c < row.size() && c < width.size(); ++c)
+                width[c] = std::max(width[c], row[c].size());
+
+        auto emit = [&](const std::vector<std::string> &row) {
+            for (size_t c = 0; c < width.size(); ++c) {
+                const std::string &cell = c < row.size() ? row[c] : "";
+                os << (c == 0 ? "" : "  ");
+                os << cell;
+                for (size_t pad = cell.size(); pad < width[c]; ++pad)
+                    os << ' ';
+            }
+            os << '\n';
+        };
+
+        emit(header_);
+        size_t total = 0;
+        for (size_t c = 0; c < width.size(); ++c)
+            total += width[c] + (c == 0 ? 0 : 2);
+        os << std::string(total, '-') << '\n';
+        for (const auto &row : rows_)
+            emit(row);
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pdp
+
+#endif // PDP_UTIL_TABLE_H

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the hardware models: the overhead accounting (absolute
+ * values, orderings, scaling with cores) and structural properties of
+ * the PD-compute microprogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/overhead_model.h"
+#include "hw/pdproc.h"
+
+using namespace pdp;
+
+TEST(Overhead, LlcBitsIncludeTags)
+{
+    const OverheadModel model(CacheConfig::paperLlc());
+    // 2 MB data = 16 Mbit; tags add a few percent on top.
+    EXPECT_GT(model.llcBits(), 16ull * 1024 * 1024);
+    EXPECT_LT(model.llcBits(), 20ull * 1024 * 1024);
+}
+
+TEST(Overhead, NcOrderingHolds)
+{
+    const OverheadModel model(CacheConfig::paperLlc());
+    EXPECT_LT(model.report("PDP-2").bits, model.report("PDP-3").bits);
+    EXPECT_LT(model.report("PDP-3").bits, model.report("PDP-8").bits);
+}
+
+TEST(Overhead, SrripIsTheCheapestAdaptivePolicy)
+{
+    const OverheadModel model(CacheConfig::paperLlc());
+    EXPECT_LT(model.report("SRRIP").bits, model.report("DIP").bits);
+    EXPECT_LT(model.report("DRRIP").bits, model.report("SDP").bits);
+}
+
+TEST(Overhead, PartitionedPdpScalesWithThreads)
+{
+    const OverheadModel model(CacheConfig::paperLlc(16));
+    const uint64_t four = model.report("PDP-part:4").bits;
+    const uint64_t sixteen = model.report("PDP-part:16").bits;
+    EXPECT_GT(sixteen, four);
+    // Still manageable: ~1% of the 32 MB LLC.
+    EXPECT_LT(model.report("PDP-part:16").percentOfLlc, 1.5);
+}
+
+TEST(Overhead, StandardReportsCoverTheRoster)
+{
+    const OverheadModel model(CacheConfig::paperLlc());
+    const auto reports = model.standardReports();
+    EXPECT_GE(reports.size(), 12u);
+    for (const auto &r : reports) {
+        EXPECT_GT(r.bits, 0u) << r.policy;
+        EXPECT_GT(r.percentOfLlc, 0.0) << r.policy;
+    }
+}
+
+TEST(PdProcProgram, SixteenInstructionBudget)
+{
+    // The paper's processor executes "sixteen integer instructions";
+    // the microprogram must use only opcodes from that ISA and stay
+    // compact (it fits a small PROM).
+    const auto program = buildArgmaxProgram(64, 2, 16);
+    EXPECT_LT(program.size(), 64u);
+    bool has_mult = false, has_div = false, has_branch = false;
+    for (const Instr &in : program) {
+        has_mult |= in.op == Op::Mult8;
+        has_div |= in.op == Op::Div32;
+        has_branch |= in.op == Op::Bne || in.op == Op::Bge;
+    }
+    EXPECT_TRUE(has_mult);
+    EXPECT_TRUE(has_div);
+    EXPECT_TRUE(has_branch);
+}
+
+TEST(PdProcProgram, CycleCostDominatedByDivide)
+{
+    // One div32 (33 cycles) per bucket dominates, as in the paper's
+    // "takes tens of cycles to compute E(d_p) for one d_p".
+    RdCounterArray rdd(256, 4);
+    for (uint32_t d = 1; d <= 256; ++d)
+        rdd.recordHit(d);
+    for (int i = 0; i < 1000; ++i)
+        rdd.recordAccess();
+    const PdProcResult r = pdprocBestPd(rdd);
+    const double per_bucket =
+        static_cast<double>(r.cycles) / rdd.numBuckets();
+    EXPECT_GT(per_bucket, 40.0);
+    EXPECT_LT(per_bucket, 150.0);
+}
+
+TEST(PdProcProgram, DeterministicAcrossRuns)
+{
+    RdCounterArray rdd(256, 4);
+    for (uint32_t d = 1; d <= 200; ++d)
+        rdd.recordHit(d);
+    for (int i = 0; i < 500; ++i)
+        rdd.recordAccess();
+    const PdProcResult a = pdprocBestPd(rdd);
+    const PdProcResult b = pdprocBestPd(rdd);
+    EXPECT_EQ(a.pd, b.pd);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+TEST(PdProcProgram, SingleBucketDegenerate)
+{
+    RdCounterArray rdd(16, 16); // one bucket
+    rdd.recordHit(10);
+    rdd.recordAccess();
+    rdd.recordAccess();
+    EXPECT_EQ(pdprocBestPd(rdd).pd, 16u);
+    EXPECT_EQ(pdprocReferenceBestPd(rdd), 16u);
+}

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the PD-compute special-purpose processor (Fig. 8): ISA
+ * semantics, assembler label patching, cycle accounting, and bit-exact
+ * agreement between the argmax-E microprogram and its C++ fixed-point
+ * reference, plus proximity to the floating-point model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hit_rate_model.h"
+#include "hw/pdproc.h"
+#include "util/rng.h"
+
+using namespace pdp;
+
+namespace
+{
+
+RdCounterArray
+randomRdd(uint32_t step, uint64_t seed, int hits = 3000, int accesses = 5000)
+{
+    RdCounterArray rdd(256, step);
+    Rng rng(seed);
+    const uint32_t peak1 = 20 + static_cast<uint32_t>(rng.below(60));
+    const uint32_t peak2 = 100 + static_cast<uint32_t>(rng.below(140));
+    for (int i = 0; i < hits; ++i) {
+        const double u = rng.uniform();
+        uint32_t rd;
+        if (u < 0.45)
+            rd = peak1 + static_cast<uint32_t>(rng.below(7));
+        else if (u < 0.75)
+            rd = peak2 + static_cast<uint32_t>(rng.below(11));
+        else
+            rd = 1 + static_cast<uint32_t>(rng.below(255));
+        rdd.recordHit(std::min(rd, 256u));
+    }
+    for (int i = 0; i < accesses; ++i)
+        rdd.recordAccess();
+    return rdd;
+}
+
+} // namespace
+
+TEST(PdProcessor, BasicAluProgram)
+{
+    ProgramBuilder b;
+    b.movi(8, 40);
+    b.movi(9, 2);
+    b.add(10, 8, 9);   // 42
+    b.mult8(11, 10, 9); // 84
+    b.div32(12, 11, 9); // 42
+    b.halt();
+    RdCounterArray rdd(16, 1);
+    PdProcessor proc(rdd);
+    const PdProcResult result = proc.run(b.finish());
+    EXPECT_EQ(result.pd, 42u);
+    EXPECT_EQ(result.instructions, 6u);
+}
+
+TEST(PdProcessor, EightBitRegistersMask)
+{
+    ProgramBuilder b;
+    b.movi(0, 300); // r0 is 8-bit: 300 & 0xff = 44
+    b.mov(12, 0);
+    b.halt();
+    RdCounterArray rdd(16, 1);
+    PdProcessor proc(rdd);
+    EXPECT_EQ(proc.run(b.finish()).pd, 44u);
+}
+
+TEST(PdProcessor, BranchAndLabelPatching)
+{
+    // Count down from 5: tests backward branches and flush cycles.
+    ProgramBuilder b;
+    const int loop = b.label();
+    b.movi(8, 5);
+    b.movi(9, 0);
+    b.movi(12, 0);
+    b.bind(loop);
+    b.addi(12, 12, 1);
+    b.addi(8, 8, -1);
+    b.bne(8, 9, loop);
+    b.halt();
+    RdCounterArray rdd(16, 1);
+    PdProcessor proc(rdd);
+    const PdProcResult result = proc.run(b.finish());
+    EXPECT_EQ(result.pd, 5u);
+    // 4 taken branches x 3 flush cycles on top of 1 cycle each.
+    EXPECT_EQ(result.cycles, 3u + 3 * 5 + 4 * 3 + 1);
+}
+
+TEST(PdProcessor, LdcReadsCountersAndTotal)
+{
+    RdCounterArray rdd(16, 1);
+    rdd.recordHit(3);
+    rdd.recordHit(3);
+    rdd.recordAccess();
+    rdd.recordAccess();
+    rdd.recordAccess();
+    ProgramBuilder b;
+    b.movi(0, 2);  // bucket index of RD 3 (0-based: (3-1)/1 = 2)
+    b.ldc(8, 0);
+    b.movi(9, 16); // index K = N_t
+    b.ldc(10, 9);
+    b.add(12, 8, 10);
+    b.halt();
+    PdProcessor proc(rdd);
+    EXPECT_EQ(proc.run(b.finish()).pd, 2u + 3u);
+}
+
+TEST(PdProcessor, DivByZeroYieldsZero)
+{
+    ProgramBuilder b;
+    b.movi(8, 100);
+    b.movi(9, 0);
+    b.div32(12, 8, 9);
+    b.halt();
+    RdCounterArray rdd(16, 1);
+    PdProcessor proc(rdd);
+    EXPECT_EQ(proc.run(b.finish()).pd, 0u);
+}
+
+TEST(PdProcessor, NonHaltingProgramThrows)
+{
+    ProgramBuilder b;
+    const int loop = b.label();
+    b.bind(loop);
+    b.movi(8, 1);
+    b.bge(8, 8, loop);
+    RdCounterArray rdd(16, 1);
+    PdProcessor proc(rdd);
+    EXPECT_THROW(proc.run(b.finish(), 1000), std::runtime_error);
+}
+
+TEST(PdProc, MicroprogramMatchesReferenceExactly)
+{
+    for (uint32_t step : {2u, 4u, 8u, 16u}) {
+        for (uint64_t seed = 1; seed <= 25; ++seed) {
+            const RdCounterArray rdd = randomRdd(step, seed * 31 + step);
+            const PdProcResult hw = pdprocBestPd(rdd);
+            const uint32_t ref = pdprocReferenceBestPd(rdd);
+            EXPECT_EQ(hw.pd, ref)
+                << "step=" << step << " seed=" << seed;
+        }
+    }
+}
+
+TEST(PdProc, MicroprogramMatchesReferenceAtStepOne)
+{
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        const RdCounterArray rdd = randomRdd(1, seed * 7);
+        EXPECT_EQ(pdprocBestPd(rdd).pd, pdprocReferenceBestPd(rdd))
+            << "seed=" << seed;
+    }
+}
+
+TEST(PdProc, AgreesWithFloatingPointModel)
+{
+    // The fixed-point hardware and the double-precision model should
+    // land on the same RDD region (within a few counter steps).
+    int close = 0, total = 0;
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+        const RdCounterArray rdd = randomRdd(4, seed * 131);
+        const HitRateModel model(16);
+        const uint32_t hw = pdprocBestPd(rdd).pd;
+        const uint32_t fp = model.bestPd(rdd);
+        ++total;
+        if (hw >= fp ? hw - fp <= 16 : fp - hw <= 16)
+            ++close;
+    }
+    EXPECT_GE(close, total * 8 / 10);
+}
+
+TEST(PdProc, CycleBudgetFitsTheInterval)
+{
+    const RdCounterArray rdd = randomRdd(4, 5);
+    const PdProcResult hw = pdprocBestPd(rdd);
+    // The paper: PD recomputation every 512K LLC accesses; the search
+    // must be negligible against that.
+    EXPECT_LT(hw.cycles, 20000u);
+    EXPECT_GT(hw.cycles, 1000u); // sanity: it does real work
+}
+
+TEST(PdProc, ZeroRddReturnsZero)
+{
+    RdCounterArray rdd(256, 4);
+    EXPECT_EQ(pdprocBestPd(rdd).pd, 0u);
+    EXPECT_EQ(pdprocReferenceBestPd(rdd), 0u);
+}
