@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_phases.dir/bench_fig11_phases.cpp.o"
+  "CMakeFiles/bench_fig11_phases.dir/bench_fig11_phases.cpp.o.d"
+  "bench_fig11_phases"
+  "bench_fig11_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_rdd.dir/bench_fig1_rdd.cpp.o"
+  "CMakeFiles/bench_fig1_rdd.dir/bench_fig1_rdd.cpp.o.d"
+  "bench_fig1_rdd"
+  "bench_fig1_rdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_rdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

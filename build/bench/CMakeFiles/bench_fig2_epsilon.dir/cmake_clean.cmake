@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_epsilon.dir/bench_fig2_epsilon.cpp.o"
+  "CMakeFiles/bench_fig2_epsilon.dir/bench_fig2_epsilon.cpp.o.d"
+  "bench_fig2_epsilon"
+  "bench_fig2_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_static_pdp.dir/bench_fig4_static_pdp.cpp.o"
+  "CMakeFiles/bench_fig4_static_pdp.dir/bench_fig4_static_pdp.cpp.o.d"
+  "bench_fig4_static_pdp"
+  "bench_fig4_static_pdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_static_pdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_model.dir/bench_fig6_model.cpp.o"
+  "CMakeFiles/bench_fig6_model.dir/bench_fig6_model.cpp.o.d"
+  "bench_fig6_model"
+  "bench_fig6_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pdproc.dir/bench_pdproc.cpp.o"
+  "CMakeFiles/bench_pdproc.dir/bench_pdproc.cpp.o.d"
+  "bench_pdproc"
+  "bench_pdproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

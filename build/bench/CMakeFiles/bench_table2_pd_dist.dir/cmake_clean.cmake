@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_pd_dist.dir/bench_table2_pd_dist.cpp.o"
+  "CMakeFiles/bench_table2_pd_dist.dir/bench_table2_pd_dist.cpp.o.d"
+  "bench_table2_pd_dist"
+  "bench_table2_pd_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_pd_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

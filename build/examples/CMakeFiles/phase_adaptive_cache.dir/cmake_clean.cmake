@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_adaptive_cache.dir/phase_adaptive_cache.cpp.o"
+  "CMakeFiles/phase_adaptive_cache.dir/phase_adaptive_cache.cpp.o.d"
+  "phase_adaptive_cache"
+  "phase_adaptive_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_adaptive_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_cache_partitioning.dir/shared_cache_partitioning.cpp.o"
+  "CMakeFiles/shared_cache_partitioning.dir/shared_cache_partitioning.cpp.o.d"
+  "shared_cache_partitioning"
+  "shared_cache_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_cache_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

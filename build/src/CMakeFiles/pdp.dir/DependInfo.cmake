@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/pdp.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/pdp.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/CMakeFiles/pdp.dir/cache/hierarchy.cc.o" "gcc" "src/CMakeFiles/pdp.dir/cache/hierarchy.cc.o.d"
+  "/root/repo/src/cache/occupancy_tracker.cc" "src/CMakeFiles/pdp.dir/cache/occupancy_tracker.cc.o" "gcc" "src/CMakeFiles/pdp.dir/cache/occupancy_tracker.cc.o.d"
+  "/root/repo/src/core/hit_rate_model.cc" "src/CMakeFiles/pdp.dir/core/hit_rate_model.cc.o" "gcc" "src/CMakeFiles/pdp.dir/core/hit_rate_model.cc.o.d"
+  "/root/repo/src/core/pdp_policy.cc" "src/CMakeFiles/pdp.dir/core/pdp_policy.cc.o" "gcc" "src/CMakeFiles/pdp.dir/core/pdp_policy.cc.o.d"
+  "/root/repo/src/core/rd_profiler.cc" "src/CMakeFiles/pdp.dir/core/rd_profiler.cc.o" "gcc" "src/CMakeFiles/pdp.dir/core/rd_profiler.cc.o.d"
+  "/root/repo/src/core/rd_sampler.cc" "src/CMakeFiles/pdp.dir/core/rd_sampler.cc.o" "gcc" "src/CMakeFiles/pdp.dir/core/rd_sampler.cc.o.d"
+  "/root/repo/src/hw/overhead_model.cc" "src/CMakeFiles/pdp.dir/hw/overhead_model.cc.o" "gcc" "src/CMakeFiles/pdp.dir/hw/overhead_model.cc.o.d"
+  "/root/repo/src/hw/pdproc.cc" "src/CMakeFiles/pdp.dir/hw/pdproc.cc.o" "gcc" "src/CMakeFiles/pdp.dir/hw/pdproc.cc.o.d"
+  "/root/repo/src/partition/pdp_partition.cc" "src/CMakeFiles/pdp.dir/partition/pdp_partition.cc.o" "gcc" "src/CMakeFiles/pdp.dir/partition/pdp_partition.cc.o.d"
+  "/root/repo/src/partition/pipp.cc" "src/CMakeFiles/pdp.dir/partition/pipp.cc.o" "gcc" "src/CMakeFiles/pdp.dir/partition/pipp.cc.o.d"
+  "/root/repo/src/partition/ta_drrip.cc" "src/CMakeFiles/pdp.dir/partition/ta_drrip.cc.o" "gcc" "src/CMakeFiles/pdp.dir/partition/ta_drrip.cc.o.d"
+  "/root/repo/src/partition/ucp.cc" "src/CMakeFiles/pdp.dir/partition/ucp.cc.o" "gcc" "src/CMakeFiles/pdp.dir/partition/ucp.cc.o.d"
+  "/root/repo/src/partition/umon.cc" "src/CMakeFiles/pdp.dir/partition/umon.cc.o" "gcc" "src/CMakeFiles/pdp.dir/partition/umon.cc.o.d"
+  "/root/repo/src/policies/basic.cc" "src/CMakeFiles/pdp.dir/policies/basic.cc.o" "gcc" "src/CMakeFiles/pdp.dir/policies/basic.cc.o.d"
+  "/root/repo/src/policies/dip.cc" "src/CMakeFiles/pdp.dir/policies/dip.cc.o" "gcc" "src/CMakeFiles/pdp.dir/policies/dip.cc.o.d"
+  "/root/repo/src/policies/eelru.cc" "src/CMakeFiles/pdp.dir/policies/eelru.cc.o" "gcc" "src/CMakeFiles/pdp.dir/policies/eelru.cc.o.d"
+  "/root/repo/src/policies/rrip.cc" "src/CMakeFiles/pdp.dir/policies/rrip.cc.o" "gcc" "src/CMakeFiles/pdp.dir/policies/rrip.cc.o.d"
+  "/root/repo/src/policies/sdp.cc" "src/CMakeFiles/pdp.dir/policies/sdp.cc.o" "gcc" "src/CMakeFiles/pdp.dir/policies/sdp.cc.o.d"
+  "/root/repo/src/policies/ship.cc" "src/CMakeFiles/pdp.dir/policies/ship.cc.o" "gcc" "src/CMakeFiles/pdp.dir/policies/ship.cc.o.d"
+  "/root/repo/src/prefetch/stream_prefetcher.cc" "src/CMakeFiles/pdp.dir/prefetch/stream_prefetcher.cc.o" "gcc" "src/CMakeFiles/pdp.dir/prefetch/stream_prefetcher.cc.o.d"
+  "/root/repo/src/sim/multi_core_sim.cc" "src/CMakeFiles/pdp.dir/sim/multi_core_sim.cc.o" "gcc" "src/CMakeFiles/pdp.dir/sim/multi_core_sim.cc.o.d"
+  "/root/repo/src/sim/policy_factory.cc" "src/CMakeFiles/pdp.dir/sim/policy_factory.cc.o" "gcc" "src/CMakeFiles/pdp.dir/sim/policy_factory.cc.o.d"
+  "/root/repo/src/sim/single_core_sim.cc" "src/CMakeFiles/pdp.dir/sim/single_core_sim.cc.o" "gcc" "src/CMakeFiles/pdp.dir/sim/single_core_sim.cc.o.d"
+  "/root/repo/src/sim/static_pd_search.cc" "src/CMakeFiles/pdp.dir/sim/static_pd_search.cc.o" "gcc" "src/CMakeFiles/pdp.dir/sim/static_pd_search.cc.o.d"
+  "/root/repo/src/trace/patterns.cc" "src/CMakeFiles/pdp.dir/trace/patterns.cc.o" "gcc" "src/CMakeFiles/pdp.dir/trace/patterns.cc.o.d"
+  "/root/repo/src/trace/spec_suite.cc" "src/CMakeFiles/pdp.dir/trace/spec_suite.cc.o" "gcc" "src/CMakeFiles/pdp.dir/trace/spec_suite.cc.o.d"
+  "/root/repo/src/trace/synthetic_generator.cc" "src/CMakeFiles/pdp.dir/trace/synthetic_generator.cc.o" "gcc" "src/CMakeFiles/pdp.dir/trace/synthetic_generator.cc.o.d"
+  "/root/repo/src/trace/workload.cc" "src/CMakeFiles/pdp.dir/trace/workload.cc.o" "gcc" "src/CMakeFiles/pdp.dir/trace/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/pdp_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/pdp_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_hw.cpp" "tests/CMakeFiles/pdp_tests.dir/test_hw.cpp.o" "gcc" "tests/CMakeFiles/pdp_tests.dir/test_hw.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/pdp_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/pdp_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_partition.cpp" "tests/CMakeFiles/pdp_tests.dir/test_partition.cpp.o" "gcc" "tests/CMakeFiles/pdp_tests.dir/test_partition.cpp.o.d"
+  "/root/repo/tests/test_pdp_core.cpp" "tests/CMakeFiles/pdp_tests.dir/test_pdp_core.cpp.o" "gcc" "tests/CMakeFiles/pdp_tests.dir/test_pdp_core.cpp.o.d"
+  "/root/repo/tests/test_pdproc.cpp" "tests/CMakeFiles/pdp_tests.dir/test_pdproc.cpp.o" "gcc" "tests/CMakeFiles/pdp_tests.dir/test_pdproc.cpp.o.d"
+  "/root/repo/tests/test_policies.cpp" "tests/CMakeFiles/pdp_tests.dir/test_policies.cpp.o" "gcc" "tests/CMakeFiles/pdp_tests.dir/test_policies.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/pdp_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/pdp_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/pdp_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/pdp_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_suite_sweep.cpp" "tests/CMakeFiles/pdp_tests.dir/test_suite_sweep.cpp.o" "gcc" "tests/CMakeFiles/pdp_tests.dir/test_suite_sweep.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/pdp_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/pdp_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/pdp_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/pdp_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

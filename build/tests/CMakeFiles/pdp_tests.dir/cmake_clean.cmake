@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdp_tests.dir/test_cache.cpp.o"
+  "CMakeFiles/pdp_tests.dir/test_cache.cpp.o.d"
+  "CMakeFiles/pdp_tests.dir/test_hw.cpp.o"
+  "CMakeFiles/pdp_tests.dir/test_hw.cpp.o.d"
+  "CMakeFiles/pdp_tests.dir/test_integration.cpp.o"
+  "CMakeFiles/pdp_tests.dir/test_integration.cpp.o.d"
+  "CMakeFiles/pdp_tests.dir/test_partition.cpp.o"
+  "CMakeFiles/pdp_tests.dir/test_partition.cpp.o.d"
+  "CMakeFiles/pdp_tests.dir/test_pdp_core.cpp.o"
+  "CMakeFiles/pdp_tests.dir/test_pdp_core.cpp.o.d"
+  "CMakeFiles/pdp_tests.dir/test_pdproc.cpp.o"
+  "CMakeFiles/pdp_tests.dir/test_pdproc.cpp.o.d"
+  "CMakeFiles/pdp_tests.dir/test_policies.cpp.o"
+  "CMakeFiles/pdp_tests.dir/test_policies.cpp.o.d"
+  "CMakeFiles/pdp_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/pdp_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/pdp_tests.dir/test_sim.cpp.o"
+  "CMakeFiles/pdp_tests.dir/test_sim.cpp.o.d"
+  "CMakeFiles/pdp_tests.dir/test_suite_sweep.cpp.o"
+  "CMakeFiles/pdp_tests.dir/test_suite_sweep.cpp.o.d"
+  "CMakeFiles/pdp_tests.dir/test_trace.cpp.o"
+  "CMakeFiles/pdp_tests.dir/test_trace.cpp.o.d"
+  "CMakeFiles/pdp_tests.dir/test_util.cpp.o"
+  "CMakeFiles/pdp_tests.dir/test_util.cpp.o.d"
+  "pdp_tests"
+  "pdp_tests.pdb"
+  "pdp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
