@@ -1,7 +1,9 @@
 #include "cache/cache.h"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "check/check.h"
+#include "check/invariant_auditor.h"
 
 namespace pdp
 {
@@ -15,7 +17,8 @@ Cache::Cache(const CacheConfig &config,
     if (!config_.valid())
         throw std::invalid_argument("invalid cache geometry: " +
                                     config_.label);
-    assert(policy_ != nullptr);
+    PDP_CHECK(policy_ != nullptr, "cache ", config_.label,
+              " constructed without a policy");
     policy_->attach(*this, numSets_, config_.ways);
 }
 
@@ -71,6 +74,15 @@ Cache::invalidate(uint64_t line_addr)
 AccessOutcome
 Cache::access(const AccessContext &ctx_in)
 {
+    AccessOutcome outcome = accessImpl(ctx_in);
+    if (auditor_) [[unlikely]]
+        auditor_->onAccess();
+    return outcome;
+}
+
+AccessOutcome
+Cache::accessImpl(const AccessContext &ctx_in)
+{
     AccessContext ctx = ctx_in;
     ctx.set = setIndex(ctx.lineAddr);
 
@@ -125,11 +137,14 @@ Cache::access(const AccessContext &ctx_in)
             outcome.bypassed = true;
             return outcome;
         }
-        assert(victim_way >= 0 &&
-               victim_way < static_cast<int>(config_.ways));
+        PDP_CHECK(victim_way >= 0 &&
+                      victim_way < static_cast<int>(config_.ways),
+                  policy_->name(), " returned victim way ", victim_way,
+                  " outside associativity ", config_.ways);
 
         Line &victim = line(ctx.set, victim_way);
-        assert(victim.valid);
+        PDP_DCHECK(victim.valid, "victim way ", victim_way, " in set ",
+                   ctx.set, " is invalid; the cache fills invalid ways");
         outcome.evictedValid = true;
         outcome.evictedAddr = victim.addr;
         outcome.evictedDirty = victim.dirty;
@@ -156,6 +171,79 @@ Cache::access(const AccessContext &ctx_in)
 
     outcome.way = victim_way;
     return outcome;
+}
+
+void
+Cache::auditGlobalInvariants(InvariantReporter &reporter) const
+{
+    const CacheStats &s = stats_;
+    reporter.check(s.hits + s.misses == s.accesses, "cache.stats.identity",
+                   config_.label, ": hits ", s.hits, " + misses ", s.misses,
+                   " != accesses ", s.accesses);
+    reporter.check(s.bypasses <= s.misses, "cache.stats.identity",
+                   config_.label, ": bypasses ", s.bypasses, " > misses ",
+                   s.misses);
+    reporter.check(s.hitRate() >= 0.0 && s.hitRate() <= 1.0 &&
+                       s.missRate() >= 0.0 && s.missRate() <= 1.0 &&
+                       s.bypassRate() >= 0.0 && s.bypassRate() <= 1.0,
+                   "cache.stats.rates", config_.label,
+                   ": a rate left [0,1]: hit=", s.hitRate(),
+                   " miss=", s.missRate(), " bypass=", s.bypassRate());
+
+    uint64_t thread_accesses = 0;
+    uint64_t thread_hits = 0;
+    uint64_t thread_misses = 0;
+    for (unsigned t = 0; t < CacheStats::kMaxThreads; ++t) {
+        thread_accesses += s.threadAccesses[t];
+        thread_hits += s.threadHits[t];
+        thread_misses += s.threadMisses[t];
+        reporter.check(s.threadHits[t] + s.threadMisses[t] ==
+                           s.threadAccesses[t],
+                       "cache.stats.threads", config_.label, ": thread ", t,
+                       " hits ", s.threadHits[t], " + misses ",
+                       s.threadMisses[t], " != accesses ",
+                       s.threadAccesses[t]);
+    }
+    reporter.check(thread_accesses == s.accesses &&
+                       thread_hits == s.hits && thread_misses == s.misses,
+                   "cache.stats.threads", config_.label,
+                   ": per-thread sums ", thread_accesses, "/", thread_hits,
+                   "/", thread_misses, " != totals ", s.accesses, "/",
+                   s.hits, "/", s.misses);
+
+    policy_->auditGlobal(reporter);
+}
+
+void
+Cache::auditSet(uint32_t set, InvariantReporter &reporter) const
+{
+    for (uint32_t way = 0; way < config_.ways; ++way) {
+        const Line &l = line(set, way);
+        if (!l.valid)
+            continue;
+        reporter.check(setIndex(l.addr) == set, "cache.line.set_index",
+                       config_.label, ": line ", l.addr, " stored in set ",
+                       set, " but maps to set ", setIndex(l.addr));
+        reporter.check(l.threadId < CacheStats::kMaxThreads,
+                       "cache.line.thread", config_.label, ": set ", set,
+                       " way ", way, " owned by thread ",
+                       static_cast<unsigned>(l.threadId));
+        for (uint32_t other = way + 1; other < config_.ways; ++other) {
+            const Line &o = line(set, other);
+            reporter.check(!o.valid || o.addr != l.addr, "cache.line.dup",
+                           config_.label, ": set ", set, " holds line ",
+                           l.addr, " in ways ", way, " and ", other);
+        }
+    }
+    policy_->auditSet(set, reporter);
+}
+
+void
+Cache::auditInvariants(InvariantReporter &reporter) const
+{
+    auditGlobalInvariants(reporter);
+    for (uint32_t set = 0; set < numSets_; ++set)
+        auditSet(set, reporter);
 }
 
 } // namespace pdp

@@ -17,6 +17,9 @@
 namespace pdp
 {
 
+class InvariantAuditor;
+class InvariantReporter;
+
 /** Outcome of one cache access. */
 struct AccessOutcome
 {
@@ -95,6 +98,29 @@ class Cache
     /** Register an instrumentation observer (nullptr to remove). */
     void setObserver(CacheObserver *observer) { observer_ = observer; }
 
+    /**
+     * Register an invariant auditor (nullptr to remove); its onAccess()
+     * cadence hook then fires after every access.  The auditor must
+     * outlive the cache or be detached first.
+     */
+    void setAuditor(InvariantAuditor *auditor) { auditor_ = auditor; }
+
+    // --- invariant audit hooks ---
+
+    /** Cheap global checks: stats identities plus the policy's global
+     *  audit.  O(threads), no line walk. */
+    void auditGlobalInvariants(InvariantReporter &reporter) const;
+
+    /** Line-state checks of one set (tag/set mapping, duplicate tags,
+     *  thread ids) plus the policy's per-set audit. */
+    void auditSet(uint32_t set, InvariantReporter &reporter) const;
+
+    /** Full walk: global checks + every set. */
+    void auditInvariants(InvariantReporter &reporter) const;
+
+    /** Fault-injection hook for the checker tests: mutable stats. */
+    CacheStats &debugStats() { return stats_; }
+
   private:
     struct Line
     {
@@ -117,6 +143,7 @@ class Cache
 
     int findWay(uint32_t set, uint64_t line_addr) const;
     int findInvalidWay(uint32_t set) const;
+    AccessOutcome accessImpl(const AccessContext &ctx);
 
     CacheConfig config_;
     uint32_t numSets_;
@@ -124,6 +151,7 @@ class Cache
     std::unique_ptr<ReplacementPolicy> policy_;
     CacheStats stats_;
     CacheObserver *observer_ = nullptr;
+    InvariantAuditor *auditor_ = nullptr;
 };
 
 } // namespace pdp

@@ -1,6 +1,6 @@
 #include "cache/hierarchy.h"
 
-#include <cassert>
+#include "check/check.h"
 
 namespace pdp
 {
@@ -8,7 +8,7 @@ namespace pdp
 Hierarchy::Hierarchy(const HierarchyConfig &config,
                      std::unique_ptr<ReplacementPolicy> llc_policy)
 {
-    assert(config.numThreads >= 1);
+    PDP_CHECK(config.numThreads >= 1, "hierarchy needs a thread");
     for (unsigned t = 0; t < config.numThreads; ++t) {
         CacheConfig l2cfg = config.l2;
         l2cfg.label = "L2." + std::to_string(t);

@@ -1,5 +1,7 @@
 #include "cache/occupancy_tracker.h"
 
+#include "check/invariant_auditor.h"
+
 namespace pdp
 {
 
@@ -32,8 +34,10 @@ OccupancyTracker::onHit(const AccessContext &ctx, int way)
 void
 OccupancyTracker::onInsert(const AccessContext &ctx, int way)
 {
-    if (!ctx.isWriteback && !ctx.isPrefetch)
+    if (!ctx.isWriteback && !ctx.isPrefetch) {
         bump(ctx.set);
+        ++demandInserts_;
+    }
     lastEvent(ctx.set, way) = setCounter_[ctx.set];
 }
 
@@ -69,6 +73,45 @@ OccupancyTracker::reset()
     std::fill(setCounter_.begin(), setCounter_.end(), 0);
     std::fill(lastEvent_.begin(), lastEvent_.end(), 0);
     breakdown_ = OccupancyBreakdown{};
+    demandInserts_ = 0;
+}
+
+void
+OccupancyTracker::auditInvariants(const Cache &cache,
+                                  bool cross_check_stats,
+                                  InvariantReporter &reporter) const
+{
+    uint64_t counter_sum = 0;
+    for (uint32_t set = 0; set < setCounter_.size(); ++set) {
+        counter_sum += setCounter_[set];
+        for (uint32_t way = 0; way < ways_; ++way) {
+            const uint64_t last =
+                lastEvent_[static_cast<size_t>(set) * ways_ + way];
+            reporter.check(last <= setCounter_[set], "occ.last_event",
+                           "set ", set, " way ", way, " event stamp ", last,
+                           " is ahead of the set counter ",
+                           setCounter_[set]);
+        }
+    }
+    // Every demand access bumps exactly one set counter, and every demand
+    // access to the tracker is a promotion, a bypass or an insertion.
+    reporter.check(counter_sum ==
+                       breakdown_.hits + breakdown_.bypasses +
+                           demandInserts_,
+                   "occ.conservation", "set counters sum to ", counter_sum,
+                   " but events sum to hits ", breakdown_.hits,
+                   " + bypasses ", breakdown_.bypasses, " + inserts ",
+                   demandInserts_);
+
+    if (!cross_check_stats)
+        return;
+    const CacheStats &stats = cache.stats();
+    reporter.check(breakdown_.hits == stats.hits, "occ.cross_stats",
+                   "tracker saw ", breakdown_.hits, " demand hits, cache ",
+                   stats.hits);
+    reporter.check(breakdown_.bypasses <= stats.bypasses, "occ.cross_stats",
+                   "tracker saw ", breakdown_.bypasses,
+                   " demand bypasses, cache only ", stats.bypasses);
 }
 
 } // namespace pdp

@@ -66,6 +66,24 @@ class OccupancyTracker : public CacheObserver
 
     void reset();
 
+    /**
+     * Invariant audit (see src/check/invariant_auditor.h): every per-line
+     * event stamp is within its set's access counter, and the per-set
+     * counters conserve the event breakdown (sum == hits + bypasses +
+     * demand inserts).  With `cross_check_stats`, the tracker's hit and
+     * bypass counts must also equal the cache's demand counters — valid
+     * only if tracker and cache stats were reset together.
+     */
+    void auditInvariants(const Cache &cache, bool cross_check_stats,
+                         InvariantReporter &reporter) const;
+
+    /** Fault-injection hook for the checker tests. */
+    void
+    debugSetLastEvent(uint32_t set, int way, uint64_t value)
+    {
+        lastEvent(set, way) = value;
+    }
+
   private:
     uint64_t &lastEvent(uint32_t set, int way)
     {
@@ -81,6 +99,8 @@ class OccupancyTracker : public CacheObserver
     /** Per-line set-counter value at the last insert/promotion. */
     std::vector<uint64_t> lastEvent_;
     OccupancyBreakdown breakdown_;
+    /** Demand insertions observed (audit: set-counter conservation). */
+    uint64_t demandInserts_ = 0;
 };
 
 } // namespace pdp

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The PDP_CHECK / PDP_DCHECK invariant-checking macros.
+ *
+ * PDP_CHECK(cond, msg...) verifies `cond` in every build.  On failure it
+ * formats the expression, the file:line site and the streamed message
+ * parts, then either throws a CheckFailure (fail-fast, the default) or
+ * records the failure and continues (count-and-report), depending on the
+ * process-wide CheckContext mode.  The count mode is what lets the
+ * InvariantAuditor sweep a corrupted simulator and report every broken
+ * invariant instead of dying on the first one.
+ *
+ * PDP_DCHECK is the same contract but compiles to nothing unless
+ * PDP_DCHECK_ENABLED is defined (Debug builds, or -DPDP_ENABLE_DCHECKS=ON);
+ * use it on hot paths where an always-on branch would be measurable.
+ *
+ * Message parts are streamed, not printf-formatted:
+ *
+ *   PDP_CHECK(rpd <= maxRpd_, "set ", set, " way ", way, " rpd=", rpd);
+ */
+
+#ifndef PDP_CHECK_CHECK_H
+#define PDP_CHECK_CHECK_H
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pdp
+{
+
+/** Thrown by a failed PDP_CHECK in fail-fast mode. */
+class CheckFailure : public std::logic_error
+{
+  public:
+    explicit CheckFailure(const std::string &what) : std::logic_error(what) {}
+};
+
+namespace check
+{
+
+/** What a failed check does. */
+enum class FailMode
+{
+    /** Throw CheckFailure immediately (the default). */
+    FailFast,
+    /** Record the failure and keep going; see CheckContext::failures(). */
+    Count,
+};
+
+/** One recorded check failure (count mode). */
+struct FailureRecord
+{
+    std::string file;
+    int line = 0;
+    std::string expression;
+    std::string message;
+    /** Times this exact site fired (repeats collapse into one record). */
+    uint64_t count = 0;
+};
+
+/**
+ * Process-wide state of the checking layer: the fail mode and, in count
+ * mode, the accumulated failure records.
+ */
+class CheckContext
+{
+  public:
+    static CheckContext &instance();
+
+    FailMode mode() const { return mode_; }
+    void setMode(FailMode mode) { mode_ = mode; }
+
+    /** Total failures observed since the last reset() (count mode). */
+    uint64_t failureCount() const { return failureCount_; }
+
+    /** Distinct failing sites, most recent last (count mode). */
+    const std::vector<FailureRecord> &failures() const { return failures_; }
+
+    /** Human-readable digest of all recorded failures. */
+    std::string report() const;
+
+    /** Drop all recorded failures and reset the counter. */
+    void reset();
+
+    /** Route one failure according to the current mode.  Called by the
+     *  macros; throws CheckFailure in fail-fast mode. */
+    void fail(const char *file, int line, const char *expression,
+              const std::string &message);
+
+  private:
+    CheckContext() = default;
+
+    FailMode mode_ = FailMode::FailFast;
+    uint64_t failureCount_ = 0;
+    std::vector<FailureRecord> failures_;
+};
+
+/** RAII guard: switch to count mode, restore the previous mode on exit. */
+class ScopedCountMode
+{
+  public:
+    ScopedCountMode() : previous_(CheckContext::instance().mode())
+    {
+        CheckContext::instance().setMode(FailMode::Count);
+    }
+    ~ScopedCountMode() { CheckContext::instance().setMode(previous_); }
+    ScopedCountMode(const ScopedCountMode &) = delete;
+    ScopedCountMode &operator=(const ScopedCountMode &) = delete;
+
+  private:
+    FailMode previous_;
+};
+
+namespace detail
+{
+
+/** Stream all message parts into one string ("" for no parts). */
+template <typename... Parts>
+std::string
+formatMessage(Parts &&...parts)
+{
+    if constexpr (sizeof...(parts) == 0) {
+        return {};
+    } else {
+        std::ostringstream os;
+        (os << ... << parts);
+        return os.str();
+    }
+}
+
+} // namespace detail
+
+} // namespace check
+} // namespace pdp
+
+/** Always-on invariant check with streamed message parts. */
+#define PDP_CHECK(cond, ...)                                               \
+    do {                                                                   \
+        if (!(cond)) [[unlikely]]                                          \
+            ::pdp::check::CheckContext::instance().fail(                   \
+                __FILE__, __LINE__, #cond,                                 \
+                ::pdp::check::detail::formatMessage(__VA_ARGS__));         \
+    } while (0)
+
+#ifdef PDP_DCHECK_ENABLED
+#define PDP_DCHECK(cond, ...) PDP_CHECK(cond, __VA_ARGS__)
+#else
+/** Compiled out; `false &&` keeps the operands ODR-used without
+ *  evaluating them, so no -Wunused warnings appear in Release. */
+#define PDP_DCHECK(cond, ...)                                              \
+    do {                                                                   \
+        if (false && (cond)) {                                             \
+        }                                                                  \
+    } while (0)
+#endif
+
+#endif // PDP_CHECK_CHECK_H

@@ -1,8 +1,7 @@
 #include "core/pdp_policy.h"
 
-#include <cassert>
-
 #include "cache/cache.h"
+#include "check/invariant_auditor.h"
 #include "util/bitutil.h"
 
 namespace pdp
@@ -12,8 +11,10 @@ PdpPolicy::PdpPolicy(PdpParams params)
     : params_(params),
       model_(params.de, /*min_pd=*/1)
 {
-    assert(params_.ncBits >= 1 && params_.ncBits <= 8);
-    assert(params_.dMax >= 1 && params_.counterStep >= 1);
+    PDP_CHECK(params_.ncBits >= 1 && params_.ncBits <= 8,
+              "n_c = ", params_.ncBits, " outside the 1..8 RPD field range");
+    PDP_CHECK(params_.dMax >= 1 && params_.counterStep >= 1,
+              "d_max = ", params_.dMax, ", S_c = ", params_.counterStep);
     maxRpd_ = static_cast<uint8_t>((1u << params_.ncBits) - 1);
     sd_ = std::max<uint32_t>(1, params_.dMax >> params_.ncBits);
     pd_ = params_.dynamic ? params_.initialPd : params_.staticPd;
@@ -189,6 +190,70 @@ PdpPolicy::onInsert(const AccessContext &ctx, int way)
         pd = 1;
     rpd(ctx.set, way) = protectValue(pd);
     step(ctx);
+}
+
+void
+PdpPolicy::debugSetRpd(uint32_t set, int way, uint8_t value)
+{
+    rpd(set, way) = value;
+}
+
+void
+PdpPolicy::auditGlobal(InvariantReporter &reporter) const
+{
+    ReplacementPolicy::auditGlobal(reporter);
+
+    reporter.check(pd_ >= 1 && pd_ <= params_.dMax, "pdp.pd_range",
+                   name(), ": PD ", pd_, " outside [1, ", params_.dMax,
+                   "]");
+
+    if (rdd_) {
+        const RdCounterArray &rdd = *rdd_;
+        reporter.check(rdd.numBuckets() ==
+                           (rdd.dMax() + rdd.step() - 1) / rdd.step(),
+                       "rdd.geometry", name(), ": ", rdd.numBuckets(),
+                       " buckets for d_max ", rdd.dMax(), " at step ",
+                       rdd.step());
+        for (uint32_t k = 0; k < rdd.numBuckets(); ++k)
+            reporter.check(rdd.bucket(k) <= rdd.counterMax(),
+                           "rdd.counter_range", name(), ": bucket ", k,
+                           " holds ", rdd.bucket(k), " > counter max ",
+                           rdd.counterMax());
+        // Conservation: every recorded hit matches a FIFO entry that was
+        // inserted (and counted in N_t) earlier.  Entries inserted before
+        // the last reset() may still hit afterwards, so the bound carries
+        // a slack of one full sampler capacity.
+        const uint64_t slack = sampler_
+            ? static_cast<uint64_t>(params_.sampler.sampledSets) *
+                params_.sampler.fifoEntries
+            : 0;
+        reporter.check(rdd.hitSum() <= rdd.total() + slack,
+                       "rdd.conservation", name(), ": ", rdd.hitSum(),
+                       " recorded hits from only ", rdd.total(),
+                       " sampled accesses (+", slack, " carry-over)");
+    }
+
+    for (size_t i = 1; i < history_.size(); ++i)
+        reporter.check(history_[i - 1].accessCount <=
+                           history_[i].accessCount,
+                       "pdp.history", name(),
+                       ": recompute clock ran backwards at entry ", i);
+}
+
+void
+PdpPolicy::auditSet(uint32_t set, InvariantReporter &reporter) const
+{
+    const uint8_t *base = &rpds_[static_cast<size_t>(set) * numWays_];
+    for (uint32_t way = 0; way < numWays_; ++way)
+        reporter.check(base[way] <= maxRpd_, "pdp.rpd_range", name(),
+                       ": set ", set, " way ", way, " RPD ",
+                       static_cast<unsigned>(base[way]),
+                       " > (1<<n_c)-1 = ",
+                       static_cast<unsigned>(maxRpd_));
+    reporter.check(sdCounter_[set] < sd_, "pdp.sd_counter", name(),
+                   ": set ", set, " S_d counter ",
+                   static_cast<unsigned>(sdCounter_[set]),
+                   " reached the step ", sd_);
 }
 
 void

@@ -99,6 +99,9 @@ class PdpPolicy : public ReplacementPolicy
     void onInsert(const AccessContext &ctx, int way) override;
     void onBypass(const AccessContext &ctx) override;
 
+    void auditGlobal(InvariantReporter &reporter) const override;
+    void auditSet(uint32_t set, InvariantReporter &reporter) const override;
+
     /** Current protecting distance. */
     uint32_t pd() const { return pd_; }
 
@@ -112,6 +115,15 @@ class PdpPolicy : public ReplacementPolicy
 
     /** Read access to the live counter array (diagnostics, partitioning). */
     const RdCounterArray &counterArray() const { return *rdd_; }
+
+    // --- fault-injection hooks for the checker tests ---
+    uint8_t
+    debugRpd(uint32_t set, int way) const
+    {
+        return rpds_[static_cast<size_t>(set) * numWays_ + way];
+    }
+    void debugSetRpd(uint32_t set, int way, uint8_t value);
+    RdCounterArray &debugCounterArray() { return *rdd_; }
 
   protected:
     /** PD to protect lines of this access with (per-thread in the

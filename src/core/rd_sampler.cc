@@ -1,7 +1,6 @@
 #include "core/rd_sampler.h"
 
-#include <cassert>
-
+#include "check/check.h"
 #include "util/bitutil.h"
 #include "util/rng.h"
 
@@ -11,11 +10,15 @@ namespace pdp
 RdSampler::RdSampler(const RdSamplerParams &params, uint32_t num_cache_sets)
     : params_(params)
 {
-    assert(params_.sampledSets >= 1);
-    assert(params_.sampledSets <= num_cache_sets);
-    assert(params_.fifoEntries >= 1 && params_.insertionRate >= 1);
+    PDP_CHECK(params_.sampledSets >= 1 &&
+                  params_.sampledSets <= num_cache_sets,
+              "sampler covers ", params_.sampledSets, " of ",
+              num_cache_sets, " sets");
+    PDP_CHECK(params_.fifoEntries >= 1 && params_.insertionRate >= 1,
+              "sampler FIFO ", params_.fifoEntries, " entries, rate ",
+              params_.insertionRate);
     stride_ = num_cache_sets / params_.sampledSets;
-    assert(stride_ >= 1);
+    PDP_CHECK(stride_ >= 1, "sampler stride underflow");
     reset();
 }
 

@@ -14,9 +14,10 @@
 #define PDP_CORE_RDD_H
 
 #include <algorithm>
-#include <cassert>
 #include <cstdint>
 #include <vector>
+
+#include "check/check.h"
 
 namespace pdp
 {
@@ -37,7 +38,8 @@ class RdCounterArray
                                            : ((1u << counter_bits) - 1)),
           counters_((d_max + step - 1) / step, 0)
     {
-        assert(step >= 1 && d_max >= step);
+        PDP_CHECK(step >= 1 && d_max >= step, "RD counter array step ",
+                  step, " incompatible with d_max ", d_max);
     }
 
     /** Record a measured reuse distance (1-based). */
@@ -65,7 +67,8 @@ class RdCounterArray
     void
     addBucket(uint32_t bucket, uint64_t hits, uint64_t accesses)
     {
-        assert(bucket < counters_.size());
+        PDP_CHECK(bucket < counters_.size(), "bucket ", bucket,
+                  " outside the ", counters_.size(), "-bucket array");
         counters_[bucket] = static_cast<uint32_t>(
             std::min<uint64_t>(counters_[bucket] + hits, counterMax_));
         total_ = static_cast<uint32_t>(
@@ -77,6 +80,7 @@ class RdCounterArray
     uint32_t step() const { return step_; }
     uint32_t dMax() const { return dMax_; }
     bool frozen() const { return frozen_; }
+    uint32_t counterMax() const { return counterMax_; }
 
     /** Hit count of bucket k (RDs in ((k)*step, (k+1)*step], 0-based). */
     uint32_t bucket(uint32_t k) const { return counters_[k]; }

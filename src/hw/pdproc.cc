@@ -1,7 +1,8 @@
 #include "hw/pdproc.h"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "check/check.h"
 
 namespace pdp
 {
@@ -13,9 +14,11 @@ ProgramBuilder::finish()
     for (Instr &instr : program) {
         if ((instr.op == Op::Bne || instr.op == Op::Bge) && instr.imm < 0) {
             const int label_id = -instr.imm - 1;
-            assert(label_id >= 0 &&
-                   label_id < static_cast<int>(labels_.size()));
-            assert(labels_[label_id] >= 0 && "unbound label");
+            PDP_CHECK(label_id >= 0 &&
+                          label_id < static_cast<int>(labels_.size()),
+                      "branch names label ", label_id, " of ",
+                      labels_.size());
+            PDP_CHECK(labels_[label_id] >= 0, "unbound label ", label_id);
             instr.imm = labels_[label_id];
         }
     }
@@ -135,8 +138,10 @@ PdProcessor::run(const std::vector<Instr> &program,
 std::vector<Instr>
 buildArgmaxProgram(uint32_t num_buckets, uint32_t log2_step, uint32_t de)
 {
-    assert(num_buckets >= 1 && num_buckets <= 256);
-    assert(de >= 1 && (de & (de - 1)) == 0 && "d_e must be a power of two");
+    PDP_CHECK(num_buckets >= 1 && num_buckets <= 256,
+              "bucket count ", num_buckets);
+    PDP_CHECK(de >= 1 && (de & (de - 1)) == 0,
+              "d_e must be a power of two, got ", de);
     uint32_t log2_de = 0;
     while ((1u << log2_de) < de)
         ++log2_de;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/invariant_auditor.h"
+
 namespace pdp
 {
 
@@ -134,6 +136,7 @@ PdpPartitionPolicy::recompute()
               });
     std::vector<unsigned> placed;
     std::vector<uint32_t> trial = pds_;
+    lastGreedy_.clear();
     for (const ThreadPeaks &cand : candidates) {
         placed.push_back(cand.thread);
         double best_em = -1.0;
@@ -147,6 +150,11 @@ PdpPartitionPolicy::recompute()
             }
         }
         trial[cand.thread] = best_pd;
+        // The greedy partial ordering the auditor re-verifies: the pick,
+        // re-evaluated independently, dominates every candidate peak of
+        // this thread.
+        const double chosen_em = evaluateEm(trial, placed);
+        lastGreedy_.push_back({cand.thread, best_pd, chosen_em, best_em});
     }
     pds_ = trial;
 
@@ -160,6 +168,33 @@ PdpPartitionPolicy::recompute()
     for (auto &rdd : perThreadRdd_)
         rdd.decay();
     rdd_->reset();
+}
+
+void
+PdpPartitionPolicy::auditGlobal(InvariantReporter &reporter) const
+{
+    PdpPolicy::auditGlobal(reporter);
+
+    for (unsigned t = 0; t < numThreads_; ++t)
+        reporter.check(pds_[t] >= 1 && pds_[t] <= params_.dMax,
+                       "part.pd_range", name(), ": thread ", t, " PD ",
+                       pds_[t], " outside [1, ", params_.dMax, "]");
+
+    // Greedy partial ordering: within each step of the last E_m search,
+    // the chosen peak's (re-evaluated) E_m dominates every candidate this
+    // thread offered.  A small relative epsilon absorbs floating-point
+    // reassociation.
+    for (const GreedyStep &step : lastGreedy_) {
+        const double eps = 1e-9 * (1.0 + step.bestCandidateEm);
+        reporter.check(step.chosenEm + eps >= step.bestCandidateEm,
+                       "part.greedy_order", name(), ": thread ",
+                       step.thread, " chose PD ", step.chosenPd,
+                       " with E_m ", step.chosenEm,
+                       " below a candidate's ", step.bestCandidateEm);
+        reporter.check(step.thread < numThreads_, "part.greedy_order",
+                       name(), ": trace names thread ", step.thread,
+                       " of ", numThreads_);
+    }
 }
 
 std::unique_ptr<PdpPartitionPolicy>

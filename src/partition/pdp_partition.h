@@ -46,6 +46,32 @@ class PdpPartitionPolicy : public PdpPolicy
     /** Current PD of each thread. */
     const std::vector<uint32_t> &threadPds() const { return pds_; }
 
+    /** One step of the last greedy E_m search (audit evidence). */
+    struct GreedyStep
+    {
+        unsigned thread;
+        uint32_t chosenPd;
+        /** E_m of the partial vector with the chosen peak. */
+        double chosenEm;
+        /** Best E_m any candidate peak of this thread achieved. */
+        double bestCandidateEm;
+    };
+
+    /** Trace of the most recent recompute()'s greedy search. */
+    const std::vector<GreedyStep> &lastGreedyTrace() const
+    {
+        return lastGreedy_;
+    }
+
+    void auditGlobal(InvariantReporter &reporter) const override;
+
+    /** Fault-injection hook for the checker tests. */
+    void
+    debugSetThreadPd(unsigned thread, uint32_t pd)
+    {
+        pds_[thread] = pd;
+    }
+
   protected:
     uint32_t currentPd(const AccessContext &ctx) const override;
     void recordObservation(const AccessContext &ctx,
@@ -61,6 +87,7 @@ class PdpPartitionPolicy : public PdpPolicy
     unsigned peaksPerThread_;
     std::vector<RdCounterArray> perThreadRdd_;
     std::vector<uint32_t> pds_;
+    std::vector<GreedyStep> lastGreedy_;
 };
 
 /** Make the defaults used by Fig. 12 (S_c = 16, n_c in {2, 3}). */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cache/cache.h"
+#include "check/invariant_auditor.h"
 
 namespace pdp
 {
@@ -119,6 +120,48 @@ PippPolicy::onInsert(const AccessContext &ctx, int way)
         pos = 0;
     placeAt(ctx.set, way, pos);
     observe(ctx);
+}
+
+void
+PippPolicy::auditGlobal(InvariantReporter &reporter) const
+{
+    ReplacementPolicy::auditGlobal(reporter);
+    reporter.check(alloc_.size() == numThreads_, "pipp.alloc_range",
+                   name(), ": allocation vector covers ", alloc_.size(),
+                   " of ", numThreads_, " threads");
+    for (size_t t = 0; t < alloc_.size(); ++t)
+        reporter.check(alloc_[t] >= 1 && alloc_[t] <= numWays_,
+                       "pipp.alloc_range", name(), ": thread ", t,
+                       " allocation ", alloc_[t], " outside [1, ",
+                       numWays_, "]");
+}
+
+void
+PippPolicy::auditSet(uint32_t set, InvariantReporter &reporter) const
+{
+    // The priority order must be a permutation of the ways; a repeated or
+    // out-of-range entry means victim selection can thrash one way while
+    // another becomes unevictable.
+    uint64_t seen = 0;
+    bool in_range = true;
+    for (uint32_t pos = 0; pos < numWays_; ++pos) {
+        const uint8_t way = orderAt(set, pos);
+        if (way >= numWays_ || way >= 64) {
+            in_range = false;
+            reporter.check(false, "pipp.order_perm", name(), ": set ",
+                           set, " position ", pos, " names way ",
+                           static_cast<unsigned>(way), " of ", numWays_);
+            continue;
+        }
+        seen |= 1ull << way;
+    }
+    if (in_range)
+        reporter.check(seen == (numWays_ >= 64
+                                    ? ~0ull
+                                    : (1ull << numWays_) - 1),
+                       "pipp.order_perm", name(), ": set ", set,
+                       " priority order is not a permutation (mask ",
+                       seen, ")");
 }
 
 } // namespace pdp

@@ -47,8 +47,18 @@ class PippPolicy : public ReplacementPolicy
     int selectVictim(const AccessContext &ctx) override;
     void onInsert(const AccessContext &ctx, int way) override;
 
+    void auditGlobal(InvariantReporter &reporter) const override;
+    void auditSet(uint32_t set, InvariantReporter &reporter) const override;
+
     const std::vector<uint32_t> &allocation() const { return alloc_; }
     bool isStreaming(unsigned thread) const { return streaming_[thread]; }
+
+    /** Fault-injection hook for the checker tests. */
+    void
+    debugSetOrder(uint32_t set, uint32_t pos, uint8_t way)
+    {
+        orderAt(set, pos) = way;
+    }
 
   private:
     void observe(const AccessContext &ctx);

@@ -1,5 +1,7 @@
 #include "partition/ta_drrip.h"
 
+#include "check/invariant_auditor.h"
+
 namespace pdp
 {
 
@@ -26,6 +28,18 @@ TaDrripPolicy::setUsesBrrip(const AccessContext &ctx) const
 {
     const unsigned t = ctx.threadId < numThreads_ ? ctx.threadId : 0;
     return perThread_[t].setUsesB(ctx.set);
+}
+
+void
+TaDrripPolicy::auditGlobal(InvariantReporter &reporter) const
+{
+    RripPolicy::auditGlobal(reporter);
+    reporter.check(perThread_.empty() ||
+                       perThread_.size() == numThreads_,
+                   "tadrrip.monitors", name(), ": ", perThread_.size(),
+                   " dueling monitors for ", numThreads_, " threads");
+    for (const SetDueling &monitor : perThread_)
+        monitor.audit(reporter, "TA-DRRIP");
 }
 
 void

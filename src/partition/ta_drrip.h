@@ -32,6 +32,8 @@ class TaDrripPolicy : public RripPolicy
 
     void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;
 
+    void auditGlobal(InvariantReporter &reporter) const override;
+
   protected:
     bool setUsesBrrip(const AccessContext &ctx) const override;
     void recordMiss(const AccessContext &ctx) override;

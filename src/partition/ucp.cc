@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cache/cache.h"
+#include "check/invariant_auditor.h"
 
 namespace pdp
 {
@@ -92,6 +93,20 @@ UcpPolicy::onInsert(const AccessContext &ctx, int way)
 {
     LruPolicy::onInsert(ctx, way);
     observe(ctx);
+}
+
+void
+UcpPolicy::auditGlobal(InvariantReporter &reporter) const
+{
+    LruPolicy::auditGlobal(reporter);
+    reporter.check(alloc_.size() == numThreads_, "ucp.alloc_range",
+                   name(), ": allocation vector covers ", alloc_.size(),
+                   " of ", numThreads_, " threads");
+    for (size_t t = 0; t < alloc_.size(); ++t)
+        reporter.check(alloc_[t] >= 1 && alloc_[t] <= numWays_,
+                       "ucp.alloc_range", name(), ": thread ", t,
+                       " allocation ", alloc_[t], " outside [1, ",
+                       numWays_, "]");
 }
 
 } // namespace pdp

@@ -37,8 +37,17 @@ class UcpPolicy : public LruPolicy
     int selectVictim(const AccessContext &ctx) override;
     void onInsert(const AccessContext &ctx, int way) override;
 
+    void auditGlobal(InvariantReporter &reporter) const override;
+
     const std::vector<uint32_t> &allocation() const { return alloc_; }
     const Umon &umon() const { return *umon_; }
+
+    /** Fault-injection hook for the checker tests. */
+    void
+    debugSetAllocation(unsigned thread, uint32_t ways)
+    {
+        alloc_[thread] = ways;
+    }
 
   private:
     void observe(const AccessContext &ctx);

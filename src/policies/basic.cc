@@ -1,6 +1,7 @@
 #include "policies/basic.h"
 
 #include "cache/cache.h"
+#include "check/invariant_auditor.h"
 
 namespace pdp
 {
@@ -46,6 +47,39 @@ LruPolicy::onInsert(const AccessContext &ctx, int way)
 }
 
 void
+LruPolicy::auditGlobal(InvariantReporter &reporter) const
+{
+    ReplacementPolicy::auditGlobal(reporter);
+    reporter.check(lowClock_ <= 0 && clock_ >= 0, "lru.clock", name(),
+                   ": clocks inverted: low ", lowClock_, " high ", clock_);
+}
+
+void
+LruPolicy::auditSet(uint32_t set, InvariantReporter &reporter) const
+{
+    for (uint32_t way = 0; way < numWays_; ++way) {
+        const int64_t s =
+            stamps_[static_cast<size_t>(set) * numWays_ + way];
+        reporter.check(s >= lowClock_ && s <= clock_, "lru.stamp_range",
+                       name(), ": set ", set, " way ", way, " stamp ", s,
+                       " outside [", lowClock_, ", ", clock_, "]");
+        if (!cache_ || !cache_->isValid(set, way))
+            continue;
+        // Valid ways carry distinct stamps: every insert/promotion draws
+        // a fresh clock value, so a duplicate means lost recency state.
+        for (uint32_t other = way + 1; other < numWays_; ++other) {
+            if (!cache_->isValid(set, other))
+                continue;
+            const int64_t o =
+                stamps_[static_cast<size_t>(set) * numWays_ + other];
+            reporter.check(o != s, "lru.stamp_unique", name(), ": set ",
+                           set, " ways ", way, " and ", other,
+                           " share stamp ", s);
+        }
+    }
+}
+
+void
 FifoPolicy::attach(Cache &cache, uint32_t num_sets, uint32_t num_ways)
 {
     ReplacementPolicy::attach(cache, num_sets, num_ways);
@@ -80,6 +114,18 @@ void
 FifoPolicy::onInsert(const AccessContext &ctx, int way)
 {
     stamps_[static_cast<size_t>(ctx.set) * numWays_ + way] = ++clock_;
+}
+
+void
+FifoPolicy::auditSet(uint32_t set, InvariantReporter &reporter) const
+{
+    for (uint32_t way = 0; way < numWays_; ++way) {
+        const uint64_t s =
+            stamps_[static_cast<size_t>(set) * numWays_ + way];
+        reporter.check(s <= clock_, "fifo.stamp_range", name(), ": set ",
+                       set, " way ", way, " stamp ", s,
+                       " is ahead of the clock ", clock_);
+    }
 }
 
 void

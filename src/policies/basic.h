@@ -26,6 +26,9 @@ class LruPolicy : public ReplacementPolicy
     int selectVictim(const AccessContext &ctx) override;
     void onInsert(const AccessContext &ctx, int way) override;
 
+    void auditGlobal(InvariantReporter &reporter) const override;
+    void auditSet(uint32_t set, InvariantReporter &reporter) const override;
+
     /** Recency stamp accessors for subclasses (DIP reuses the machinery). */
   protected:
     int64_t &stamp(uint32_t set, int way)
@@ -58,6 +61,8 @@ class FifoPolicy : public ReplacementPolicy
     void onHit(const AccessContext &ctx, int way) override;
     int selectVictim(const AccessContext &ctx) override;
     void onInsert(const AccessContext &ctx, int way) override;
+
+    void auditSet(uint32_t set, InvariantReporter &reporter) const override;
 
   private:
     std::vector<uint64_t> stamps_;

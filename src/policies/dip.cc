@@ -1,6 +1,7 @@
 #include "policies/dip.h"
 
 #include "cache/cache.h"
+#include "check/invariant_auditor.h"
 
 namespace pdp
 {
@@ -67,6 +68,16 @@ InsertionLruPolicy::onInsert(const AccessContext &ctx, int way)
     if (mode_ == Mode::Dip && !ctx.isWriteback)
         dueling_->recordMiss(ctx.set);
     stamp(ctx.set, way) = insertAtMru(ctx) ? nextStamp() : oldestStamp();
+}
+
+void
+InsertionLruPolicy::auditGlobal(InvariantReporter &reporter) const
+{
+    LruPolicy::auditGlobal(reporter);
+    reporter.check(epsilon_ >= 0.0 && epsilon_ <= 1.0, "dip.epsilon",
+                   name(), ": epsilon ", epsilon_, " outside [0,1]");
+    if (dueling_)
+        dueling_->audit(reporter, "DIP");
 }
 
 std::unique_ptr<InsertionLruPolicy>

@@ -43,6 +43,16 @@ class InsertionLruPolicy : public LruPolicy
     void onInsert(const AccessContext &ctx, int way) override;
     int selectVictim(const AccessContext &ctx) override;
 
+    void auditGlobal(InvariantReporter &reporter) const override;
+
+    /** Fault-injection hook for the checker tests (DIP mode only). */
+    void
+    debugForcePsel(uint32_t value)
+    {
+        if (dueling_)
+            dueling_->debugForcePsel(value);
+    }
+
   private:
     bool insertAtMru(const AccessContext &ctx);
 

@@ -10,9 +10,10 @@
 #ifndef PDP_POLICIES_DUELING_H
 #define PDP_POLICIES_DUELING_H
 
-#include <cassert>
 #include <cstdint>
 
+#include "check/check.h"
+#include "check/invariant_auditor.h"
 #include "util/sat_counter.h"
 
 namespace pdp
@@ -36,7 +37,9 @@ class SetDueling
           salt_(salt % num_sets),
           psel_(psel_bits, (1u << psel_bits) / 2)
     {
-        assert(leaders_per_policy > 0 && region_ >= 2);
+        PDP_CHECK(leaders_per_policy > 0 && region_ >= 2,
+                  "dueling needs >= 2 sets per leader region: ", num_sets,
+                  " sets / ", leaders_per_policy, " leaders");
     }
 
     /** 0 = leader of A, 1 = leader of B, -1 = follower. */
@@ -76,6 +79,19 @@ class SetDueling
     }
 
     uint32_t pselValue() const { return psel_.value(); }
+    uint32_t pselMax() const { return psel_.max(); }
+
+    /** Invariant audit: the PSEL stays within its configured width. */
+    void
+    audit(InvariantReporter &reporter, const char *owner) const
+    {
+        reporter.check(psel_.value() <= psel_.max(), "dueling.psel_range",
+                       owner, ": PSEL ", psel_.value(), " exceeds max ",
+                       psel_.max());
+    }
+
+    /** Fault-injection hook for the checker tests. */
+    void debugForcePsel(uint32_t v) { psel_.debugForceValue(v); }
 
   private:
     uint32_t numSets_;

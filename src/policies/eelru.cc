@@ -1,9 +1,9 @@
 #include "policies/eelru.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "cache/cache.h"
+#include "check/invariant_auditor.h"
 
 namespace pdp
 {
@@ -12,7 +12,7 @@ EelruPolicy::EelruPolicy() : EelruPolicy(Params{}) {}
 
 EelruPolicy::EelruPolicy(Params params) : params_(std::move(params))
 {
-    assert(params_.maxDepth >= 2);
+    PDP_CHECK(params_.maxDepth >= 2, "EELRU depth ", params_.maxDepth);
 }
 
 void
@@ -167,6 +167,45 @@ EelruPolicy::onInsert(const AccessContext &ctx, int way)
     touch(ctx.set, ctx.lineAddr, !ctx.isWriteback);
     queues_[ctx.set].front().inCache = true;
     maybeRetune();
+}
+
+void
+EelruPolicy::auditGlobal(InvariantReporter &reporter) const
+{
+    ReplacementPolicy::auditGlobal(reporter);
+    reporter.check((early_ == 0) == (late_ == 0), "eelru.points",
+                   "EELRU: eviction points half-set: e ", early_, " l ",
+                   late_);
+    if (early_ > 0) {
+        // The early point lives inside the cache depth, the late point in
+        // the shadow region; anything else makes the keep fraction in
+        // maybeRetune() meaningless.
+        reporter.check(early_ < numWays_ && late_ > numWays_ &&
+                           late_ <= params_.maxDepth,
+                       "eelru.points", "EELRU: e ", early_, " l ", late_,
+                       " invalid for ", numWays_, " ways, depth ",
+                       params_.maxDepth);
+    }
+    reporter.check(hitsAtPos_.empty() ||
+                       hitsAtPos_.size() == params_.maxDepth + 1,
+                   "eelru.histogram", "EELRU: histogram size ",
+                   hitsAtPos_.size(), " != depth + 1 = ",
+                   params_.maxDepth + 1);
+}
+
+void
+EelruPolicy::auditSet(uint32_t set, InvariantReporter &reporter) const
+{
+    const auto &queue = queues_[set];
+    reporter.check(queue.size() <= params_.maxDepth, "eelru.queue_depth",
+                   "EELRU: set ", set, " queue depth ", queue.size(),
+                   " > max ", params_.maxDepth);
+    size_t resident = 0;
+    for (const Entry &entry : queue)
+        resident += entry.inCache ? 1 : 0;
+    reporter.check(resident <= numWays_, "eelru.residency", "EELRU: set ",
+                   set, " queue claims ", resident,
+                   " cached lines in a ", numWays_, "-way set");
 }
 
 } // namespace pdp

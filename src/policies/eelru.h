@@ -50,6 +50,9 @@ class EelruPolicy : public ReplacementPolicy
     int selectVictim(const AccessContext &ctx) override;
     void onInsert(const AccessContext &ctx, int way) override;
 
+    void auditGlobal(InvariantReporter &reporter) const override;
+    void auditSet(uint32_t set, InvariantReporter &reporter) const override;
+
     /** Currently selected early point (0 = plain LRU mode). */
     uint32_t earlyPoint() const { return early_; }
     uint32_t latePoint() const { return late_; }

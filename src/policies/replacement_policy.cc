@@ -1,0 +1,18 @@
+#include "policies/replacement_policy.h"
+
+#include "check/invariant_auditor.h"
+
+namespace pdp
+{
+
+void
+ReplacementPolicy::auditGlobal(InvariantReporter &reporter) const
+{
+    reporter.check(cache_ != nullptr, "policy.attach",
+                   name(), ": policy was never attached to a cache");
+    reporter.check(numSets_ > 0 && numWays_ > 0, "policy.attach",
+                   name(), ": degenerate geometry ", numSets_, "x",
+                   numWays_);
+}
+
+} // namespace pdp

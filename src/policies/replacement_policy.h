@@ -23,6 +23,7 @@ namespace pdp
 {
 
 class Cache;
+class InvariantReporter;
 
 /** Per-access information handed to the policy. */
 struct AccessContext
@@ -80,6 +81,25 @@ class ReplacementPolicy
 
     /** True if the policy ever returns kBypass. */
     virtual bool usesBypass() const { return false; }
+
+    // --- invariant audit hooks (see src/check/invariant_auditor.h) ---
+
+    /**
+     * Validate global (per-policy, not per-set) state: parameter ranges,
+     * PSEL counters, RDD conservation, ...  Overrides must call the base
+     * method, which validates the attach contract.  Keep this cheap: the
+     * auditor may run it every access.
+     */
+    virtual void auditGlobal(InvariantReporter &reporter) const;
+
+    /** Validate the policy state of one set (RPD/RRPV ranges, stamp
+     *  orderings, ...).  Cost budget is O(ways). */
+    virtual void
+    auditSet(uint32_t set, InvariantReporter &reporter) const
+    {
+        (void)set;
+        (void)reporter;
+    }
 
   protected:
     Cache *cache_ = nullptr;

@@ -1,6 +1,7 @@
 #include "policies/rrip.h"
 
 #include "cache/cache.h"
+#include "check/invariant_auditor.h"
 
 namespace pdp
 {
@@ -85,6 +86,27 @@ RripPolicy::onInsert(const AccessContext &ctx, int way)
         insert_rrpv = static_cast<uint8_t>(maxRrpv_ - 1);
     }
     rrpv(ctx.set, way) = insert_rrpv;
+}
+
+void
+RripPolicy::auditGlobal(InvariantReporter &reporter) const
+{
+    ReplacementPolicy::auditGlobal(reporter);
+    reporter.check(epsilon_ >= 0.0 && epsilon_ <= 1.0, "rrip.epsilon",
+                   name(), ": epsilon ", epsilon_, " outside [0,1]");
+    if (dueling_)
+        dueling_->audit(reporter, "DRRIP");
+}
+
+void
+RripPolicy::auditSet(uint32_t set, InvariantReporter &reporter) const
+{
+    const uint8_t *base = &rrpvs_[static_cast<size_t>(set) * numWays_];
+    for (uint32_t way = 0; way < numWays_; ++way)
+        reporter.check(base[way] <= maxRrpv_, "rrip.rrpv_range", name(),
+                       ": set ", set, " way ", way, " RRPV ",
+                       static_cast<unsigned>(base[way]), " > max ",
+                       static_cast<unsigned>(maxRrpv_));
 }
 
 std::unique_ptr<RripPolicy>

@@ -44,6 +44,16 @@ class RripPolicy : public ReplacementPolicy
     int selectVictim(const AccessContext &ctx) override;
     void onInsert(const AccessContext &ctx, int way) override;
 
+    void auditGlobal(InvariantReporter &reporter) const override;
+    void auditSet(uint32_t set, InvariantReporter &reporter) const override;
+
+    /** Fault-injection hook for the checker tests. */
+    void
+    debugSetRrpv(uint32_t set, int way, uint8_t value)
+    {
+        rrpv(set, way) = value;
+    }
+
   protected:
     /** Should this set insert with BRRIP behaviour right now? */
     virtual bool setUsesBrrip(const AccessContext &ctx) const;

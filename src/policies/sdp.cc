@@ -1,8 +1,7 @@
 #include "policies/sdp.h"
 
-#include <cassert>
-
 #include "cache/cache.h"
+#include "check/invariant_auditor.h"
 #include "util/bitutil.h"
 #include "util/rng.h"
 
@@ -67,7 +66,8 @@ void
 SdpPolicy::attach(Cache &cache, uint32_t num_sets, uint32_t num_ways)
 {
     LruPolicy::attach(cache, num_sets, num_ways);
-    assert(num_sets >= params_.samplerSets);
+    PDP_CHECK(num_sets >= params_.samplerSets, "SDP needs at least ",
+              params_.samplerSets, " sets, cache has ", num_sets);
     sampleStride_ = num_sets / params_.samplerSets;
     sampler_.assign(static_cast<size_t>(params_.samplerSets) *
                         params_.samplerAssoc,
@@ -182,6 +182,32 @@ SdpPolicy::onBypass(const AccessContext &ctx)
 {
     if (!ctx.isWriteback)
         sample(ctx);
+}
+
+void
+SdpPolicy::auditGlobal(InvariantReporter &reporter) const
+{
+    LruPolicy::auditGlobal(reporter);
+    for (size_t i = 0; i < sampler_.size(); ++i) {
+        const SamplerEntry &entry = sampler_[i];
+        reporter.check(!entry.valid || entry.lru <= samplerClock_,
+                       "sdp.sampler_clock", "SDP: sampler entry ", i,
+                       " lru ", entry.lru, " is ahead of the clock ",
+                       samplerClock_);
+    }
+}
+
+void
+SdpPolicy::auditSet(uint32_t set, InvariantReporter &reporter) const
+{
+    LruPolicy::auditSet(set, reporter);
+    for (uint32_t way = 0; way < numWays_; ++way) {
+        const uint8_t bit =
+            deadBits_[static_cast<size_t>(set) * numWays_ + way];
+        reporter.check(bit <= 1, "sdp.dead_bit", "SDP: set ", set,
+                       " way ", way, " dead bit ",
+                       static_cast<unsigned>(bit), " is not 0/1");
+    }
 }
 
 } // namespace pdp

@@ -1,6 +1,9 @@
 #include "policies/ship.h"
 
+#include <algorithm>
+
 #include "cache/cache.h"
+#include "check/invariant_auditor.h"
 #include "util/bitutil.h"
 
 namespace pdp
@@ -63,6 +66,29 @@ ShipPolicy::onInsert(const AccessContext &ctx, int way)
     // Distant re-reference for never-rewarded signatures, long otherwise.
     rrpv(ctx.set, way) = shct_[sig].value() == 0
         ? maxRrpv_ : static_cast<uint8_t>(maxRrpv_ - 1);
+}
+
+void
+ShipPolicy::auditSet(uint32_t set, InvariantReporter &reporter) const
+{
+    RripPolicy::auditSet(set, reporter);
+    for (uint32_t way = 0; way < numWays_; ++way) {
+        const uint32_t sig = lineSignature_[lineIdx(set, way)];
+        reporter.check(sig < shct_.size(), "ship.signature_range",
+                       "SHiP: set ", set, " way ", way, " signature ",
+                       sig, " >= SHCT size ", shct_.size());
+    }
+    // The SHCT is too large to walk on every pass; audit the slice that
+    // rotates in with this set so a full sweep covers every entry.
+    if (numSets_ == 0)
+        return;
+    const size_t slice = (shct_.size() + numSets_ - 1) / numSets_;
+    const size_t begin = set * slice;
+    const size_t end = std::min(begin + slice, shct_.size());
+    for (size_t i = begin; i < end; ++i)
+        reporter.check(shct_[i].value() <= shct_[i].max(),
+                       "ship.shct_range", "SHiP: SHCT[", i, "] = ",
+                       shct_[i].value(), " > max ", shct_[i].max());
 }
 
 } // namespace pdp

@@ -42,6 +42,11 @@ class ShipPolicy : public RripPolicy
     int selectVictim(const AccessContext &ctx) override;
     void onInsert(const AccessContext &ctx, int way) override;
 
+    void auditSet(uint32_t set, InvariantReporter &reporter) const override;
+
+    /** Fault-injection hook for the checker tests. */
+    SatCounter &debugShct(uint32_t index) { return shct_[index]; }
+
   private:
     uint32_t shctIndex(uint64_t pc) const;
 

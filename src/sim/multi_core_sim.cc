@@ -3,6 +3,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "check/invariant_auditor.h"
 #include "partition/pdp_partition.h"
 #include "partition/pipp.h"
 #include "partition/ta_drrip.h"
@@ -71,11 +72,22 @@ runMultiCore(const WorkloadSpec &workload, const std::string &policy_spec,
     auto generators = instantiate(workload);
     std::vector<TimingModel> timers(cores, TimingModel(config.timing));
 
+    std::unique_ptr<InvariantAuditor> auditor;
+    if (config.auditEvery > 0) {
+        InvariantAuditor::Options opts;
+        opts.cadence = config.auditEvery;
+        opts.failFast = config.auditFailFast;
+        auditor = std::make_unique<InvariantAuditor>(opts);
+        auditor->watchCache(hierarchy.llc());
+    }
+
     // Warmup: round-robin, stats discarded afterwards.
     for (uint64_t i = 0; i < config.warmupPerThread; ++i)
         for (unsigned t = 0; t < cores; ++t)
             hierarchy.access(generators[t]->next());
     hierarchy.resetStats();
+    if (auditor)
+        hierarchy.llc().setAuditor(auditor.get());
 
     // Measured phase: per-thread stats freeze at the access budget; all
     // threads keep running (generators are infinite) so contention stays
@@ -121,6 +133,12 @@ runMultiCore(const WorkloadSpec &workload, const std::string &policy_spec,
     result.throughput = throughput;
     result.harmonicFairness =
         inv > 0 ? static_cast<double>(result.threads.size()) / inv : 0.0;
+    if (auditor) {
+        hierarchy.llc().setAuditor(nullptr);
+        auditor->auditNow();
+        result.auditsRun = auditor->auditsRun();
+        result.auditViolations = auditor->totalViolations();
+    }
     return result;
 }
 

@@ -37,6 +37,11 @@ struct MultiCoreConfig
     uint64_t accessesPerThread = 1'200'000;
     uint64_t warmupPerThread = 400'000;
     TimingParams timing{};
+    /** Incremental invariant-audit cadence on the shared LLC (accesses
+     *  between audit ticks); 0 disables auditing. See src/check/. */
+    uint64_t auditEvery = 0;
+    /** Throw CheckFailure on the first audit violation. */
+    bool auditFailFast = false;
 
     MultiCoreConfig
     scaled(double factor) const
@@ -67,6 +72,9 @@ struct MultiCoreResult
     double weightedIpc = 0.0;
     double throughput = 0.0;
     double harmonicFairness = 0.0;
+    /** Invariant audit outcome (only populated when auditEvery > 0). */
+    uint64_t auditsRun = 0;
+    uint64_t auditViolations = 0;
 };
 
 /** Build a shared-LLC policy by name for `threads` cores:

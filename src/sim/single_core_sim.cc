@@ -1,5 +1,6 @@
 #include "sim/single_core_sim.h"
 
+#include "check/invariant_auditor.h"
 #include "sim/policy_factory.h"
 #include "trace/spec_suite.h"
 
@@ -12,9 +13,22 @@ runSingleCore(AccessGenerator &gen, Hierarchy &hierarchy,
 {
     TimingModel timing(config.timing);
 
+    // The auditor (when enabled) only watches the measured phase, so the
+    // warmup runs at full speed.
+    std::unique_ptr<InvariantAuditor> auditor;
+    if (config.auditEvery > 0) {
+        InvariantAuditor::Options opts;
+        opts.cadence = config.auditEvery;
+        opts.failFast = config.auditFailFast;
+        auditor = std::make_unique<InvariantAuditor>(opts);
+        auditor->watchCache(hierarchy.llc());
+    }
+
     for (uint64_t i = 0; i < config.warmup; ++i)
         hierarchy.access(gen.next());
     hierarchy.resetStats();
+    if (auditor)
+        hierarchy.llc().setAuditor(auditor.get());
 
     for (uint64_t i = 0; i < config.accesses; ++i) {
         const Access access = gen.next();
@@ -42,6 +56,12 @@ runSingleCore(AccessGenerator &gen, Hierarchy &hierarchy,
         ? static_cast<double>(llc.bypasses) /
               static_cast<double>(llc.accesses)
         : 0.0;
+    if (auditor) {
+        hierarchy.llc().setAuditor(nullptr);
+        auditor->auditNow();
+        result.auditsRun = auditor->auditsRun();
+        result.auditViolations = auditor->totalViolations();
+    }
     return result;
 }
 

@@ -28,6 +28,11 @@ struct SimConfig
     TimingParams timing{};
     HierarchyConfig hierarchy{};
     bool withPrefetcher = false;
+    /** Incremental invariant-audit cadence on the LLC (accesses between
+     *  audit ticks); 0 disables auditing. See src/check/. */
+    uint64_t auditEvery = 0;
+    /** Throw CheckFailure on the first audit violation. */
+    bool auditFailFast = false;
 
     /** Scale both run length and warmup (quick CI runs). */
     SimConfig
@@ -56,6 +61,9 @@ struct SimResult
     uint64_t llcBypasses = 0;
     /** Bypassed fills as a fraction of LLC accesses (Fig. 10c). */
     double bypassFraction = 0.0;
+    /** Invariant audit outcome (only populated when auditEvery > 0). */
+    uint64_t auditsRun = 0;
+    uint64_t auditViolations = 0;
 };
 
 /**

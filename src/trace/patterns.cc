@@ -1,6 +1,6 @@
 #include "trace/patterns.h"
 
-#include <cassert>
+#include "check/check.h"
 
 namespace pdp
 {
@@ -10,7 +10,8 @@ LoopPattern::LoopPattern(uint64_t lines, uint64_t stride,
     : lines_(lines), stride_(stride), driftPeriod_(drift_period),
       ringLines_(lines * 4)
 {
-    assert(lines_ > 0 && stride_ > 0);
+    PDP_CHECK(lines_ > 0 && stride_ > 0, "loop geometry: ", lines_,
+              " lines, stride ", stride_);
 }
 
 uint64_t
@@ -39,7 +40,7 @@ LoopPattern::reset()
 
 ScanPattern::ScanPattern(uint64_t wrapLines) : wrapLines_(wrapLines)
 {
-    assert(wrapLines_ > 0);
+    PDP_CHECK(wrapLines_ > 0, "scan needs a wrap length");
 }
 
 uint64_t
@@ -59,7 +60,7 @@ ScanPattern::reset()
 
 ChasePattern::ChasePattern(uint64_t lines) : lines_(lines)
 {
-    assert(lines_ > 0);
+    PDP_CHECK(lines_ > 0, "chase needs a region");
 }
 
 uint64_t
@@ -78,15 +79,15 @@ HotColdPattern::HotColdPattern(std::vector<Level> levels,
     : levels_(std::move(levels)), driftPeriod_(drift_period),
       ringLines_(0)
 {
-    assert(!levels_.empty());
+    PDP_CHECK(!levels_.empty(), "hot-cold needs levels");
     for (size_t k = 1; k < levels_.size(); ++k)
-        assert(levels_[k].lines > levels_[k - 1].lines &&
-               "hot-cold levels are nested and must grow");
+        PDP_CHECK(levels_[k].lines > levels_[k - 1].lines,
+                  "hot-cold levels are nested and must grow: level ", k);
     // Normalize probabilities to a proper distribution.
     double total = 0.0;
     for (const auto &level : levels_)
         total += level.prob;
-    assert(total > 0.0);
+    PDP_CHECK(total > 0.0, "hot-cold probabilities sum to ", total);
     for (auto &level : levels_)
         level.prob /= total;
     ringLines_ = levels_.back().lines * 4;
@@ -121,11 +122,11 @@ HotColdPattern::reset()
 MixturePattern::MixturePattern(std::vector<MixtureComponent> components)
     : components_(std::move(components))
 {
-    assert(!components_.empty());
+    PDP_CHECK(!components_.empty(), "mixture needs components");
     double total = 0.0;
     for (const auto &component : components_)
         total += component.weight;
-    assert(total > 0.0);
+    PDP_CHECK(total > 0.0, "mixture weights sum to ", total);
     double acc = 0.0;
     for (const auto &component : components_) {
         acc += component.weight / total;

@@ -1,6 +1,6 @@
 #include "trace/synthetic_generator.h"
 
-#include <cassert>
+#include "check/check.h"
 
 namespace pdp
 {
@@ -11,8 +11,8 @@ SyntheticGenerator::SyntheticGenerator(std::string name, uint64_t seed,
     : name_(std::move(name)), seed_(seed), phases_(std::move(phases)),
       meanGap_(mean_gap), writeFrac_(write_frac), rng_(seed)
 {
-    assert(!phases_.empty());
-    assert(meanGap_ >= 1);
+    PDP_CHECK(!phases_.empty(), "generator \"", name_, "\" has no phases");
+    PDP_CHECK(meanGap_ >= 1, "mean instruction gap ", meanGap_);
 }
 
 Access

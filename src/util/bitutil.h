@@ -6,8 +6,9 @@
 #ifndef PDP_UTIL_BITUTIL_H
 #define PDP_UTIL_BITUTIL_H
 
-#include <cassert>
 #include <cstdint>
+
+#include "check/check.h"
 
 namespace pdp
 {
@@ -47,7 +48,7 @@ ceilDiv(uint64_t a, uint64_t b)
 inline uint32_t
 foldXor(uint64_t v, unsigned bits)
 {
-    assert(bits >= 1 && bits <= 32);
+    PDP_DCHECK(bits >= 1 && bits <= 32, "foldXor to ", bits, " bits");
     uint64_t folded = v;
     for (unsigned shift = 64; shift > bits; shift = (shift + 1) / 2)
         folded = (folded ^ (folded >> ((shift + 1) / 2)));

@@ -9,8 +9,9 @@
 #ifndef PDP_UTIL_SAT_COUNTER_H
 #define PDP_UTIL_SAT_COUNTER_H
 
-#include <cassert>
 #include <cstdint>
+
+#include "check/check.h"
 
 namespace pdp
 {
@@ -32,7 +33,7 @@ class SatCounter
         : max_((bits >= 32) ? 0xffffffffu : ((1u << bits) - 1)),
           value_(initial > max_ ? max_ : initial)
     {
-        assert(bits >= 1 && bits <= 32);
+        PDP_CHECK(bits >= 1 && bits <= 32, "counter width ", bits);
     }
 
     uint32_t value() const { return value_; }
@@ -57,6 +58,10 @@ class SatCounter
 
     void set(uint32_t v) { value_ = v > max_ ? max_ : v; }
     void reset() { value_ = 0; }
+
+    /** Fault-injection hook for the checker tests: bypasses clamping so
+     *  an audit can observe an out-of-range counter. */
+    void debugForceValue(uint32_t v) { value_ = v; }
 
     /** True if the counter is in its upper half (MSB set). A 10-bit PSEL
      *  "prefers policy B" exactly when this holds. */

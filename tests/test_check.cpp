@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Tests for the checking layer (src/check/): PDP_CHECK fail-fast and
+ * count-and-report semantics, the InvariantAuditor's cadence machinery,
+ * detection of deliberately injected state corruption in every audited
+ * subsystem, and clean full-cadence sweeps of the paper configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+#include "cache/occupancy_tracker.h"
+#include "check/check.h"
+#include "check/invariant_auditor.h"
+#include "core/pdp_policy.h"
+#include "partition/pdp_partition.h"
+#include "partition/pipp.h"
+#include "partition/ucp.h"
+#include "policies/basic.h"
+#include "policies/dip.h"
+#include "policies/rrip.h"
+#include "sim/multi_core_sim.h"
+#include "sim/policy_factory.h"
+#include "sim/single_core_sim.h"
+
+using namespace pdp;
+using check::CheckContext;
+using check::FailMode;
+using check::ScopedCountMode;
+
+namespace
+{
+
+CacheConfig
+smallConfig(uint32_t sets = 64, uint32_t ways = 4, bool bypass = true)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = static_cast<uint64_t>(sets) * ways * 64;
+    cfg.ways = ways;
+    cfg.allowBypass = bypass;
+    return cfg;
+}
+
+/** Drive `count` demand accesses with some reuse through the cache. */
+void
+exercise(Cache &cache, uint64_t count, uint64_t working_set = 256,
+         uint8_t thread = 0)
+{
+    for (uint64_t i = 0; i < count; ++i) {
+        AccessContext ctx;
+        ctx.lineAddr = (i * 17) % working_set;
+        ctx.pc = 0x4000 + (i % 7) * 4;
+        ctx.threadId = thread;
+        cache.access(ctx);
+    }
+}
+
+/** PDP parameters that fit the small test cache. */
+PdpParams
+smallPdpParams(unsigned nc_bits = 2)
+{
+    PdpParams params;
+    params.ncBits = nc_bits;
+    params.sampler.sampledSets = 16;
+    return params;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// PDP_CHECK / CheckContext semantics
+// ---------------------------------------------------------------------------
+
+TEST(CheckMacro, FailFastThrowsWithSiteAndMessage)
+{
+    CheckContext::instance().reset();
+    ASSERT_EQ(CheckContext::instance().mode(), FailMode::FailFast);
+    try {
+        const int value = 41;
+        PDP_CHECK(value == 42, "value is ", value);
+        FAIL() << "PDP_CHECK did not throw";
+    } catch (const CheckFailure &failure) {
+        const std::string what = failure.what();
+        EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+        EXPECT_NE(what.find("value == 42"), std::string::npos) << what;
+        EXPECT_NE(what.find("value is 41"), std::string::npos) << what;
+    }
+}
+
+TEST(CheckMacro, PassingCheckHasNoEffect)
+{
+    CheckContext::instance().reset();
+    PDP_CHECK(1 + 1 == 2, "arithmetic broke");
+    EXPECT_EQ(CheckContext::instance().failureCount(), 0u);
+}
+
+TEST(CheckMacro, CountModeCollapsesRepeatedSites)
+{
+    CheckContext::instance().reset();
+    {
+        ScopedCountMode guard;
+        for (int i = 0; i < 3; ++i)
+            PDP_CHECK(i < 0, "iteration ", i);  // one site, three failures
+        PDP_CHECK(false, "another site");
+    }
+    const auto &ctx = CheckContext::instance();
+    EXPECT_EQ(ctx.failureCount(), 4u);
+    ASSERT_EQ(ctx.failures().size(), 2u);
+    EXPECT_EQ(ctx.failures()[0].count, 3u);
+    EXPECT_EQ(ctx.failures()[1].count, 1u);
+    EXPECT_NE(ctx.report().find("another site"), std::string::npos);
+    CheckContext::instance().reset();
+    EXPECT_EQ(CheckContext::instance().failureCount(), 0u);
+}
+
+TEST(CheckMacro, ScopedCountModeRestoresFailFast)
+{
+    CheckContext::instance().reset();
+    {
+        ScopedCountMode guard;
+        EXPECT_EQ(CheckContext::instance().mode(), FailMode::Count);
+    }
+    EXPECT_EQ(CheckContext::instance().mode(), FailMode::FailFast);
+}
+
+// ---------------------------------------------------------------------------
+// Auditor mechanics
+// ---------------------------------------------------------------------------
+
+TEST(InvariantAuditor, CleanCacheProducesNoViolations)
+{
+    Cache cache(smallConfig(), std::make_unique<LruPolicy>());
+    exercise(cache, 2000);
+    InvariantReporter reporter;
+    cache.auditInvariants(reporter);
+    EXPECT_TRUE(reporter.clean()) << reporter.report();
+}
+
+TEST(InvariantAuditor, CadenceTicksOnEveryAccess)
+{
+    Cache cache(smallConfig(), std::make_unique<LruPolicy>());
+    InvariantAuditor::Options options;
+    options.cadence = 1;
+    options.fullEvery = 0;
+    InvariantAuditor auditor(options);
+    auditor.watchCache(cache);
+    cache.setAuditor(&auditor);
+    exercise(cache, 500);
+    cache.setAuditor(nullptr);
+    EXPECT_EQ(auditor.accessesSeen(), 500u);
+    EXPECT_EQ(auditor.auditsRun(), 500u);
+    EXPECT_EQ(auditor.totalViolations(), 0u);
+}
+
+TEST(InvariantAuditor, CoarserCadenceAuditsLess)
+{
+    Cache cache(smallConfig(), std::make_unique<LruPolicy>());
+    InvariantAuditor::Options options;
+    options.cadence = 64;
+    options.fullEvery = 0;
+    InvariantAuditor auditor(options);
+    auditor.watchCache(cache);
+    cache.setAuditor(&auditor);
+    exercise(cache, 640);
+    cache.setAuditor(nullptr);
+    EXPECT_EQ(auditor.auditsRun(), 10u);
+}
+
+TEST(InvariantAuditor, FailFastOptionThrowsOnCorruption)
+{
+    auto policy = std::make_unique<RripPolicy>(RripPolicy::Mode::Srrip);
+    RripPolicy *rrip = policy.get();
+    Cache cache(smallConfig(), std::move(policy));
+    exercise(cache, 200);
+    rrip->debugSetRrpv(0, 0, 99);
+
+    InvariantAuditor::Options options;
+    options.failFast = true;
+    InvariantAuditor auditor(options);
+    auditor.watchCache(cache);
+    EXPECT_THROW(auditor.auditNow(), CheckFailure);
+}
+
+TEST(InvariantAuditor, CountModeAccumulatesAcrossPasses)
+{
+    auto policy = std::make_unique<RripPolicy>(RripPolicy::Mode::Srrip);
+    RripPolicy *rrip = policy.get();
+    Cache cache(smallConfig(), std::move(policy));
+    exercise(cache, 200);
+    rrip->debugSetRrpv(0, 0, 99);
+
+    InvariantAuditor auditor;
+    auditor.watchCache(cache);
+    auditor.auditNow();
+    const uint64_t first = auditor.totalViolations();
+    EXPECT_GT(first, 0u);
+    auditor.auditNow();
+    EXPECT_GT(auditor.totalViolations(), first);
+    EXPECT_TRUE(auditor.lastReport().has("rrip.rrpv_range"))
+        << auditor.lastReport().report();
+}
+
+// ---------------------------------------------------------------------------
+// Injected corruption is detected, one subsystem at a time
+// ---------------------------------------------------------------------------
+
+TEST(InjectedViolation, PdpOversizedRpd)
+{
+    auto policy = std::make_unique<PdpPolicy>(smallPdpParams(2));
+    PdpPolicy *pdp = policy.get();
+    Cache cache(smallConfig(), std::move(policy));
+    exercise(cache, 500);
+
+    InvariantReporter clean;
+    cache.auditInvariants(clean);
+    ASSERT_TRUE(clean.clean()) << clean.report();
+
+    pdp->debugSetRpd(3, 1, 200);  // n_c = 2 caps the RPD at 3
+    InvariantReporter reporter;
+    cache.auditInvariants(reporter);
+    EXPECT_TRUE(reporter.has("pdp.rpd_range")) << reporter.report();
+}
+
+TEST(InjectedViolation, RddConservationBroken)
+{
+    auto policy = std::make_unique<PdpPolicy>(smallPdpParams(8));
+    PdpPolicy *pdp = policy.get();
+    Cache cache(smallConfig(), std::move(policy));
+    exercise(cache, 500);
+
+    // Hits without matching sampled accesses break conservation even
+    // after allowing the sampler-FIFO carry-over slack.
+    pdp->debugCounterArray().addBucket(0, 60'000, 0);
+    InvariantReporter reporter;
+    cache.auditGlobalInvariants(reporter);
+    EXPECT_TRUE(reporter.has("rdd.conservation")) << reporter.report();
+}
+
+TEST(InjectedViolation, RripRrpvOutOfRange)
+{
+    auto policy = std::make_unique<RripPolicy>(RripPolicy::Mode::Srrip);
+    RripPolicy *rrip = policy.get();
+    Cache cache(smallConfig(), std::move(policy));
+    exercise(cache, 300);
+
+    rrip->debugSetRrpv(5, 2, 17);  // 2-bit RRPV caps at 3
+    InvariantReporter reporter;
+    cache.auditInvariants(reporter);
+    EXPECT_TRUE(reporter.has("rrip.rrpv_range")) << reporter.report();
+}
+
+TEST(InjectedViolation, DipPselOutOfRange)
+{
+    auto policy = makeDip();
+    InsertionLruPolicy *dip = policy.get();
+    Cache cache(smallConfig(), std::move(policy));
+    exercise(cache, 300);
+
+    dip->debugForcePsel(4096);  // PSEL is 10 bits
+    InvariantReporter reporter;
+    cache.auditGlobalInvariants(reporter);
+    EXPECT_TRUE(reporter.has("dueling.psel_range")) << reporter.report();
+}
+
+TEST(InjectedViolation, CacheStatsIdentityBroken)
+{
+    Cache cache(smallConfig(), std::make_unique<LruPolicy>());
+    exercise(cache, 300);
+
+    cache.debugStats().hits += 3;  // hits + misses no longer == accesses
+    InvariantReporter reporter;
+    cache.auditGlobalInvariants(reporter);
+    EXPECT_TRUE(reporter.has("cache.stats.identity")) << reporter.report();
+}
+
+TEST(InjectedViolation, PartitionPdOutOfRange)
+{
+    auto policy = makePdpPartition(2, 3);
+    PdpPartitionPolicy *part = policy.get();
+    Cache cache(CacheConfig::paperLlc(2), std::move(policy));
+    exercise(cache, 400, 4096, 0);
+    exercise(cache, 400, 4096, 1);
+
+    part->debugSetThreadPd(1, 0);  // PDs live in [1, d_max]
+    InvariantReporter reporter;
+    cache.auditGlobalInvariants(reporter);
+    EXPECT_TRUE(reporter.has("part.pd_range")) << reporter.report();
+}
+
+TEST(InjectedViolation, PippOrderNotAPermutation)
+{
+    auto policy = std::make_unique<PippPolicy>(2);
+    PippPolicy *pipp = policy.get();
+    Cache cache(smallConfig(), std::move(policy));
+    exercise(cache, 300, 256, 0);
+    exercise(cache, 300, 256, 1);
+
+    pipp->debugSetOrder(2, 0, 1);  // way 1 now appears twice in set 2
+    InvariantReporter reporter;
+    cache.auditInvariants(reporter);
+    EXPECT_TRUE(reporter.has("pipp.order_perm")) << reporter.report();
+}
+
+TEST(InjectedViolation, UcpAllocationOutOfRange)
+{
+    auto policy = std::make_unique<UcpPolicy>(2);
+    UcpPolicy *ucp = policy.get();
+    Cache cache(smallConfig(), std::move(policy));
+    exercise(cache, 300, 256, 0);
+    exercise(cache, 300, 256, 1);
+
+    ucp->debugSetAllocation(0, 99);  // a 4-way set cannot grant 99 ways
+    InvariantReporter reporter;
+    cache.auditGlobalInvariants(reporter);
+    EXPECT_TRUE(reporter.has("ucp.alloc_range")) << reporter.report();
+}
+
+TEST(InjectedViolation, OccupancyLastEventAheadOfCounter)
+{
+    Cache cache(smallConfig(), std::make_unique<LruPolicy>());
+    OccupancyTracker tracker(cache);
+    cache.setObserver(&tracker);
+    exercise(cache, 500);
+    cache.setObserver(nullptr);
+
+    InvariantAuditor auditor;
+    auditor.watchCache(cache);
+    auditor.watchOccupancy(cache, tracker, /*cross_check_stats=*/true);
+    auditor.auditNow();
+    ASSERT_EQ(auditor.totalViolations(), 0u)
+        << auditor.lastReport().report();
+
+    tracker.debugSetLastEvent(0, 0, 1u << 30);
+    auditor.auditNow();
+    EXPECT_TRUE(auditor.lastReport().has("occ.last_event"))
+        << auditor.lastReport().report();
+}
+
+// ---------------------------------------------------------------------------
+// Clean sweeps of the paper configurations under the auditor
+// ---------------------------------------------------------------------------
+
+TEST(AuditedSweep, Fig10ConfigPdpMaxCadence)
+{
+    // The Fig. 10 single-core setup (paper L2 + 2 MB 16-way LLC) under
+    // dynamic PDP-3, audited on every LLC access.
+    SimConfig cfg = SimConfig{}.scaled(0.02);
+    cfg.auditEvery = 1;
+    cfg.auditFailFast = true;  // die loudly if any invariant breaks
+    const SimResult result = runSingleCore("436.cactusADM", "PDP-3", cfg);
+    EXPECT_GT(result.auditsRun, 0u);
+    EXPECT_EQ(result.auditViolations, 0u);
+    EXPECT_GT(result.llcAccesses, 0u);
+}
+
+TEST(AuditedSweep, Fig10PolicyPanelMaxCadence)
+{
+    // Every Fig. 10 policy, shorter runs, still audited on every access.
+    SimConfig cfg = SimConfig{}.scaled(0.004);
+    cfg.auditEvery = 1;
+    cfg.auditFailFast = true;
+    for (const std::string &policy : fig10PolicyNames()) {
+        const SimResult result = runSingleCore("429.mcf", policy, cfg);
+        EXPECT_EQ(result.auditViolations, 0u) << policy;
+        EXPECT_GT(result.auditsRun, 0u) << policy;
+    }
+}
+
+TEST(AuditedSweep, MultiCoreSharedPoliciesAudited)
+{
+    WorkloadSpec workload;
+    workload.benchmarks = {"403.gcc", "429.mcf"};
+    MultiCoreConfig cfg;
+    cfg.cores = 2;
+    cfg.accessesPerThread = 12'000;
+    cfg.warmupPerThread = 4'000;
+    cfg.auditEvery = 16;
+    cfg.auditFailFast = true;
+    for (const std::string &policy :
+         {std::string("TA-DRRIP"), std::string("UCP"), std::string("PIPP"),
+          std::string("PDP-2")}) {
+        const MultiCoreResult result =
+            runMultiCore(workload, policy, cfg);
+        EXPECT_EQ(result.auditViolations, 0u) << policy;
+        EXPECT_GT(result.auditsRun, 0u) << policy;
+    }
+}

@@ -72,8 +72,9 @@ TEST_P(PolicyInvariantTest, RandomTrafficKeepsStateConsistent)
         else
             EXPECT_TRUE(cache.contains(ctx.lineAddr));
         // An eviction never reports the just-accessed line.
-        if (out.evictedValid)
+        if (out.evictedValid) {
             EXPECT_NE(out.evictedAddr, ctx.lineAddr);
+        }
     }
     EXPECT_EQ(cache.stats().hits, hits);
     EXPECT_EQ(cache.stats().misses, misses);

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the whole tree using the repo's .clang-tidy profile.
+#
+# Usage: tools/lint.sh [build-dir]
+#
+# The build directory must contain compile_commands.json (configure with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON). Without clang-tidy installed the
+# script reports and exits 0 so environments with only a GCC toolchain
+# (and pre-lint CI stages) are not broken by it.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+tidy="$(command -v clang-tidy || true)"
+if [ -z "$tidy" ]; then
+    echo "lint.sh: clang-tidy not found in PATH; skipping lint (install" \
+         "clang-tidy to enable)."
+    exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "lint.sh: $build_dir/compile_commands.json missing." >&2
+    echo "Configure with: cmake -B \"$build_dir\" -S \"$repo_root\"" \
+         "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+    exit 1
+fi
+
+# run-clang-tidy parallelizes across the compilation database; fall back
+# to a serial loop when the wrapper is unavailable.
+runner="$(command -v run-clang-tidy || command -v run-clang-tidy.py || true)"
+cd "$repo_root"
+if [ -n "$runner" ]; then
+    exec "$runner" -p "$build_dir" -quiet "src/.*\.cc$"
+fi
+
+status=0
+for file in $(find src -name '*.cc' | sort); do
+    "$tidy" -p "$build_dir" --quiet "$file" || status=1
+done
+exit $status
