@@ -3,10 +3,15 @@
  * Shared helpers for the benchmark harnesses (one binary per paper
  * figure/table).
  *
- * Every harness honours two environment variables:
+ * Every harness honours these environment variables:
  *   PDP_BENCH_SCALE    multiplies run lengths (default 1.0; use 0.1 for a
  *                      quick smoke run, 4 for higher-fidelity curves)
  *   PDP_BENCH_VERBOSE  set to 1 to print per-run progress to stderr
+ *   PDP_BENCH_JOBS     worker threads for runner-based harnesses
+ *                      (default: hardware concurrency; results are
+ *                      bit-identical for any value)
+ *   PDP_BENCH_JSON     directory for BENCH_<name>.json result files
+ *                      (default "."; "none" or "0" disables)
  */
 
 #ifndef PDP_BENCH_BENCH_COMMON_H
@@ -14,20 +19,59 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <string>
 
+#include "runner/progress.h"
+#include "runner/suites.h"
 #include "sim/single_core_sim.h"
 
 namespace pdpbench
 {
 
-/** Run-length scale factor from PDP_BENCH_SCALE. */
+/**
+ * Run-length scale factor from PDP_BENCH_SCALE.  Parses once with
+ * strtod; garbage, non-positive or non-finite values fall back to 1.0
+ * with a warning on stderr instead of being silently ignored.
+ */
 inline double
 benchScale()
 {
-    if (const char *env = std::getenv("PDP_BENCH_SCALE"))
-        return std::atof(env) > 0 ? std::atof(env) : 1.0;
-    return 1.0;
+    const char *env = std::getenv("PDP_BENCH_SCALE");
+    if (!env || env[0] == '\0')
+        return 1.0;
+    char *end = nullptr;
+    const double value = std::strtod(env, &end);
+    // !(value > 0) also rejects NaN; the upper bound rejects +inf and
+    // scales that could only be typos.
+    if (end == env || *end != '\0' || !(value > 0.0) || value > 1e9) {
+        std::fprintf(stderr,
+                     "[bench] warning: ignoring invalid PDP_BENCH_SCALE"
+                     "=\"%s\" (want a positive number); using 1.0\n",
+                     env);
+        return 1.0;
+    }
+    return value;
+}
+
+/** Worker threads from PDP_BENCH_JOBS (0/unset/garbage = hardware
+ *  concurrency, resolved by the executor). */
+inline unsigned
+benchJobs()
+{
+    const char *env = std::getenv("PDP_BENCH_JOBS");
+    if (!env || env[0] == '\0')
+        return 0;
+    char *end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0' || value > 4096) {
+        std::fprintf(stderr,
+                     "[bench] warning: ignoring invalid PDP_BENCH_JOBS"
+                     "=\"%s\"; using hardware concurrency\n",
+                     env);
+        return 0;
+    }
+    return static_cast<unsigned>(value);
 }
 
 inline bool
@@ -47,11 +91,30 @@ standardConfig(uint64_t accesses = 3'000'000, uint64_t warmup = 1'000'000)
     return config.scaled(benchScale());
 }
 
+/** Per-run progress note, routed through the runner's serialized
+ *  reporter so lines never interleave, even from worker threads. */
 inline void
 progress(const std::string &what)
 {
-    if (benchVerbose())
-        std::fprintf(stderr, "[bench] %s\n", what.c_str());
+    pdp::runner::ProgressReporter::global().note(what);
+}
+
+/** Standard main body for a suite-backed harness: env knobs -> options,
+ *  run, exit code = number of jobs that did not finish Ok. */
+inline int
+runSuiteMain(const std::string &suiteName)
+{
+    const pdp::runner::Suite *suite = pdp::runner::findSuite(suiteName);
+    if (!suite) {
+        std::fprintf(stderr, "unknown experiment suite: %s\n",
+                     suiteName.c_str());
+        return 2;
+    }
+    pdp::runner::SuiteOptions options;
+    options.scale = benchScale();
+    options.workers = benchJobs();
+    options.verbose = benchVerbose();
+    return pdp::runner::runSuite(*suite, options, std::cout);
 }
 
 } // namespace pdpbench

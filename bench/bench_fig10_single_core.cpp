@@ -13,118 +13,18 @@
  *
  * Paper reference points: DRRIP +1.5% IPC over DIP, SDP +1.6%,
  * PDP-2 +2.9%, PDP-3 +4.2%, EELRU negative; bypass ~40% of accesses.
+ *
+ * The grid (benchmark × policy, plus the per-benchmark SPDP-B static-PD
+ * sweep) runs on the experiment runner: PDP_BENCH_JOBS workers, results
+ * bit-identical to a serial run, tables identical to the pre-runner
+ * harness layout, plus a BENCH_fig10_single_core.json result file
+ * (PDP_BENCH_JSON).  See src/runner/.
  */
 
-#include <iostream>
-#include <map>
-#include <vector>
-
 #include "bench_common.h"
-#include "sim/policy_factory.h"
-#include "sim/static_pd_search.h"
-#include "trace/spec_suite.h"
-#include "util/stats.h"
-#include "util/table.h"
-
-using namespace pdp;
 
 int
 main()
 {
-    const SimConfig config = pdpbench::standardConfig();
-    const std::vector<std::string> benchmarks = SpecSuite::singleCoreNames();
-    const std::vector<std::string> policies = {
-        "DRRIP", "EELRU", "SDP", "PDP-2", "PDP-3", "PDP-8",
-    };
-
-    std::cout << "==== Fig. 10: single-core policies (normalized to DIP) "
-                 "====\n\n";
-
-    Table miss_table([&] {
-        std::vector<std::string> h = {"benchmark"};
-        for (const auto &p : policies)
-            h.push_back(p);
-        h.push_back("SPDP-B");
-        return h;
-    }());
-    Table ipc_table = miss_table;
-    Table bypass_table({"benchmark", "SDP", "PDP-2", "PDP-3", "PDP-8",
-                        "SPDP-B"});
-
-    std::map<std::string, Accumulator> miss_avg, ipc_avg, bypass_avg;
-
-    for (const auto &bench : benchmarks) {
-        pdpbench::progress(bench);
-        const bool in_average = bench != "483.xalancbmk.1" &&
-                                bench != "483.xalancbmk.2";
-
-        const SimResult dip = runSingleCore(bench, "DIP", config);
-
-        std::vector<std::string> miss_row = {bench};
-        std::vector<std::string> ipc_row = {bench};
-        std::vector<std::string> bypass_row = {bench};
-
-        auto account = [&](const std::string &policy, const SimResult &r,
-                           bool track_bypass) {
-            const double miss_red = dip.llcMisses
-                ? 1.0 - static_cast<double>(r.llcMisses) / dip.llcMisses
-                : 0.0;
-            const double ipc_imp = dip.ipc > 0 ? r.ipc / dip.ipc - 1.0 : 0.0;
-            miss_row.push_back(Table::pct(miss_red));
-            ipc_row.push_back(Table::pct(ipc_imp));
-            if (track_bypass)
-                bypass_row.push_back(Table::upct(r.bypassFraction));
-            if (in_average) {
-                miss_avg[policy].add(miss_red);
-                ipc_avg[policy].add(ipc_imp);
-                if (track_bypass)
-                    bypass_avg[policy].add(r.bypassFraction);
-            }
-        };
-
-        for (const auto &policy : policies) {
-            const SimResult r = runSingleCore(bench, policy, config);
-            account(policy, r,
-                    policy == "SDP" || policy.rfind("PDP", 0) == 0);
-        }
-
-        // SPDP-B with the best static PD for this benchmark.
-        const StaticPdResult spdp = bestStaticPd(bench, true, config);
-        account("SPDP-B", spdp.best, true);
-        miss_row.back() += " (pd=" + std::to_string(spdp.bestPd) + ")";
-
-        miss_table.addRow(miss_row);
-        ipc_table.addRow(ipc_row);
-        bypass_table.addRow(bypass_row);
-    }
-
-    auto add_average = [&](Table &table,
-                           std::map<std::string, Accumulator> &avg,
-                           const std::vector<std::string> &cols) {
-        std::vector<std::string> row = {"AVERAGE"};
-        for (const auto &c : cols)
-            row.push_back(Table::pct(avg[c].mean()));
-        table.addRow(row);
-    };
-
-    std::vector<std::string> all_cols = policies;
-    all_cols.push_back("SPDP-B");
-
-    std::cout << "--- (a) miss reduction vs DIP ---\n";
-    add_average(miss_table, miss_avg, all_cols);
-    miss_table.print(std::cout);
-
-    std::cout << "\n--- (b) IPC improvement vs DIP ---\n";
-    add_average(ipc_table, ipc_avg, all_cols);
-    ipc_table.print(std::cout);
-
-    std::cout << "\n--- (c) bypass fraction of LLC accesses ---\n";
-    add_average(bypass_table, bypass_avg,
-                {"SDP", "PDP-2", "PDP-3", "PDP-8", "SPDP-B"});
-    bypass_table.print(std::cout);
-
-    std::cout << "\nPaper reference (averages over the suite): DRRIP +1.5% "
-                 "IPC, SDP +1.6%, PDP-2 +2.9%, PDP-3 +4.2%, EELRU "
-                 "negative; bypass ~40%.\n";
-    return 0;
+    return pdpbench::runSuiteMain("fig10_single_core");
 }

@@ -9,86 +9,16 @@
  * Paper reference: on 4 cores the PDP policies are slightly ahead of
  * TA-DRRIP and ahead of UCP/PIPP; on 16 cores PDP-3 improves W/T/H by
  * 5.2% / 6.4% / 9.9% over TA-DRRIP while UCP and PIPP do not scale.
+ *
+ * Each (workload, policy) cell is an independent runner job
+ * (PDP_BENCH_JOBS workers, deterministic results,
+ * BENCH_fig12_partitioning.json output).  See src/runner/.
  */
 
-#include <iostream>
-#include <map>
-#include <vector>
-
 #include "bench_common.h"
-#include "sim/multi_core_sim.h"
-#include "util/stats.h"
-#include "util/table.h"
-
-using namespace pdp;
-
-namespace
-{
-
-void
-runConfiguration(unsigned cores, unsigned num_workloads)
-{
-    MultiCoreConfig config;
-    config.cores = cores;
-    config = config.scaled(pdpbench::benchScale());
-
-    const auto workloads = randomWorkloads(num_workloads, cores);
-    const std::vector<std::string> policies = {"UCP", "PIPP", "PDP-2",
-                                               "PDP-3"};
-
-    std::cout << "--- " << cores << "-core workloads (normalized to "
-                 "TA-DRRIP) ---\n";
-    Table table({"workload", "metric", "UCP", "PIPP", "PDP-2", "PDP-3"});
-
-    std::map<std::string, Accumulator> avg_w, avg_t, avg_h;
-    for (const auto &workload : workloads) {
-        pdpbench::progress(std::to_string(cores) + "-core " +
-                           workload.label());
-        const MultiCoreResult base =
-            runMultiCore(workload, "TA-DRRIP", config);
-
-        std::vector<std::string> row_w = {workload.label(), "W"};
-        std::vector<std::string> row_t = {"", "T"};
-        std::vector<std::string> row_h = {"", "H"};
-        for (const auto &policy : policies) {
-            const MultiCoreResult r = runMultiCore(workload, policy, config);
-            const double w = r.weightedIpc / base.weightedIpc - 1.0;
-            const double t = r.throughput / base.throughput - 1.0;
-            const double h =
-                r.harmonicFairness / base.harmonicFairness - 1.0;
-            row_w.push_back(Table::pct(w));
-            row_t.push_back(Table::pct(t));
-            row_h.push_back(Table::pct(h));
-            avg_w[policy].add(w);
-            avg_t[policy].add(t);
-            avg_h[policy].add(h);
-        }
-        table.addRow(row_w);
-        table.addRow(row_t);
-        table.addRow(row_h);
-    }
-
-    for (const char *metric : {"W", "T", "H"}) {
-        std::vector<std::string> row = {"AVERAGE", metric};
-        auto &avg = metric[0] == 'W' ? avg_w
-                    : metric[0] == 'T' ? avg_t : avg_h;
-        for (const auto &policy : policies)
-            row.push_back(Table::pct(avg[policy].mean()));
-        table.addRow(row);
-    }
-    table.print(std::cout);
-    std::cout << '\n';
-}
-
-} // namespace
 
 int
 main()
 {
-    std::cout << "==== Fig. 12: shared-cache partitioning ====\n\n";
-    runConfiguration(4, 8);
-    runConfiguration(16, 8);
-    std::cout << "Paper reference: 16-core PDP-3 partitioning +5.2% W, "
-                 "+6.4% T, +9.9% H over TA-DRRIP; UCP/PIPP scale poorly.\n";
-    return 0;
+    return pdpbench::runSuiteMain("fig12_partitioning");
 }

@@ -8,76 +8,17 @@
  * and h264ref; both static PDP variants beat DRRIP further, SPDP-B by
  * more than SPDP-NB (up to ~30% on h264ref); the best PDs cover the main
  * RDD peak (e.g. 72-76 for cactusADM).
+ *
+ * The static-PD search is an embarrassingly parallel grid (19 PD points
+ * × {bypass, no-bypass} × 17 benchmarks, plus the epsilon sweep); it
+ * runs on the experiment runner (PDP_BENCH_JOBS workers, deterministic
+ * results, BENCH_fig4_static_pdp.json output).  See src/runner/.
  */
 
-#include <iostream>
-#include <vector>
-
 #include "bench_common.h"
-#include "cache/hierarchy.h"
-#include "policies/rrip.h"
-#include "sim/single_core_sim.h"
-#include "sim/static_pd_search.h"
-#include "trace/spec_suite.h"
-#include "util/stats.h"
-#include "util/table.h"
-
-using namespace pdp;
 
 int
 main()
 {
-    const SimConfig config = pdpbench::standardConfig(2'000'000, 800'000);
-
-    std::cout << "==== Fig. 4: DRRIP(best eps) vs static PDP, miss "
-                 "reduction over DRRIP(eps=1/32) ====\n\n";
-
-    Table table({"benchmark", "DRRIP best-eps", "SPDP-NB", "SPDP-B",
-                 "best PD (NB)", "best PD (B)"});
-    Accumulator avg_eps, avg_nb, avg_b;
-
-    for (const auto &bench : SpecSuite::singleCoreNames()) {
-        pdpbench::progress(bench);
-
-        // Baseline: DRRIP at the paper's default epsilon.
-        auto gen = SpecSuite::make(bench);
-        Hierarchy base_h(config.hierarchy, makeDrrip(1.0 / 32));
-        const SimResult base = runSingleCore(*gen, base_h, config);
-
-        // DRRIP with the best epsilon of Fig. 2's sweep.
-        uint64_t best_eps_misses = ~0ull;
-        for (double eps : {1.0 / 4, 1.0 / 8, 1.0 / 16, 1.0 / 32, 1.0 / 64,
-                           1.0 / 128}) {
-            auto g = SpecSuite::make(bench);
-            Hierarchy h(config.hierarchy, makeDrrip(eps));
-            best_eps_misses = std::min(
-                best_eps_misses, runSingleCore(*g, h, config).llcMisses);
-        }
-
-        const StaticPdResult nb = bestStaticPd(bench, false, config);
-        const StaticPdResult bp = bestStaticPd(bench, true, config);
-
-        auto reduction = [&](uint64_t misses) {
-            return base.llcMisses
-                ? 1.0 - static_cast<double>(misses) / base.llcMisses : 0.0;
-        };
-        const double r_eps = reduction(best_eps_misses);
-        const double r_nb = reduction(nb.best.llcMisses);
-        const double r_b = reduction(bp.best.llcMisses);
-        avg_eps.add(r_eps);
-        avg_nb.add(r_nb);
-        avg_b.add(r_b);
-
-        table.addRow({bench, Table::pct(r_eps), Table::pct(r_nb),
-                      Table::pct(r_b), std::to_string(nb.bestPd),
-                      std::to_string(bp.bestPd)});
-    }
-    table.addRow({"AVERAGE", Table::pct(avg_eps.mean()),
-                  Table::pct(avg_nb.mean()), Table::pct(avg_b.mean()), "",
-                  ""});
-    table.print(std::cout);
-
-    std::cout << "\nPaper reference: SPDP-B >= SPDP-NB >= DRRIP(best eps) "
-                 ">= 0 on nearly every benchmark.\n";
-    return 0;
+    return pdpbench::runSuiteMain("fig4_static_pdp");
 }

@@ -23,7 +23,7 @@ CheckContext::fail(const char *file, int line, const char *expression,
     if (slash != std::string::npos)
         short_file.erase(0, slash + 1);
 
-    if (mode_ == FailMode::FailFast) {
+    if (mode() == FailMode::FailFast) {
         std::ostringstream os;
         os << "PDP_CHECK failed at " << short_file << ":" << line << ": "
            << expression;
@@ -32,6 +32,7 @@ CheckContext::fail(const char *file, int line, const char *expression,
         throw CheckFailure(os.str());
     }
 
+    std::lock_guard<std::mutex> lock(mutex_);
     ++failureCount_;
     for (FailureRecord &rec : failures_) {
         if (rec.line == line && rec.file == short_file) {
@@ -47,6 +48,7 @@ CheckContext::fail(const char *file, int line, const char *expression,
 std::string
 CheckContext::report() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     std::ostringstream os;
     os << failureCount_ << " check failure(s) across " << failures_.size()
        << " site(s)\n";
@@ -65,6 +67,7 @@ CheckContext::report() const
 void
 CheckContext::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     failureCount_ = 0;
     failures_.clear();
 }

@@ -22,7 +22,9 @@
 #ifndef PDP_CHECK_CHECK_H
 #define PDP_CHECK_CHECK_H
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -64,19 +66,37 @@ struct FailureRecord
 /**
  * Process-wide state of the checking layer: the fail mode and, in count
  * mode, the accumulated failure records.
+ *
+ * Thread-safety: fail() may be reached concurrently from experiment-
+ * runner workers (each throwing inside its own job), so the count-mode
+ * record path is mutex-guarded.  Mode switching (ScopedCountMode) is a
+ * single-threaded affair — switch modes only while no sweep is in
+ * flight.
  */
 class CheckContext
 {
   public:
     static CheckContext &instance();
 
-    FailMode mode() const { return mode_; }
-    void setMode(FailMode mode) { mode_ = mode; }
+    FailMode mode() const { return mode_.load(std::memory_order_relaxed); }
+
+    void
+    setMode(FailMode mode)
+    {
+        mode_.store(mode, std::memory_order_relaxed);
+    }
 
     /** Total failures observed since the last reset() (count mode). */
-    uint64_t failureCount() const { return failureCount_; }
+    uint64_t
+    failureCount() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return failureCount_;
+    }
 
-    /** Distinct failing sites, most recent last (count mode). */
+    /** Distinct failing sites, most recent last (count mode).  The
+     *  reference is only stable while no other thread can fail checks;
+     *  concurrent readers should use report(). */
     const std::vector<FailureRecord> &failures() const { return failures_; }
 
     /** Human-readable digest of all recorded failures. */
@@ -93,7 +113,8 @@ class CheckContext
   private:
     CheckContext() = default;
 
-    FailMode mode_ = FailMode::FailFast;
+    std::atomic<FailMode> mode_{FailMode::FailFast};
+    mutable std::mutex mutex_;
     uint64_t failureCount_ = 0;
     std::vector<FailureRecord> failures_;
 };

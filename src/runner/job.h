@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The experiment-runner job model.
+ *
+ * A Job is one independent simulation cell of an experiment grid — one
+ * (benchmark, policy, SimConfig) point, one static-PD grid point, one
+ * multi-core workload × policy pairing, and so on.  Jobs are the unit of
+ * parallelism: the ThreadPoolExecutor (thread_pool.h) may run any subset
+ * of them concurrently on std::thread workers.
+ *
+ * Ownership rule (load-bearing for thread safety): a job's run callable
+ * must construct **everything mutable it touches** — generator, policy,
+ * hierarchy, timing model — inside the call, and must not share mutable
+ * simulator state with any other job.  The simulator classes (Cache,
+ * Hierarchy, ReplacementPolicy, AccessGenerator, Accumulator, Table) are
+ * deliberately not thread-safe; "one hierarchy per job" is what makes the
+ * sweep race-free.  The only cross-job state a job may reach is the
+ * explicitly synchronized memo inside pdp::standaloneIpc().
+ *
+ * Seeding discipline: every Job carries an explicit seed, derived from
+ * the stable part of its key with seedFor() — never a library default.
+ * Jobs that compare policies on the same workload must share the seed of
+ * that workload (seedFor(benchmark)), so every policy sees the identical
+ * access stream.  Because seeds are a pure function of the job and all
+ * simulator state is job-local, results are bit-identical no matter how
+ * many workers run the grid or in which order jobs complete.
+ */
+
+#ifndef PDP_RUNNER_JOB_H
+#define PDP_RUNNER_JOB_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sim/multi_core_sim.h"
+#include "sim/single_core_sim.h"
+#include "util/rng.h"
+
+namespace pdp
+{
+namespace runner
+{
+
+/**
+ * Deterministic 64-bit seed for a job tag (FNV-1a folded through the
+ * splitmix avalanche).  Stable across runs, platforms and worker counts;
+ * never returns 0 so a derived seed can't alias a "default" seed.
+ */
+inline uint64_t
+seedFor(std::string_view tag)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : tag) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    h = hashMix64(h);
+    return h ? h : 0x5eedULL;
+}
+
+/** Per-execution context handed to a job's run callable. */
+struct JobContext
+{
+    /** The job's explicit seed (Job::seed), for generator construction. */
+    uint64_t seed = 0;
+    /** Index of the worker executing the job (reporting only; results
+     *  must not depend on it). */
+    unsigned worker = 0;
+};
+
+/** What a job produced: structured sim results and/or scalar metrics. */
+struct JobOutcome
+{
+    std::optional<SimResult> single;
+    std::optional<MultiCoreResult> multi;
+    /** Extra scalar metrics (sorted map => deterministic JSON order). */
+    std::map<std::string, double> metrics;
+};
+
+/** Terminal state of one job. */
+enum class JobStatus
+{
+    /** Completed normally. */
+    Ok,
+    /** The run callable threw; JobRecord::error holds the message. */
+    Failed,
+    /** Completed, but exceeded its (soft) wall-clock timeout. */
+    TimedOut,
+};
+
+inline const char *
+toString(JobStatus status)
+{
+    switch (status) {
+    case JobStatus::Ok:
+        return "ok";
+    case JobStatus::Failed:
+        return "failed";
+    case JobStatus::TimedOut:
+        return "timed_out";
+    }
+    return "unknown";
+}
+
+/** One schedulable unit of an experiment. */
+struct Job
+{
+    /** Unique key within the experiment, e.g. "fig10/470.lbm/PDP-3". */
+    std::string key;
+    /** Explicit RNG seed (see the seeding discipline above). */
+    uint64_t seed = 0;
+    /** Soft wall-clock timeout in seconds; 0 uses the executor default.
+     *  The runner cannot preempt a compute-bound simulation, so an
+     *  overrunning job still completes — it is then *recorded* as
+     *  TimedOut instead of Ok. */
+    double timeoutSeconds = 0.0;
+    /** The work.  Must follow the one-hierarchy-per-job ownership rule. */
+    std::function<JobOutcome(const JobContext &)> run;
+};
+
+/** Outcome + bookkeeping of one executed job. */
+struct JobRecord
+{
+    std::string key;
+    uint64_t seed = 0;
+    JobStatus status = JobStatus::Failed;
+    /** Exception message (Failed) or overrun note (TimedOut). */
+    std::string error;
+    /** Wall-clock duration; reporting only, excluded from deterministic
+     *  serializations. */
+    double seconds = 0.0;
+    JobOutcome outcome;
+};
+
+} // namespace runner
+} // namespace pdp
+
+#endif // PDP_RUNNER_JOB_H

@@ -1,0 +1,204 @@
+#include "runner/results_sink.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+// Injected by src/CMakeLists.txt from `git describe` at configure time;
+// stale only until the next reconfigure, "unknown" outside a checkout.
+#ifndef PDP_GIT_DESCRIBE
+#define PDP_GIT_DESCRIBE "unknown"
+#endif
+
+namespace pdp
+{
+namespace runner
+{
+
+Json
+toJson(const SimResult &result)
+{
+    Json j = Json::object();
+    j.set("benchmark", result.benchmark);
+    j.set("policy", result.policy);
+    j.set("instructions", result.instructions);
+    j.set("cycles", result.cycles);
+    j.set("ipc", result.ipc);
+    j.set("mpki", result.mpki);
+    j.set("llc_accesses", result.llcAccesses);
+    j.set("llc_hits", result.llcHits);
+    j.set("llc_misses", result.llcMisses);
+    j.set("llc_bypasses", result.llcBypasses);
+    j.set("bypass_fraction", result.bypassFraction);
+    if (result.auditsRun) {
+        j.set("audits_run", result.auditsRun);
+        j.set("audit_violations", result.auditViolations);
+    }
+    return j;
+}
+
+Json
+toJson(const MultiCoreResult &result)
+{
+    Json j = Json::object();
+    j.set("policy", result.policy);
+    j.set("weighted_ipc", result.weightedIpc);
+    j.set("throughput", result.throughput);
+    j.set("harmonic_fairness", result.harmonicFairness);
+    Json threads = Json::array();
+    for (const ThreadOutcome &thread : result.threads) {
+        Json t = Json::object();
+        t.set("benchmark", thread.benchmark);
+        t.set("ipc", thread.ipc);
+        t.set("mpki", thread.mpki);
+        t.set("llc_misses", thread.llcMisses);
+        threads.push(std::move(t));
+    }
+    j.set("threads", std::move(threads));
+    if (result.auditsRun) {
+        j.set("audits_run", result.auditsRun);
+        j.set("audit_violations", result.auditViolations);
+    }
+    return j;
+}
+
+Json
+toJson(const JobRecord &record, bool includeVolatile)
+{
+    Json j = Json::object();
+    j.set("key", record.key);
+    j.set("seed", record.seed);
+    j.set("status", toString(record.status));
+    if (!record.error.empty())
+        j.set("error", record.error);
+    if (includeVolatile)
+        j.set("seconds", record.seconds);
+    if (!record.outcome.metrics.empty()) {
+        Json metrics = Json::object();
+        for (const auto &[name, value] : record.outcome.metrics)
+            metrics.set(name, value);
+        j.set("metrics", std::move(metrics));
+    }
+    if (record.outcome.single)
+        j.set("single", toJson(*record.outcome.single));
+    if (record.outcome.multi)
+        j.set("multi", toJson(*record.outcome.multi));
+    return j;
+}
+
+ResultsSink::ResultsSink(std::string experiment)
+    : experiment_(std::move(experiment))
+{
+}
+
+void
+ResultsSink::setScale(double scale)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    scale_ = scale;
+}
+
+void
+ResultsSink::setWorkers(unsigned workers)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    workers_ = workers;
+}
+
+void
+ResultsSink::add(JobRecord record)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(std::move(record));
+}
+
+size_t
+ResultsSink::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_.size();
+}
+
+std::vector<JobRecord>
+ResultsSink::sortedRecords() const
+{
+    std::vector<JobRecord> records;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        records = records_;
+    }
+    std::sort(records.begin(), records.end(),
+              [](const JobRecord &a, const JobRecord &b) {
+                  return a.key < b.key;
+              });
+    return records;
+}
+
+Json
+ResultsSink::toJson(bool includeVolatile) const
+{
+    const std::vector<JobRecord> records = sortedRecords();
+    double scale = 1.0;
+    unsigned workers = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        scale = scale_;
+        workers = workers_;
+    }
+
+    Json doc = Json::object();
+    doc.set("schema", "pdp-bench-results/v1");
+    doc.set("experiment", experiment_);
+    doc.set("git", PDP_GIT_DESCRIBE);
+    doc.set("scale", scale);
+    if (includeVolatile)
+        doc.set("workers", workers);
+    doc.set("job_count", static_cast<uint64_t>(records.size()));
+    Json jobs = Json::array();
+    for (const JobRecord &record : records)
+        jobs.push(runner::toJson(record, includeVolatile));
+    doc.set("jobs", std::move(jobs));
+    return doc;
+}
+
+std::string
+ResultsSink::fileName() const
+{
+    return "BENCH_" + experiment_ + ".json";
+}
+
+std::string
+ResultsSink::jsonDirectory()
+{
+    const char *env = std::getenv("PDP_BENCH_JSON");
+    if (!env)
+        return ".";
+    const std::string value(env);
+    if (value.empty() || value == "0" || value == "none")
+        return "";
+    return value;
+}
+
+bool
+ResultsSink::writeFile(const std::string &directory,
+                       std::string *pathOut) const
+{
+    std::string dir = directory.empty() ? jsonDirectory() : directory;
+    if (dir.empty() || dir == "none" || dir == "0")
+        return false;
+    if (dir.back() != '/')
+        dir += '/';
+    const std::string path = dir + fileName();
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toJson().dump(2) << '\n';
+    if (!out)
+        return false;
+    if (pathOut)
+        *pathOut = path;
+    return true;
+}
+
+} // namespace runner
+} // namespace pdp

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * ResultsSink: thread-safe collection of job records and their JSON
+ * serialization.
+ *
+ * One sink per harness.  Worker threads add() records as jobs finish
+ * (wire it to ExecutorOptions::onComplete); the coordinating thread then
+ * serializes everything as one BENCH_<experiment>.json document next to
+ * the usual text tables.
+ *
+ * JSON schema ("pdp-bench-results/v1"):
+ *
+ *   {
+ *     "schema": "pdp-bench-results/v1",
+ *     "experiment": "fig10_single_core",
+ *     "git": "<git describe at configure time>",
+ *     "scale": 0.1,               // PDP_BENCH_SCALE in effect
+ *     "workers": 8,               // volatile: omitted in deterministic dumps
+ *     "job_count": 442,
+ *     "jobs": [                   // sorted by key
+ *       {
+ *         "key": "fig10/401.gcc/DIP",
+ *         "seed": 1234,
+ *         "status": "ok" | "failed" | "timed_out",
+ *         "error": "...",         // only when non-empty
+ *         "seconds": 1.32,        // volatile: omitted in deterministic dumps
+ *         "metrics": {"best_pd": 72, ...},          // optional scalars
+ *         "single": { ... SimResult fields ... },   // when present
+ *         "multi": { ... MultiCoreResult fields ... }
+ *       }, ...
+ *     ]
+ *   }
+ *
+ * The deterministic form (includeVolatile = false) omits wall-clock
+ * durations and the worker count, so a 1-worker and an N-worker sweep of
+ * the same grid dump byte-identical documents — that equality is the
+ * runner's determinism test.
+ */
+
+#ifndef PDP_RUNNER_RESULTS_SINK_H
+#define PDP_RUNNER_RESULTS_SINK_H
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runner/job.h"
+#include "runner/json.h"
+
+namespace pdp
+{
+namespace runner
+{
+
+/** SimResult as a JSON object (schema above). */
+Json toJson(const SimResult &result);
+
+/** MultiCoreResult as a JSON object (schema above). */
+Json toJson(const MultiCoreResult &result);
+
+/** One job record as a JSON object. */
+Json toJson(const JobRecord &record, bool includeVolatile = true);
+
+class ResultsSink
+{
+  public:
+    explicit ResultsSink(std::string experiment);
+
+    const std::string &experiment() const { return experiment_; }
+
+    /** Record the harness's run-length scale factor (PDP_BENCH_SCALE). */
+    void setScale(double scale);
+
+    /** Record the executor's worker count (volatile metadata). */
+    void setWorkers(unsigned workers);
+
+    /** Append one record.  Thread-safe; callable from worker threads. */
+    void add(JobRecord record);
+
+    size_t size() const;
+
+    /** All records sorted by job key (stable across worker counts). */
+    std::vector<JobRecord> sortedRecords() const;
+
+    /** The whole document; includeVolatile = false for the byte-stable
+     *  deterministic form (see file comment). */
+    Json toJson(bool includeVolatile = true) const;
+
+    /** "BENCH_<experiment>.json". */
+    std::string fileName() const;
+
+    /**
+     * Write the document into `directory` ("" uses jsonDirectory()).
+     * Returns false (without writing) when JSON output is disabled or
+     * the file cannot be created; stores the path written to in
+     * *pathOut on success.
+     */
+    bool writeFile(const std::string &directory = "",
+                   std::string *pathOut = nullptr) const;
+
+    /**
+     * Output directory from PDP_BENCH_JSON: unset -> "." (current
+     * directory); "none" or "0" -> disabled (returns ""); anything else
+     * is used as the directory.
+     */
+    static std::string jsonDirectory();
+
+  private:
+    std::string experiment_;
+    double scale_ = 1.0;
+    unsigned workers_ = 0;
+    mutable std::mutex mutex_;
+    std::vector<JobRecord> records_;
+};
+
+} // namespace runner
+} // namespace pdp
+
+#endif // PDP_RUNNER_RESULTS_SINK_H

@@ -1,0 +1,611 @@
+#include "runner/suites.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "cache/hierarchy.h"
+#include "core/pdp_policy.h"
+#include "policies/rrip.h"
+#include "runner/thread_pool.h"
+#include "sim/policy_factory.h"
+#include "sim/static_pd_search.h"
+#include "trace/spec_suite.h"
+#include "trace/workload.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace pdp
+{
+namespace runner
+{
+
+RecordLookup::RecordLookup(const std::vector<JobRecord> &records)
+{
+    for (const JobRecord &record : records)
+        byKey_.emplace(record.key, &record);
+}
+
+const JobRecord *
+RecordLookup::find(const std::string &key) const
+{
+    const auto it = byKey_.find(key);
+    return it == byKey_.end() ? nullptr : it->second;
+}
+
+const SimResult *
+RecordLookup::single(const std::string &key) const
+{
+    const JobRecord *record = find(key);
+    if (!record || record->status == JobStatus::Failed ||
+        !record->outcome.single)
+        return nullptr;
+    return &*record->outcome.single;
+}
+
+const MultiCoreResult *
+RecordLookup::multi(const std::string &key) const
+{
+    const JobRecord *record = find(key);
+    if (!record || record->status == JobStatus::Failed ||
+        !record->outcome.multi)
+        return nullptr;
+    return &*record->outcome.multi;
+}
+
+Job
+singleCoreJob(std::string key, std::string benchmark,
+              std::function<std::unique_ptr<ReplacementPolicy>()> makePol,
+              const SimConfig &config)
+{
+    Job job;
+    job.key = std::move(key);
+    job.seed = seedFor(benchmark);
+    job.run = [benchmark = std::move(benchmark), makePol = std::move(makePol),
+               config](const JobContext &ctx) {
+        auto gen = SpecSuite::make(benchmark, ctx.seed);
+        Hierarchy hierarchy(config.hierarchy, makePol());
+        JobOutcome outcome;
+        outcome.single = runSingleCore(*gen, hierarchy, config);
+        return outcome;
+    };
+    return job;
+}
+
+Job
+singleCoreJob(std::string key, std::string benchmark, std::string policySpec,
+              const SimConfig &config)
+{
+    return singleCoreJob(
+        std::move(key), std::move(benchmark),
+        [policySpec = std::move(policySpec)] { return makePolicy(policySpec); },
+        config);
+}
+
+Job
+multiCoreJob(std::string key, WorkloadSpec workload, std::string policySpec,
+             const MultiCoreConfig &config)
+{
+    Job job;
+    job.key = std::move(key);
+    job.seed = seedFor(workload.label());
+    job.run = [workload = std::move(workload),
+               policySpec = std::move(policySpec),
+               config](const JobContext &) {
+        JobOutcome outcome;
+        outcome.multi = runMultiCore(workload, policySpec, config);
+        return outcome;
+    };
+    return job;
+}
+
+namespace
+{
+
+SimConfig
+scaledConfig(double scale, uint64_t accesses = 3'000'000,
+             uint64_t warmup = 1'000'000)
+{
+    SimConfig config;
+    config.accesses = accesses;
+    config.warmup = warmup;
+    return config.scaled(scale);
+}
+
+/** Miss-minimizing point of an already-run static-PD grid (strictly
+ *  smaller wins, so ties keep the earliest grid point — the same
+ *  tie-break as pdp::bestStaticPd). */
+struct GridBest
+{
+    uint32_t pd = 0;
+    const SimResult *result = nullptr;
+};
+
+GridBest
+bestOverPdGrid(const RecordLookup &records, const std::string &prefix)
+{
+    GridBest best;
+    for (uint32_t pd : defaultPdGrid()) {
+        const SimResult *r = records.single(prefix + std::to_string(pd));
+        if (!r)
+            continue;
+        if (!best.result || r->llcMisses < best.result->llcMisses) {
+            best.pd = pd;
+            best.result = r;
+        }
+    }
+    return best;
+}
+
+// ---------------------------------------------------------------------------
+// fig10_single_core — Fig. 10: single-core policies vs DIP.
+
+const std::vector<std::string> kFig10Policies = {
+    "DRRIP", "EELRU", "SDP", "PDP-2", "PDP-3", "PDP-8",
+};
+
+std::vector<Job>
+buildFig10(const SuiteOptions &options)
+{
+    const SimConfig config = scaledConfig(options.scale);
+    std::vector<Job> jobs;
+    for (const std::string &bench : SpecSuite::singleCoreNames()) {
+        const std::string prefix = "fig10/" + bench + "/";
+        jobs.push_back(singleCoreJob(prefix + "DIP", bench, "DIP", config));
+        for (const std::string &policy : kFig10Policies)
+            jobs.push_back(singleCoreJob(prefix + policy, bench, policy,
+                                         config));
+        for (uint32_t pd : defaultPdGrid())
+            jobs.push_back(singleCoreJob(
+                prefix + "SPDP-B:" + std::to_string(pd), bench,
+                "SPDP-B:" + std::to_string(pd), config));
+    }
+    return jobs;
+}
+
+void
+reportFig10(std::ostream &out, const RecordLookup &records)
+{
+    out << "==== Fig. 10: single-core policies (normalized to DIP) "
+           "====\n\n";
+
+    Table miss_table([] {
+        std::vector<std::string> h = {"benchmark"};
+        for (const auto &p : kFig10Policies)
+            h.push_back(p);
+        h.push_back("SPDP-B");
+        return h;
+    }());
+    Table ipc_table = miss_table;
+    Table bypass_table({"benchmark", "SDP", "PDP-2", "PDP-3", "PDP-8",
+                        "SPDP-B"});
+
+    std::map<std::string, Accumulator> miss_avg, ipc_avg, bypass_avg;
+
+    for (const std::string &bench : SpecSuite::singleCoreNames()) {
+        const std::string prefix = "fig10/" + bench + "/";
+        const bool in_average = bench != "483.xalancbmk.1" &&
+                                bench != "483.xalancbmk.2";
+
+        const SimResult *dip = records.single(prefix + "DIP");
+        if (!dip) {
+            out << "(skipping " << bench << ": DIP baseline missing)\n";
+            continue;
+        }
+
+        std::vector<std::string> miss_row = {bench};
+        std::vector<std::string> ipc_row = {bench};
+        std::vector<std::string> bypass_row = {bench};
+
+        auto account = [&](const std::string &policy, const SimResult *r,
+                           bool track_bypass) {
+            if (!r) {
+                miss_row.push_back("n/a");
+                ipc_row.push_back("n/a");
+                if (track_bypass)
+                    bypass_row.push_back("n/a");
+                return;
+            }
+            const double miss_red = dip->llcMisses
+                ? 1.0 - static_cast<double>(r->llcMisses) / dip->llcMisses
+                : 0.0;
+            const double ipc_imp =
+                dip->ipc > 0 ? r->ipc / dip->ipc - 1.0 : 0.0;
+            miss_row.push_back(Table::pct(miss_red));
+            ipc_row.push_back(Table::pct(ipc_imp));
+            if (track_bypass)
+                bypass_row.push_back(Table::upct(r->bypassFraction));
+            if (in_average) {
+                miss_avg[policy].add(miss_red);
+                ipc_avg[policy].add(ipc_imp);
+                if (track_bypass)
+                    bypass_avg[policy].add(r->bypassFraction);
+            }
+        };
+
+        for (const std::string &policy : kFig10Policies)
+            account(policy, records.single(prefix + policy),
+                    policy == "SDP" || policy.rfind("PDP", 0) == 0);
+
+        // SPDP-B with the best static PD for this benchmark.
+        const GridBest spdp = bestOverPdGrid(records, prefix + "SPDP-B:");
+        account("SPDP-B", spdp.result, true);
+        if (spdp.result)
+            miss_row.back() += " (pd=" + std::to_string(spdp.pd) + ")";
+
+        miss_table.addRow(miss_row);
+        ipc_table.addRow(ipc_row);
+        bypass_table.addRow(bypass_row);
+    }
+
+    auto add_average = [&](Table &table,
+                           std::map<std::string, Accumulator> &avg,
+                           const std::vector<std::string> &cols) {
+        std::vector<std::string> row = {"AVERAGE"};
+        for (const auto &c : cols)
+            row.push_back(Table::pct(avg[c].mean()));
+        table.addRow(row);
+    };
+
+    std::vector<std::string> all_cols = kFig10Policies;
+    all_cols.push_back("SPDP-B");
+
+    out << "--- (a) miss reduction vs DIP ---\n";
+    add_average(miss_table, miss_avg, all_cols);
+    miss_table.print(out);
+
+    out << "\n--- (b) IPC improvement vs DIP ---\n";
+    add_average(ipc_table, ipc_avg, all_cols);
+    ipc_table.print(out);
+
+    out << "\n--- (c) bypass fraction of LLC accesses ---\n";
+    add_average(bypass_table, bypass_avg,
+                {"SDP", "PDP-2", "PDP-3", "PDP-8", "SPDP-B"});
+    bypass_table.print(out);
+
+    out << "\nPaper reference (averages over the suite): DRRIP +1.5% "
+           "IPC, SDP +1.6%, PDP-2 +2.9%, PDP-3 +4.2%, EELRU "
+           "negative; bypass ~40%.\n";
+}
+
+// ---------------------------------------------------------------------------
+// fig4_static_pdp — Fig. 4: DRRIP(best eps) vs static PDP.
+
+const std::vector<unsigned> kFig4EpsDenoms = {4, 8, 16, 32, 64, 128};
+
+std::vector<Job>
+buildFig4(const SuiteOptions &options)
+{
+    const SimConfig config = scaledConfig(options.scale, 2'000'000, 800'000);
+    std::vector<Job> jobs;
+    for (const std::string &bench : SpecSuite::singleCoreNames()) {
+        const std::string prefix = "fig4/" + bench + "/";
+        for (unsigned denom : kFig4EpsDenoms)
+            jobs.push_back(singleCoreJob(
+                prefix + "DRRIP-eps:" + std::to_string(denom), bench,
+                [denom] { return makeDrrip(1.0 / denom); }, config));
+        for (uint32_t pd : defaultPdGrid()) {
+            jobs.push_back(singleCoreJob(
+                prefix + "SPDP-NB:" + std::to_string(pd), bench,
+                [pd] { return makeSpdpNb(pd); }, config));
+            jobs.push_back(singleCoreJob(
+                prefix + "SPDP-B:" + std::to_string(pd), bench,
+                [pd] { return makeSpdpB(pd); }, config));
+        }
+    }
+    return jobs;
+}
+
+void
+reportFig4(std::ostream &out, const RecordLookup &records)
+{
+    out << "==== Fig. 4: DRRIP(best eps) vs static PDP, miss "
+           "reduction over DRRIP(eps=1/32) ====\n\n";
+
+    Table table({"benchmark", "DRRIP best-eps", "SPDP-NB", "SPDP-B",
+                 "best PD (NB)", "best PD (B)"});
+    Accumulator avg_eps, avg_nb, avg_b;
+
+    for (const std::string &bench : SpecSuite::singleCoreNames()) {
+        const std::string prefix = "fig4/" + bench + "/";
+
+        // Baseline: DRRIP at the paper's default epsilon.
+        const SimResult *base = records.single(prefix + "DRRIP-eps:32");
+        if (!base) {
+            out << "(skipping " << bench << ": DRRIP baseline missing)\n";
+            continue;
+        }
+
+        // DRRIP with the best epsilon of Fig. 2's sweep.
+        uint64_t best_eps_misses = ~0ull;
+        for (unsigned denom : kFig4EpsDenoms) {
+            const SimResult *r = records.single(
+                prefix + "DRRIP-eps:" + std::to_string(denom));
+            if (r)
+                best_eps_misses = std::min(best_eps_misses, r->llcMisses);
+        }
+
+        const GridBest nb = bestOverPdGrid(records, prefix + "SPDP-NB:");
+        const GridBest bp = bestOverPdGrid(records, prefix + "SPDP-B:");
+        if (!nb.result || !bp.result) {
+            out << "(skipping " << bench << ": static-PD grid missing)\n";
+            continue;
+        }
+
+        auto reduction = [&](uint64_t misses) {
+            return base->llcMisses
+                ? 1.0 - static_cast<double>(misses) / base->llcMisses
+                : 0.0;
+        };
+        const double r_eps = reduction(best_eps_misses);
+        const double r_nb = reduction(nb.result->llcMisses);
+        const double r_b = reduction(bp.result->llcMisses);
+        avg_eps.add(r_eps);
+        avg_nb.add(r_nb);
+        avg_b.add(r_b);
+
+        table.addRow({bench, Table::pct(r_eps), Table::pct(r_nb),
+                      Table::pct(r_b), std::to_string(nb.pd),
+                      std::to_string(bp.pd)});
+    }
+    table.addRow({"AVERAGE", Table::pct(avg_eps.mean()),
+                  Table::pct(avg_nb.mean()), Table::pct(avg_b.mean()), "",
+                  ""});
+    table.print(out);
+
+    out << "\nPaper reference: SPDP-B >= SPDP-NB >= DRRIP(best eps) "
+           ">= 0 on nearly every benchmark.\n";
+}
+
+// ---------------------------------------------------------------------------
+// fig12_partitioning — Fig. 12: shared-cache partitioning.
+
+const std::vector<std::string> kFig12Policies = {"UCP", "PIPP", "PDP-2",
+                                                 "PDP-3"};
+constexpr unsigned kFig12Workloads = 8;
+
+std::vector<Job>
+buildFig12(const SuiteOptions &options)
+{
+    std::vector<Job> jobs;
+    for (unsigned cores : {4u, 16u}) {
+        MultiCoreConfig config;
+        config.cores = cores;
+        config = config.scaled(options.scale);
+        const auto workloads = randomWorkloads(kFig12Workloads, cores);
+        for (unsigned w = 0; w < workloads.size(); ++w) {
+            const std::string prefix = "fig12/" + std::to_string(cores) +
+                "c/w" + std::to_string(w) + "/";
+            jobs.push_back(multiCoreJob(prefix + "TA-DRRIP", workloads[w],
+                                        "TA-DRRIP", config));
+            for (const std::string &policy : kFig12Policies)
+                jobs.push_back(multiCoreJob(prefix + policy, workloads[w],
+                                            policy, config));
+        }
+    }
+    return jobs;
+}
+
+void
+reportFig12(std::ostream &out, const RecordLookup &records)
+{
+    out << "==== Fig. 12: shared-cache partitioning ====\n\n";
+
+    for (unsigned cores : {4u, 16u}) {
+        const auto workloads = randomWorkloads(kFig12Workloads, cores);
+
+        out << "--- " << cores << "-core workloads (normalized to "
+               "TA-DRRIP) ---\n";
+        Table table(
+            {"workload", "metric", "UCP", "PIPP", "PDP-2", "PDP-3"});
+
+        std::map<std::string, Accumulator> avg_w, avg_t, avg_h;
+        for (unsigned w = 0; w < workloads.size(); ++w) {
+            const std::string prefix = "fig12/" + std::to_string(cores) +
+                "c/w" + std::to_string(w) + "/";
+            const MultiCoreResult *base = records.multi(prefix + "TA-DRRIP");
+            if (!base) {
+                out << "(skipping " << workloads[w].label()
+                    << ": TA-DRRIP baseline missing)\n";
+                continue;
+            }
+
+            std::vector<std::string> row_w = {workloads[w].label(), "W"};
+            std::vector<std::string> row_t = {"", "T"};
+            std::vector<std::string> row_h = {"", "H"};
+            for (const std::string &policy : kFig12Policies) {
+                const MultiCoreResult *r = records.multi(prefix + policy);
+                if (!r) {
+                    row_w.push_back("n/a");
+                    row_t.push_back("n/a");
+                    row_h.push_back("n/a");
+                    continue;
+                }
+                const double wv = r->weightedIpc / base->weightedIpc - 1.0;
+                const double tv = r->throughput / base->throughput - 1.0;
+                const double hv =
+                    r->harmonicFairness / base->harmonicFairness - 1.0;
+                row_w.push_back(Table::pct(wv));
+                row_t.push_back(Table::pct(tv));
+                row_h.push_back(Table::pct(hv));
+                avg_w[policy].add(wv);
+                avg_t[policy].add(tv);
+                avg_h[policy].add(hv);
+            }
+            table.addRow(row_w);
+            table.addRow(row_t);
+            table.addRow(row_h);
+        }
+
+        for (const char *metric : {"W", "T", "H"}) {
+            std::vector<std::string> row = {"AVERAGE", metric};
+            auto &avg = metric[0] == 'W' ? avg_w
+                        : metric[0] == 'T' ? avg_t
+                                           : avg_h;
+            for (const std::string &policy : kFig12Policies)
+                row.push_back(Table::pct(avg[policy].mean()));
+            table.addRow(row);
+        }
+        table.print(out);
+        out << '\n';
+    }
+    out << "Paper reference: 16-core PDP-3 partitioning +5.2% W, "
+           "+6.4% T, +9.9% H over TA-DRRIP; UCP/PIPP scale poorly.\n";
+}
+
+// ---------------------------------------------------------------------------
+// smoke — a minutes-at-scale-1, seconds-at-0.02 CI sanity grid.
+
+std::vector<Job>
+buildSmoke(const SuiteOptions &options)
+{
+    const SimConfig config =
+        scaledConfig(options.scale, 1'500'000, 500'000);
+    std::vector<Job> jobs;
+
+    const std::vector<std::pair<std::string, std::string>> cells = {
+        {"450.soplex", "DIP"},       {"450.soplex", "PDP-3"},
+        {"436.cactusADM", "DRRIP"},  {"436.cactusADM", "PDP-3"},
+        {"436.cactusADM", "SPDP-B:64"},
+    };
+    for (const auto &[bench, policy] : cells)
+        jobs.push_back(singleCoreJob("smoke/" + bench + "/" + policy, bench,
+                                     policy, config));
+
+    // A tiny static-PD grid (the embarrassingly parallel shape of Fig. 4).
+    for (uint32_t pd : {32u, 64u, 128u})
+        jobs.push_back(singleCoreJob(
+            "smoke/450.soplex/SPDP-B:" + std::to_string(pd), "450.soplex",
+            [pd] { return makeSpdpB(pd); }, config));
+
+    // One 2-core shared-LLC job.
+    MultiCoreConfig mc;
+    mc.cores = 2;
+    mc = mc.scaled(options.scale);
+    const auto names = SpecSuite::multiCoreNames();
+    WorkloadSpec workload;
+    workload.benchmarks = {names.at(0), names.at(1)};
+    jobs.push_back(
+        multiCoreJob("smoke/multi/w0/PDP-2", workload, "PDP-2", mc));
+    return jobs;
+}
+
+} // namespace
+
+const std::vector<Suite> &
+allSuites()
+{
+    static const std::vector<Suite> suites = {
+        {"fig10_single_core",
+         "Fig. 10: single-core replacement/bypass policies vs DIP",
+         buildFig10, reportFig10},
+        {"fig4_static_pdp",
+         "Fig. 4: best-eps DRRIP vs static PDP (64+-point PD grids)",
+         buildFig4, reportFig4},
+        {"fig12_partitioning",
+         "Fig. 12: 4-/16-core shared-cache partitioning vs TA-DRRIP",
+         buildFig12, reportFig12},
+        // No figure report: the generic per-job table from runSuite()
+        // is the whole story for a sanity grid.
+        {"smoke", "small single-/multi-core grid for CI smoke runs",
+         buildSmoke, nullptr},
+    };
+    return suites;
+}
+
+const Suite *
+findSuite(const std::string &name)
+{
+    for (const Suite &suite : allSuites())
+        if (suite.name == name)
+            return &suite;
+    return nullptr;
+}
+
+namespace
+{
+
+void
+genericReport(std::ostream &out, const std::vector<JobRecord> &records)
+{
+    Table table({"job", "status", "seconds", "ipc", "mpki", "W/T/H"});
+    for (const JobRecord &record : records) {
+        std::string ipc = "-", mpki = "-", wth = "-";
+        if (record.outcome.single) {
+            ipc = Table::num(record.outcome.single->ipc);
+            mpki = Table::num(record.outcome.single->mpki);
+        }
+        if (record.outcome.multi) {
+            const MultiCoreResult &m = *record.outcome.multi;
+            wth = Table::num(m.weightedIpc) + "/" +
+                Table::num(m.throughput) + "/" +
+                Table::num(m.harmonicFairness);
+        }
+        table.addRow({record.key, toString(record.status),
+                      Table::num(record.seconds, 2), ipc, mpki, wth});
+    }
+    table.print(out);
+}
+
+} // namespace
+
+int
+runSuite(const Suite &suite, const SuiteOptions &options, std::ostream &out)
+{
+    ProgressReporter &reporter = ProgressReporter::global();
+    if (options.verbose)
+        reporter.setVerbose(true);
+
+    std::vector<Job> jobs = suite.buildJobs(options);
+    if (!options.filter.empty()) {
+        std::erase_if(jobs, [&](const Job &job) {
+            return job.key.find(options.filter) == std::string::npos;
+        });
+    }
+
+    ResultsSink sink(suite.name);
+    sink.setScale(options.scale);
+
+    ExecutorOptions eopts;
+    eopts.workers = options.workers;
+    eopts.defaultTimeoutSeconds = options.timeoutSeconds;
+    eopts.reporter = &reporter;
+    eopts.onComplete = [&sink](const JobRecord &record) {
+        sink.add(record);
+    };
+    ThreadPoolExecutor executor(eopts);
+    sink.setWorkers(executor.workers());
+
+    reporter.beginBatch(suite.name, jobs.size(), executor.workers());
+    const std::vector<JobRecord> records = executor.run(jobs);
+
+    if (options.filter.empty() && suite.report) {
+        suite.report(out, RecordLookup(records));
+    } else {
+        out << "==== " << suite.name;
+        if (!options.filter.empty())
+            out << " (filtered: \"" << options.filter << "\")";
+        out << " ====\n";
+        genericReport(out, records);
+    }
+
+    int notOk = 0;
+    for (const JobRecord &record : records) {
+        if (record.status == JobStatus::Ok)
+            continue;
+        ++notOk;
+        out << "[runner] " << toString(record.status) << ": " << record.key
+            << (record.error.empty() ? "" : " — " + record.error) << "\n";
+    }
+
+    std::string path;
+    if (sink.writeFile(options.jsonDir, &path))
+        out << "[runner] wrote " << path << "\n";
+    out << "[runner] " << suite.name << ": "
+        << (records.size() - static_cast<size_t>(notOk)) << "/"
+        << records.size() << " job(s) ok on " << executor.workers()
+        << " worker(s)\n";
+    return notOk;
+}
+
+} // namespace runner
+} // namespace pdp

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Named experiment suites: declarative job grids plus the reduce step
+ * that renders each paper figure's tables from the collected records.
+ *
+ * A Suite is (name, description, buildJobs, report).  buildJobs expands
+ * the experiment into independent Jobs (one simulation cell each);
+ * runSuite() executes them on a ThreadPoolExecutor, streams records into
+ * a ResultsSink, writes BENCH_<name>.json and calls report() to print
+ * the figure's text tables — identical output no matter how many workers
+ * ran the grid.
+ *
+ * The bench binaries (bench/bench_fig10_single_core.cpp, ...) are thin
+ * mains over runSuite(); tools/run_experiments lists/filters/runs suites
+ * by name.
+ */
+
+#ifndef PDP_RUNNER_SUITES_H
+#define PDP_RUNNER_SUITES_H
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "policies/replacement_policy.h"
+#include "runner/job.h"
+#include "runner/results_sink.h"
+
+namespace pdp
+{
+namespace runner
+{
+
+/** Knobs of one suite run (usually parsed from env/CLI by the caller). */
+struct SuiteOptions
+{
+    /** Run-length multiplier (PDP_BENCH_SCALE). */
+    double scale = 1.0;
+    /** Worker threads; 0 = hardware concurrency (PDP_BENCH_JOBS). */
+    unsigned workers = 0;
+    /** Per-job progress lines on stderr (PDP_BENCH_VERBOSE). */
+    bool verbose = false;
+    /** JSON output directory; "" = PDP_BENCH_JSON / cwd default,
+     *  "none" disables. */
+    std::string jsonDir;
+    /** Substring filter on job keys; non-empty runs a partial grid and
+     *  replaces the figure report with a generic results table. */
+    std::string filter;
+    /** Soft per-job timeout in seconds; 0 = none. */
+    double timeoutSeconds = 0.0;
+};
+
+/** Key-indexed view over executed records for the reduce step. */
+class RecordLookup
+{
+  public:
+    explicit RecordLookup(const std::vector<JobRecord> &records);
+
+    /** The record for `key`, or nullptr when absent. */
+    const JobRecord *find(const std::string &key) const;
+
+    /** The single-core result for `key`; nullptr when absent, failed or
+     *  not a single-core job. */
+    const SimResult *single(const std::string &key) const;
+
+    /** The multi-core result for `key` under the same rules. */
+    const MultiCoreResult *multi(const std::string &key) const;
+
+  private:
+    std::map<std::string, const JobRecord *> byKey_;
+};
+
+/** One named experiment. */
+struct Suite
+{
+    std::string name;
+    std::string description;
+    std::function<std::vector<Job>(const SuiteOptions &)> buildJobs;
+    std::function<void(std::ostream &, const RecordLookup &)> report;
+};
+
+/** Registry of all suites (fig10_single_core, fig4_static_pdp,
+ *  fig12_partitioning, smoke). */
+const std::vector<Suite> &allSuites();
+
+/** Lookup by name; nullptr when unknown. */
+const Suite *findSuite(const std::string &name);
+
+/**
+ * Build, execute, report and serialize one suite.  Returns the number
+ * of jobs that did not finish Ok (0 == success), so it can be used as a
+ * process exit code.
+ */
+int runSuite(const Suite &suite, const SuiteOptions &options,
+             std::ostream &out);
+
+/**
+ * A single-core simulation job: constructs generator (seeded with
+ * seedFor(benchmark) so every policy of one benchmark sees the same
+ * stream), policy and hierarchy inside the job, per the ownership rule.
+ */
+Job singleCoreJob(std::string key, std::string benchmark,
+                  std::string policySpec, const SimConfig &config);
+
+/** Same, with an explicit policy builder for policies that have no
+ *  factory spec (e.g. DRRIP at a swept epsilon).  The builder runs on
+ *  the worker thread and must be self-contained. */
+Job singleCoreJob(
+    std::string key, std::string benchmark,
+    std::function<std::unique_ptr<ReplacementPolicy>()> makePol,
+    const SimConfig &config);
+
+/** A multi-core workload × policy job. */
+Job multiCoreJob(std::string key, WorkloadSpec workload,
+                 std::string policySpec, const MultiCoreConfig &config);
+
+} // namespace runner
+} // namespace pdp
+
+#endif // PDP_RUNNER_SUITES_H

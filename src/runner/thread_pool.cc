@@ -1,0 +1,112 @@
+#include "runner/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <sstream>
+#include <thread>
+
+#include "check/check.h"
+
+namespace pdp
+{
+namespace runner
+{
+
+ThreadPoolExecutor::ThreadPoolExecutor(ExecutorOptions options)
+    : options_(std::move(options))
+{
+    workers_ = options_.workers;
+    if (workers_ == 0) {
+        workers_ = std::thread::hardware_concurrency();
+        if (workers_ == 0)
+            workers_ = 1;
+    }
+}
+
+JobRecord
+ThreadPoolExecutor::execute(const Job &job, unsigned worker) const
+{
+    JobRecord record;
+    record.key = job.key;
+    record.seed = job.seed;
+
+    JobContext ctx;
+    ctx.seed = job.seed;
+    ctx.worker = worker;
+
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        PDP_CHECK(job.run != nullptr, "job \"", job.key,
+                  "\" has no run callable");
+        record.outcome = job.run(ctx);
+        record.status = JobStatus::Ok;
+    } catch (const std::exception &e) {
+        record.status = JobStatus::Failed;
+        record.error = e.what();
+    } catch (...) {
+        record.status = JobStatus::Failed;
+        record.error = "non-standard exception";
+    }
+    record.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    const double timeout = job.timeoutSeconds > 0
+        ? job.timeoutSeconds
+        : options_.defaultTimeoutSeconds;
+    if (record.status == JobStatus::Ok && timeout > 0 &&
+        record.seconds > timeout) {
+        record.status = JobStatus::TimedOut;
+        std::ostringstream os;
+        os << "soft timeout: ran " << record.seconds << "s, budget "
+           << timeout << "s";
+        record.error = os.str();
+    }
+    return record;
+}
+
+std::vector<JobRecord>
+ThreadPoolExecutor::run(const std::vector<Job> &jobs)
+{
+    std::vector<JobRecord> records(jobs.size());
+    if (jobs.empty())
+        return records;
+
+    std::atomic<size_t> next{0};
+    std::atomic<unsigned> busy{0};
+
+    auto worker = [&](unsigned id) {
+        for (;;) {
+            const size_t index = next.fetch_add(1);
+            if (index >= jobs.size())
+                return;
+            busy.fetch_add(1);
+            records[index] = execute(jobs[index], id);
+            const unsigned stillBusy = busy.fetch_sub(1) - 1;
+            if (options_.reporter)
+                options_.reporter->jobFinished(records[index], stillBusy);
+            if (options_.onComplete)
+                options_.onComplete(records[index]);
+        }
+    };
+
+    const unsigned fanOut = static_cast<unsigned>(
+        std::min<size_t>(workers_, jobs.size()));
+    if (fanOut <= 1) {
+        worker(0);
+        return records;
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(fanOut);
+    for (unsigned id = 0; id < fanOut; ++id)
+        threads.emplace_back(worker, id);
+    for (std::thread &t : threads)
+        t.join();
+    return records;
+}
+
+} // namespace runner
+} // namespace pdp

@@ -1,6 +1,7 @@
 #include "sim/multi_core_sim.h"
 
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "check/invariant_auditor.h"
@@ -39,12 +40,22 @@ makeSharedPolicy(const std::string &spec, unsigned threads)
 double
 standaloneIpc(const std::string &benchmark, const MultiCoreConfig &config)
 {
-    // Memoize per (benchmark, core count, run length).
+    // Memoize per (benchmark, core count, run length).  This is the one
+    // piece of cross-job shared state the experiment runner's workers
+    // may reach concurrently, so the map is mutex-guarded.  The baseline
+    // run itself happens outside the lock: two workers racing on the
+    // same key at worst duplicate a deterministic computation and insert
+    // the identical value, which keeps results independent of worker
+    // count.
     using Key = std::tuple<std::string, unsigned, uint64_t>;
+    static std::mutex mutex;
     static std::map<Key, double> cache;
     const Key key{benchmark, config.cores, config.accessesPerThread};
-    if (auto it = cache.find(key); it != cache.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (auto it = cache.find(key); it != cache.end())
+            return it->second;
+    }
 
     SimConfig single;
     single.accesses = config.accessesPerThread;
@@ -54,7 +65,9 @@ standaloneIpc(const std::string &benchmark, const MultiCoreConfig &config)
     auto gen = SpecSuite::make(benchmark);
     Hierarchy hierarchy(single.hierarchy, std::make_unique<LruPolicy>());
     const SimResult r = runSingleCore(*gen, hierarchy, single);
-    cache[key] = r.ipc;
+
+    std::lock_guard<std::mutex> lock(mutex);
+    cache.emplace(key, r.ipc);
     return r.ipc;
 }
 

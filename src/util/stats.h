@@ -14,7 +14,14 @@
 namespace pdp
 {
 
-/** Streaming accumulator for mean / min / max of a scalar series. */
+/**
+ * Streaming accumulator for mean / min / max of a scalar series.
+ *
+ * Not thread-safe (plain mutable members, by design — it sits on sim
+ * hot paths).  The experiment runner therefore never shares one across
+ * jobs: workers produce immutable JobRecords and all Accumulator-based
+ * reduction happens on the coordinating thread (see src/runner/job.h).
+ */
 class Accumulator
 {
   public:

@@ -23,6 +23,10 @@ namespace pdp
  * Cells are strings; helpers format doubles/percentages consistently.
  * The table renders with a header rule, suitable for diffing between
  * runs of the same experiment.
+ *
+ * Not thread-safe: addRow() mutates without locking.  Experiment-runner
+ * reduce steps build tables on the coordinating thread only, after all
+ * worker jobs have completed (see src/runner/job.h).
  */
 class Table
 {

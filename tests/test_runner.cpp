@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Tests for the experiment runner (src/runner/): executor determinism
+ * across worker counts, per-job fault isolation, soft timeouts, the
+ * JSON value model (round-trip + schema of ResultsSink documents), seed
+ * derivation, and the suite registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "runner/job.h"
+#include "runner/json.h"
+#include "runner/results_sink.h"
+#include "runner/suites.h"
+#include "runner/thread_pool.h"
+
+using namespace pdp;
+using namespace pdp::runner;
+
+namespace
+{
+
+/** A small but real simulation grid: 2 benchmarks x 2 policies. */
+std::vector<Job>
+smallGrid()
+{
+    SimConfig config;
+    config.accesses = 30'000;
+    config.warmup = 8'000;
+    std::vector<Job> jobs;
+    for (const char *bench : {"450.soplex", "429.mcf"})
+        for (const char *policy : {"LRU", "PDP-3"})
+            jobs.push_back(singleCoreJob(
+                std::string("grid/") + bench + "/" + policy, bench, policy,
+                config));
+    return jobs;
+}
+
+std::string
+deterministicDump(const std::vector<JobRecord> &records)
+{
+    ResultsSink sink("determinism");
+    for (const JobRecord &record : records)
+        sink.add(record);
+    return sink.toJson(/*includeVolatile=*/false).dump(2);
+}
+
+} // namespace
+
+TEST(SeedFor, StableDistinctNonZero)
+{
+    EXPECT_EQ(seedFor("450.soplex"), seedFor("450.soplex"));
+    EXPECT_NE(seedFor("450.soplex"), seedFor("429.mcf"));
+    EXPECT_NE(seedFor(""), 0u);
+    EXPECT_NE(seedFor("x"), 0u);
+}
+
+TEST(ThreadPoolExecutor, RecordsComeBackInInputOrder)
+{
+    std::vector<Job> jobs;
+    for (int i = 0; i < 16; ++i) {
+        Job job;
+        job.key = "job" + std::to_string(i);
+        job.seed = seedFor(job.key);
+        job.run = [i](const JobContext &) {
+            JobOutcome outcome;
+            outcome.metrics["index"] = i;
+            return outcome;
+        };
+        jobs.push_back(std::move(job));
+    }
+    ExecutorOptions options;
+    options.workers = 4;
+    const auto records = ThreadPoolExecutor(options).run(jobs);
+    ASSERT_EQ(records.size(), jobs.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].key, jobs[i].key);
+        EXPECT_EQ(records[i].status, JobStatus::Ok);
+        EXPECT_EQ(records[i].outcome.metrics.at("index"),
+                  static_cast<double>(i));
+    }
+}
+
+TEST(ThreadPoolExecutor, ParallelRunIsByteIdenticalToSerial)
+{
+    ExecutorOptions serial;
+    serial.workers = 1;
+    const std::string one = deterministicDump(
+        ThreadPoolExecutor(serial).run(smallGrid()));
+
+    ExecutorOptions parallel;
+    parallel.workers = 4;
+    const std::string four = deterministicDump(
+        ThreadPoolExecutor(parallel).run(smallGrid()));
+
+    EXPECT_EQ(one, four);
+    // The dump really carries simulation payload, not just headers.
+    EXPECT_NE(one.find("\"llc_misses\""), std::string::npos);
+}
+
+TEST(ThreadPoolExecutor, ThrowingJobBecomesFailedRecordAndSweepCompletes)
+{
+    std::vector<Job> jobs = smallGrid();
+    Job bomb;
+    bomb.key = "grid/bomb";
+    bomb.seed = seedFor(bomb.key);
+    bomb.run = [](const JobContext &) -> JobOutcome {
+        throw std::runtime_error("injected failure");
+    };
+    jobs.insert(jobs.begin() + 1, std::move(bomb));
+
+    ExecutorOptions options;
+    options.workers = 3;
+    const auto records = ThreadPoolExecutor(options).run(jobs);
+    ASSERT_EQ(records.size(), jobs.size());
+
+    unsigned ok = 0, failed = 0;
+    for (const JobRecord &record : records) {
+        if (record.key == "grid/bomb") {
+            EXPECT_EQ(record.status, JobStatus::Failed);
+            EXPECT_NE(record.error.find("injected failure"),
+                      std::string::npos);
+            ++failed;
+        } else {
+            EXPECT_EQ(record.status, JobStatus::Ok);
+            ASSERT_TRUE(record.outcome.single.has_value());
+            EXPECT_GT(record.outcome.single->llcAccesses, 0u);
+            ++ok;
+        }
+    }
+    EXPECT_EQ(failed, 1u);
+    EXPECT_EQ(ok, jobs.size() - 1);
+}
+
+TEST(ThreadPoolExecutor, MissingRunCallableIsACapturedFailure)
+{
+    Job job;
+    job.key = "no-run";
+    const auto records = ThreadPoolExecutor().run({job});
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].status, JobStatus::Failed);
+    EXPECT_NE(records[0].error.find("no run callable"), std::string::npos);
+}
+
+TEST(ThreadPoolExecutor, SoftTimeoutMarksOverrunningJob)
+{
+    Job slow;
+    slow.key = "slow";
+    slow.seed = seedFor(slow.key);
+    slow.timeoutSeconds = 1e-6;
+    slow.run = [](const JobContext &) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        JobOutcome outcome;
+        outcome.metrics["done"] = 1.0;
+        return outcome;
+    };
+    const auto records = ThreadPoolExecutor().run({slow});
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].status, JobStatus::TimedOut);
+    EXPECT_NE(records[0].error.find("soft timeout"), std::string::npos);
+    // The outcome still carries the completed work.
+    EXPECT_EQ(records[0].outcome.metrics.at("done"), 1.0);
+}
+
+TEST(ThreadPoolExecutor, OnCompleteStreamsIntoSinkThreadSafely)
+{
+    ResultsSink sink("stream");
+    ExecutorOptions options;
+    options.workers = 4;
+    options.onComplete = [&sink](const JobRecord &record) {
+        sink.add(record);
+    };
+    const auto records = ThreadPoolExecutor(options).run(smallGrid());
+    EXPECT_EQ(sink.size(), records.size());
+    // sortedRecords orders by key regardless of completion order.
+    const auto sorted = sink.sortedRecords();
+    for (size_t i = 1; i < sorted.size(); ++i)
+        EXPECT_LT(sorted[i - 1].key, sorted[i].key);
+}
+
+TEST(Json, ScalarAndContainerRoundTrip)
+{
+    Json doc = Json::object();
+    doc.set("bool", true);
+    doc.set("int", static_cast<int64_t>(-42));
+    doc.set("uint", static_cast<uint64_t>(18446744073709551615ull));
+    doc.set("real", 0.1);
+    doc.set("string", "esc \"quotes\" \\ and\nnewline\ttab");
+    doc.set("null", Json());
+    Json arr = Json::array();
+    arr.push(1).push("two").push(Json::object().set("k", "v"));
+    doc.set("arr", std::move(arr));
+
+    for (int indent : {0, 2}) {
+        const std::string text = doc.dump(indent);
+        std::string error;
+        const auto parsed = Json::parse(text, &error);
+        ASSERT_TRUE(parsed.has_value()) << error;
+        EXPECT_TRUE(parsed->find("bool")->asBool());
+        EXPECT_EQ(parsed->find("int")->asNumber(), -42.0);
+        EXPECT_EQ(parsed->find("uint")->asUint(),
+                  18446744073709551615ull);
+        EXPECT_EQ(parsed->find("real")->asNumber(), 0.1);
+        EXPECT_EQ(parsed->find("string")->asString(),
+                  "esc \"quotes\" \\ and\nnewline\ttab");
+        EXPECT_TRUE(parsed->find("null")->isNull());
+        ASSERT_EQ(parsed->find("arr")->size(), 3u);
+        EXPECT_EQ(parsed->find("arr")->at(1).asString(), "two");
+        // Re-dumping the parse reproduces the original text exactly.
+        EXPECT_EQ(parsed->dump(indent), text);
+    }
+}
+
+TEST(Json, ParserRejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2",
+          "{\"a\" 1}", "nul", "[1]extra"}) {
+        std::string error;
+        EXPECT_FALSE(Json::parse(bad, &error).has_value())
+            << "accepted: " << bad;
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(Json, UnicodeEscapeParses)
+{
+    const auto parsed = Json::parse("\"A\\u0042\\u00e9\"");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->asString(), "AB\xc3\xa9");
+}
+
+TEST(ResultsSink, DocumentMatchesSchema)
+{
+    ExecutorOptions options;
+    options.workers = 2;
+    ResultsSink sink("schema_check");
+    sink.setScale(0.25);
+    options.onComplete = [&sink](const JobRecord &r) { sink.add(r); };
+    ThreadPoolExecutor executor(options);
+    sink.setWorkers(executor.workers());
+    executor.run(smallGrid());
+
+    std::string error;
+    const auto doc = Json::parse(sink.toJson().dump(2), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+
+    ASSERT_TRUE(doc->find("schema"));
+    EXPECT_EQ(doc->find("schema")->asString(), "pdp-bench-results/v1");
+    EXPECT_EQ(doc->find("experiment")->asString(), "schema_check");
+    ASSERT_TRUE(doc->find("git"));
+    EXPECT_TRUE(doc->find("git")->isString());
+    EXPECT_EQ(doc->find("scale")->asNumber(), 0.25);
+    EXPECT_EQ(doc->find("workers")->asUint(), 2u);
+    ASSERT_TRUE(doc->find("jobs"));
+    const Json &jobs = *doc->find("jobs");
+    ASSERT_TRUE(jobs.isArray());
+    EXPECT_EQ(doc->find("job_count")->asUint(), jobs.size());
+    ASSERT_EQ(jobs.size(), 4u);
+
+    std::set<std::string> keys;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const Json &job = jobs.at(i);
+        ASSERT_TRUE(job.find("key"));
+        keys.insert(job.find("key")->asString());
+        EXPECT_NE(job.find("seed")->asUint(), 0u);
+        EXPECT_EQ(job.find("status")->asString(), "ok");
+        ASSERT_TRUE(job.find("seconds"));
+        const Json *single = job.find("single");
+        ASSERT_TRUE(single);
+        for (const char *field :
+             {"benchmark", "policy", "ipc", "mpki", "llc_accesses",
+              "llc_hits", "llc_misses", "llc_bypasses", "bypass_fraction"})
+            EXPECT_TRUE(single->find(field)) << field;
+        if (i > 0) {
+            EXPECT_LT(jobs.at(i - 1).find("key")->asString(),
+                      job.find("key")->asString());
+        }
+    }
+    EXPECT_EQ(keys.size(), 4u);
+}
+
+TEST(ResultsSink, WriteFileAndEnvKnob)
+{
+    ResultsSink sink("file_check");
+    JobRecord record;
+    record.key = "k";
+    record.seed = 7;
+    record.status = JobStatus::Ok;
+    sink.add(record);
+
+    const std::string dir = ::testing::TempDir();
+    std::string path;
+    ASSERT_TRUE(sink.writeFile(dir, &path));
+    EXPECT_NE(path.find("BENCH_file_check.json"), std::string::npos);
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string text(1 << 16, '\0');
+    text.resize(std::fread(text.data(), 1, text.size(), f));
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    const auto doc = Json::parse(text);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("experiment")->asString(), "file_check");
+
+    // "none" disables output.
+    EXPECT_FALSE(sink.writeFile("none"));
+}
+
+TEST(Suites, RegistryHasThePortedFiguresAndUniqueJobKeys)
+{
+    for (const char *name :
+         {"fig10_single_core", "fig4_static_pdp", "fig12_partitioning",
+          "smoke"}) {
+        const Suite *suite = findSuite(name);
+        ASSERT_NE(suite, nullptr) << name;
+        SuiteOptions options;
+        options.scale = 0.01;
+        const auto jobs = suite->buildJobs(options);
+        EXPECT_FALSE(jobs.empty()) << name;
+        std::set<std::string> keys;
+        for (const Job &job : jobs) {
+            EXPECT_TRUE(keys.insert(job.key).second)
+                << name << ": duplicate key " << job.key;
+            EXPECT_NE(job.seed, 0u) << job.key;
+            EXPECT_TRUE(job.run != nullptr) << job.key;
+        }
+    }
+    EXPECT_EQ(findSuite("no_such_suite"), nullptr);
+}
+
+TEST(Suites, SmokeSuiteRunsEndToEndAndWritesJson)
+{
+    const Suite *suite = findSuite("smoke");
+    ASSERT_NE(suite, nullptr);
+    SuiteOptions options;
+    options.scale = 0.02;
+    options.workers = 2;
+    options.jsonDir = ::testing::TempDir();
+
+    std::ostringstream out;
+    EXPECT_EQ(runSuite(*suite, options, out), 0);
+    EXPECT_NE(out.str().find("smoke"), std::string::npos);
+    EXPECT_NE(out.str().find("ok"), std::string::npos);
+
+    std::string dir = options.jsonDir;
+    if (dir.back() != '/')
+        dir += '/';
+    const std::string path = dir + "BENCH_smoke.json";
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string text(1 << 20, '\0');
+    text.resize(std::fread(text.data(), 1, text.size(), f));
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    const auto doc = Json::parse(text);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("schema")->asString(), "pdp-bench-results/v1");
+    EXPECT_GT(doc->find("jobs")->size(), 0u);
+}
+
+TEST(Suites, FilteredRunExecutesSubsetWithGenericReport)
+{
+    const Suite *suite = findSuite("fig10_single_core");
+    ASSERT_NE(suite, nullptr);
+    SuiteOptions options;
+    options.scale = 0.01;
+    options.workers = 2;
+    options.filter = "450.soplex/DIP";
+    options.jsonDir = "none";
+
+    std::ostringstream out;
+    EXPECT_EQ(runSuite(*suite, options, out), 0);
+    EXPECT_NE(out.str().find("filtered"), std::string::npos);
+    EXPECT_NE(out.str().find("fig10/450.soplex/DIP"), std::string::npos);
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * run_experiments — list, filter and run named experiment suites on the
+ * parallel experiment runner (src/runner/).
+ *
+ * Usage:
+ *   run_experiments --list
+ *   run_experiments --suite <name> [--suite <name> ...]
+ *                   [--filter <substring>] [--jobs N] [--scale X]
+ *                   [--json DIR|none] [--timeout SECONDS] [--verbose]
+ *
+ * Defaults come from the same environment knobs the bench binaries use:
+ * PDP_BENCH_SCALE, PDP_BENCH_JOBS, PDP_BENCH_VERBOSE, PDP_BENCH_JSON.
+ * Exit code is the number of jobs that did not finish Ok (2 for usage
+ * errors), so CI can gate on it.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "runner/suites.h"
+
+namespace
+{
+
+void
+printUsage(std::FILE *to)
+{
+    std::fprintf(to,
+                 "usage: run_experiments --list\n"
+                 "       run_experiments --suite <name> [--suite <name>]\n"
+                 "                       [--filter <substring>] [--jobs N]\n"
+                 "                       [--scale X] [--json DIR|none]\n"
+                 "                       [--timeout SECONDS] [--verbose]\n"
+                 "\n"
+                 "Environment defaults: PDP_BENCH_SCALE, PDP_BENCH_JOBS,\n"
+                 "PDP_BENCH_VERBOSE, PDP_BENCH_JSON.\n");
+}
+
+void
+listSuites()
+{
+    std::printf("available suites:\n");
+    for (const pdp::runner::Suite &suite : pdp::runner::allSuites())
+        std::printf("  %-20s %s\n", suite.name.c_str(),
+                    suite.description.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    pdp::runner::SuiteOptions options;
+    options.scale = pdpbench::benchScale();
+    options.workers = pdpbench::benchJobs();
+    options.verbose = pdpbench::benchVerbose();
+
+    std::vector<std::string> suites;
+    bool list = false;
+
+    auto needValue = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list" || arg == "-l") {
+            list = true;
+        } else if (arg == "--suite" || arg == "-s") {
+            suites.push_back(needValue(i));
+        } else if (arg == "--filter" || arg == "-f") {
+            options.filter = needValue(i);
+        } else if (arg == "--jobs" || arg == "-j") {
+            options.workers =
+                static_cast<unsigned>(std::strtoul(needValue(i), nullptr, 10));
+        } else if (arg == "--scale") {
+            const double scale = std::strtod(needValue(i), nullptr);
+            if (!(scale > 0)) {
+                std::fprintf(stderr, "--scale wants a positive number\n");
+                return 2;
+            }
+            options.scale = scale;
+        } else if (arg == "--json") {
+            options.jsonDir = needValue(i);
+        } else if (arg == "--timeout") {
+            options.timeoutSeconds = std::strtod(needValue(i), nullptr);
+        } else if (arg == "--verbose" || arg == "-v") {
+            options.verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(stdout);
+            listSuites();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+            printUsage(stderr);
+            return 2;
+        }
+    }
+
+    if (list) {
+        listSuites();
+        return 0;
+    }
+    if (suites.empty()) {
+        printUsage(stderr);
+        listSuites();
+        return 2;
+    }
+
+    int notOk = 0;
+    for (const std::string &name : suites) {
+        const pdp::runner::Suite *suite = pdp::runner::findSuite(name);
+        if (!suite) {
+            std::fprintf(stderr, "unknown suite: %s (try --list)\n",
+                         name.c_str());
+            return 2;
+        }
+        notOk += pdp::runner::runSuite(*suite, options, std::cout);
+    }
+    return notOk > 255 ? 255 : notOk;
+}
