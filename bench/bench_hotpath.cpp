@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Self-profiling throughput of the cache substrate (accesses/sec).
+ *
+ * Drives Cache::access directly — no hierarchy, no timing model — for
+ * LRU, DRRIP and PDP-3 on the paper LLC, one 4-core partitioned
+ * shared-LLC configuration, and the frozen pre-SoA ReferenceCache as
+ * the baseline every speedup ratio is computed against.
+ *
+ * The rates are wall-clock measurements, so the BENCH_hotpath.json dump
+ * is the one result file that is *not* byte-stable across runs; the
+ * `accesses` and `hit_rate` scalars in it still are.  CI's perf-smoke
+ * job compares accesses_per_sec against a committed baseline (see
+ * tools/check_perf.py) and fails on a >25% regression.
+ *
+ * Environment knobs as for every suite binary: PDP_BENCH_SCALE,
+ * PDP_BENCH_JOBS, PDP_BENCH_JSON, PDP_BENCH_VERBOSE.  Run serially
+ * (PDP_BENCH_JOBS=1) for trustworthy rates; the default worker count
+ * is fine for a smoke signal.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    return pdpbench::runSuiteMain("hotpath");
+}

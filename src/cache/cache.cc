@@ -1,57 +1,74 @@
 #include "cache/cache.h"
 
+#include <bit>
 #include <stdexcept>
+#include <typeinfo>
 
 #include "check/check.h"
 #include "check/invariant_auditor.h"
+#include "policies/basic.h"
+#include "util/bytescan.h"
 
 namespace pdp
 {
 
 Cache::Cache(const CacheConfig &config,
              std::unique_ptr<ReplacementPolicy> policy)
-    : config_(config), numSets_(config.numSets()),
-      lines_(static_cast<size_t>(config.numSets()) * config.ways),
+    : config_(config), numSets_(config.numSets()), ways_(config.ways),
       policy_(std::move(policy))
 {
     if (!config_.valid())
         throw std::invalid_argument("invalid cache geometry: " +
                                     config_.label);
+    PDP_CHECK(ways_ <= 64, "cache ", config_.label, ": ", ways_,
+              " ways exceed the 64-way packed-mask limit");
+    fullSetMask_ = ways_ == 64 ? ~0ull : (1ull << ways_) - 1;
+    setBits_ = static_cast<uint32_t>(std::countr_zero(numSets_));
+    tags_.assign(static_cast<size_t>(numSets_) * ways_, 0);
+    threadIds_.assign(static_cast<size_t>(numSets_) * ways_, 0);
+    // The fingerprint and scratch scans read 16-byte chunks that stay
+    // inside the 64-byte SetState block, so no tail padding is needed.
+    setState_.assign(numSets_, SetState{});
     PDP_CHECK(policy_ != nullptr, "cache ", config_.label,
               " constructed without a policy");
-    policy_->attach(*this, numSets_, config_.ways);
+    policy_->attach(*this, numSets_, ways_);
+    // Fuse with exact LruPolicy instances only: subclasses (DIP, SDP,
+    // UCP, ...) override the virtual hooks with different behaviour.
+    if (typeid(*policy_) == typeid(LruPolicy))
+        fusedLru_ = static_cast<LruPolicy *>(policy_.get());
 }
 
-int
-Cache::findWay(uint32_t set, uint64_t line_addr) const
+uint32_t
+Cache::validCount(uint32_t set) const
 {
-    for (uint32_t way = 0; way < config_.ways; ++way) {
-        const Line &l = line(set, way);
-        if (l.valid && l.addr == line_addr)
-            return static_cast<int>(way);
-    }
-    return -1;
-}
-
-int
-Cache::findInvalidWay(uint32_t set) const
-{
-    for (uint32_t way = 0; way < config_.ways; ++way)
-        if (!line(set, way).valid)
-            return static_cast<int>(way);
-    return -1;
+    return static_cast<uint32_t>(std::popcount(setState_[set].valid));
 }
 
 uint32_t
 Cache::threadWaysInSet(uint32_t set, uint8_t thread) const
 {
-    uint32_t count = 0;
-    for (uint32_t way = 0; way < config_.ways; ++way) {
-        const Line &l = line(set, way);
-        if (l.valid && l.threadId == thread)
-            ++count;
-    }
-    return count;
+    const uint8_t *row = threadIds_.data() + lineIdx(set, 0);
+    uint64_t match = 0;
+    for (uint32_t way = 0; way < ways_; ++way)
+        match |= static_cast<uint64_t>(row[way] == thread) << way;
+    return static_cast<uint32_t>(std::popcount(match & setState_[set].valid));
+}
+
+void
+Cache::prefetchSet(uint32_t set) const
+{
+#if defined(__GNUC__)
+    const size_t base = lineIdx(set, 0);
+    __builtin_prefetch(setState_.data() + set);
+    __builtin_prefetch(tags_.data() + base);
+    if (ways_ > 8)
+        __builtin_prefetch(tags_.data() + base + 8);
+    __builtin_prefetch(threadIds_.data() + base);
+    if (fusedLru_)
+        fusedLru_->prefetchSet(set);
+#else
+    (void)set;
+#endif
 }
 
 bool
@@ -67,25 +84,44 @@ Cache::invalidate(uint64_t line_addr)
     const int way = findWay(set, line_addr);
     if (way < 0)
         return false;
-    line(set, way) = Line{};
+    const uint64_t bit = 1ull << way;
+    setState_[set].valid &= ~bit;
+    setState_[set].dirty &= ~bit;
+    setState_[set].reused &= ~bit;
+    // Keep invalidated ways in the canonical empty state the accessors
+    // have always reported (tag 0, thread 0).
+    tags_[lineIdx(set, way)] = 0;
+    if (ways_ <= kMaxFpWays)
+        setState_[set].fp[way] = 0;
+    threadIds_[lineIdx(set, way)] = 0;
     return true;
 }
 
 AccessOutcome
 Cache::access(const AccessContext &ctx_in)
 {
-    AccessOutcome outcome = accessImpl(ctx_in);
-    if (auditor_) [[unlikely]]
+    if (!instrumented_) [[likely]] {
+        // Fast path: no observer, no auditor.  Callers that already
+        // folded the set index avoid the context copy entirely.
+        if (ctx_in.set == setIndex(ctx_in.lineAddr)) [[likely]]
+            return accessImpl<false>(ctx_in);
+        AccessContext ctx = ctx_in;
+        ctx.set = setIndex(ctx.lineAddr);
+        return accessImpl<false>(ctx);
+    }
+
+    AccessContext ctx = ctx_in;
+    ctx.set = setIndex(ctx.lineAddr);
+    AccessOutcome outcome = accessImpl<true>(ctx);
+    if (auditor_)
         auditor_->onAccess();
     return outcome;
 }
 
+template <bool Instrumented>
 AccessOutcome
-Cache::accessImpl(const AccessContext &ctx_in)
+Cache::accessImpl(const AccessContext &ctx)
 {
-    AccessContext ctx = ctx_in;
-    ctx.set = setIndex(ctx.lineAddr);
-
     AccessOutcome outcome;
 
     const uint8_t tid = ctx.threadId < CacheStats::kMaxThreads
@@ -102,12 +138,17 @@ Cache::accessImpl(const AccessContext &ctx_in)
     const int hit_way = findWay(ctx.set, ctx.lineAddr);
     if (hit_way >= 0) {
         // Hit: promote and mark reused.
-        Line &l = line(ctx.set, hit_way);
-        l.reused = true;
-        l.dirty = l.dirty || ctx.isWrite || ctx.isWriteback;
-        policy_->onHit(ctx, hit_way);
-        if (observer_)
-            observer_->onHit(ctx, hit_way);
+        const uint64_t bit = 1ull << hit_way;
+        setState_[ctx.set].reused |= bit;
+        if (ctx.isWrite || ctx.isWriteback)
+            setState_[ctx.set].dirty |= bit;
+        if (fusedLru_)
+            fusedLru_->promote(ctx.set, hit_way);
+        else
+            policy_->onHit(ctx, hit_way);
+        if constexpr (Instrumented)
+            if (observer_)
+                observer_->onHit(ctx, hit_way);
         if (demand) {
             ++stats_.hits;
             ++stats_.threadHits[tid];
@@ -123,55 +164,86 @@ Cache::accessImpl(const AccessContext &ctx_in)
         ++stats_.threadMisses[tid];
     }
 
-    int victim_way = findInvalidWay(ctx.set);
-    if (victim_way < 0) {
-        victim_way = policy_->selectVictim(ctx);
-        if (victim_way == ReplacementPolicy::kBypass) {
-            if (!config_.allowBypass)
-                throw std::logic_error("policy bypassed an inclusive cache");
-            policy_->onBypass(ctx);
-            if (observer_)
-                observer_->onBypass(ctx);
-            if (demand)
-                ++stats_.bypasses;
-            outcome.bypassed = true;
-            return outcome;
+    int victim_way;
+    bool lru_updated = false;
+    if (setState_[ctx.set].valid == fullSetMask_) {
+        // Steady state: every way valid, no invalid-way scan needed.
+        if (fusedLru_) {
+            // The fused victim is in [0, ways) by construction and the
+            // evicted way is reinstalled as MRU, so victim selection and
+            // the insertion promote collapse into one rank-row pass; the
+            // bypass and range branches apply to virtual policies only.
+            victim_way = fusedLru_->takeLruAndPromote(ctx.set);
+            lru_updated = true;
+        } else {
+            victim_way = policy_->selectVictim(ctx);
+            if (victim_way == ReplacementPolicy::kBypass) {
+                if (!config_.allowBypass)
+                    throw std::logic_error(
+                        "policy bypassed an inclusive cache");
+                policy_->onBypass(ctx);
+                if constexpr (Instrumented)
+                    if (observer_)
+                        observer_->onBypass(ctx);
+                if (demand)
+                    ++stats_.bypasses;
+                outcome.bypassed = true;
+                return outcome;
+            }
+            PDP_CHECK(victim_way >= 0 &&
+                          victim_way < static_cast<int>(ways_),
+                      policy_->name(), " returned victim way ", victim_way,
+                      " outside associativity ", ways_);
         }
-        PDP_CHECK(victim_way >= 0 &&
-                      victim_way < static_cast<int>(config_.ways),
-                  policy_->name(), " returned victim way ", victim_way,
-                  " outside associativity ", config_.ways);
 
-        Line &victim = line(ctx.set, victim_way);
-        PDP_DCHECK(victim.valid, "victim way ", victim_way, " in set ",
-                   ctx.set, " is invalid; the cache fills invalid ways");
+        const size_t victim_idx = lineIdx(ctx.set, victim_way);
+        const uint64_t victim_bit = 1ull << victim_way;
         outcome.evictedValid = true;
-        outcome.evictedAddr = victim.addr;
-        outcome.evictedDirty = victim.dirty;
-        outcome.evictedReused = victim.reused;
-        outcome.evictedThread = victim.threadId;
-        if (victim.dirty)
+        outcome.evictedAddr = tags_[victim_idx];
+        outcome.evictedDirty = (setState_[ctx.set].dirty & victim_bit) != 0;
+        outcome.evictedReused = (setState_[ctx.set].reused & victim_bit) != 0;
+        outcome.evictedThread = threadIds_[victim_idx];
+        if (outcome.evictedDirty)
             ++stats_.evictionsDirty;
-        if (observer_)
-            observer_->onEvict(ctx, victim_way, victim.addr, victim.reused);
+        if constexpr (Instrumented)
+            if (observer_)
+                observer_->onEvict(ctx, victim_way, outcome.evictedAddr,
+                                   outcome.evictedReused);
+    } else {
+        victim_way = findInvalidWay(ctx.set);
     }
 
     // Install the new line.
-    Line &l = line(ctx.set, victim_way);
-    l.addr = ctx.lineAddr;
-    l.valid = true;
-    l.dirty = ctx.isWrite || ctx.isWriteback;
-    l.reused = false;
-    l.threadId = ctx.threadId;
-    policy_->onInsert(ctx, victim_way);
-    if (observer_)
-        observer_->onInsert(ctx, victim_way);
+    const size_t idx = lineIdx(ctx.set, victim_way);
+    const uint64_t bit = 1ull << victim_way;
+    tags_[idx] = ctx.lineAddr;
+    if (ways_ <= kMaxFpWays)
+        setState_[ctx.set].fp[victim_way] = tagFp(ctx.lineAddr);
+    threadIds_[idx] = ctx.threadId;
+    setState_[ctx.set].valid |= bit;
+    if (ctx.isWrite || ctx.isWriteback)
+        setState_[ctx.set].dirty |= bit;
+    else
+        setState_[ctx.set].dirty &= ~bit;
+    setState_[ctx.set].reused &= ~bit;
+    if (fusedLru_) {
+        if (!lru_updated)
+            fusedLru_->promote(ctx.set, victim_way);
+    } else {
+        policy_->onInsert(ctx, victim_way);
+    }
+    if constexpr (Instrumented)
+        if (observer_)
+            observer_->onInsert(ctx, victim_way);
     if (ctx.isPrefetch)
         ++stats_.prefetchFills;
 
     outcome.way = victim_way;
     return outcome;
 }
+
+template AccessOutcome Cache::accessImpl<false>(const AccessContext &);
+template AccessOutcome Cache::accessImpl<true>(const AccessContext &);
 
 void
 Cache::auditGlobalInvariants(InvariantReporter &reporter) const
@@ -217,22 +289,53 @@ Cache::auditGlobalInvariants(InvariantReporter &reporter) const
 void
 Cache::auditSet(uint32_t set, InvariantReporter &reporter) const
 {
-    for (uint32_t way = 0; way < config_.ways; ++way) {
-        const Line &l = line(set, way);
-        if (!l.valid)
+    const uint64_t valid = setState_[set].valid;
+    // Packed-state invariants of the SoA layout: no mask may carry bits
+    // beyond the associativity, and dirty/reused are attributes of valid
+    // lines only.
+    reporter.check((valid & ~fullSetMask_) == 0, "cache.mask.range",
+                   config_.label, ": set ", set, " valid mask ", valid,
+                   " has bits beyond way ", ways_ - 1);
+    reporter.check((setState_[set].dirty & ~valid) == 0, "cache.mask.subset",
+                   config_.label, ": set ", set, " dirty mask ",
+                   setState_[set].dirty, " not a subset of valid ", valid);
+    reporter.check((setState_[set].reused & ~valid) == 0, "cache.mask.subset",
+                   config_.label, ": set ", set, " reused mask ",
+                   setState_[set].reused, " not a subset of valid ", valid);
+
+    for (uint32_t way = 0; way < ways_; ++way) {
+        if (ways_ <= kMaxFpWays)
+            reporter.check(setState_[set].fp[way] ==
+                               tagFp(lineAddr(set, way)),
+                           "cache.line.fingerprint", config_.label,
+                           ": set ", set, " way ", way, " fingerprint ",
+                           static_cast<unsigned>(setState_[set].fp[way]),
+                           " does not match tag ", lineAddr(set, way));
+        if (!isValid(set, way)) {
+            // Invalid ways stay in the canonical empty state, so the
+            // fingerprint probe cannot alias a stale tag.
+            reporter.check(lineAddr(set, way) == 0 &&
+                               lineThread(set, way) == 0,
+                           "cache.line.canonical", config_.label, ": set ",
+                           set, " way ", way, " is invalid but holds tag ",
+                           lineAddr(set, way), " / thread ",
+                           static_cast<unsigned>(lineThread(set, way)));
             continue;
-        reporter.check(setIndex(l.addr) == set, "cache.line.set_index",
-                       config_.label, ": line ", l.addr, " stored in set ",
-                       set, " but maps to set ", setIndex(l.addr));
-        reporter.check(l.threadId < CacheStats::kMaxThreads,
+        }
+        const uint64_t addr = lineAddr(set, way);
+        reporter.check(setIndex(addr) == set, "cache.line.set_index",
+                       config_.label, ": line ", addr, " stored in set ",
+                       set, " but maps to set ", setIndex(addr));
+        reporter.check(lineThread(set, way) < CacheStats::kMaxThreads,
                        "cache.line.thread", config_.label, ": set ", set,
                        " way ", way, " owned by thread ",
-                       static_cast<unsigned>(l.threadId));
-        for (uint32_t other = way + 1; other < config_.ways; ++other) {
-            const Line &o = line(set, other);
-            reporter.check(!o.valid || o.addr != l.addr, "cache.line.dup",
-                           config_.label, ": set ", set, " holds line ",
-                           l.addr, " in ways ", way, " and ", other);
+                       static_cast<unsigned>(lineThread(set, way)));
+        for (uint32_t other = way + 1; other < ways_; ++other) {
+            reporter.check(!isValid(set, other) ||
+                               lineAddr(set, other) != addr,
+                           "cache.line.dup", config_.label, ": set ", set,
+                           " holds line ", addr, " in ways ", way, " and ",
+                           other);
         }
     }
     policy_->auditSet(set, reporter);

@@ -38,11 +38,15 @@ Hierarchy::access(const Access &access)
     Cache &l2 = *l2s_[access.threadId < l2s_.size() ? access.threadId : 0];
 
     // L2 lookup; a miss allocates in the L2 and may evict a dirty victim.
+    // The set index is folded into the context here (and re-folded per
+    // level) so Cache::access never has to clone the context.
+    ctx.set = l2.setIndex(ctx.lineAddr);
     const AccessOutcome l2_out = l2.access(ctx);
     if (l2_out.hit) {
         result.level = HitLevel::L2;
     } else {
         // Demand access to the LLC.
+        ctx.set = llc_->setIndex(ctx.lineAddr);
         const AccessOutcome llc_out = llc_->access(ctx);
         result.level = llc_out.hit ? HitLevel::Llc : HitLevel::Memory;
         result.llcBypassed = llc_out.bypassed;
@@ -53,6 +57,7 @@ Hierarchy::access(const Access &access)
         if (l2_out.evictedValid && l2_out.evictedDirty) {
             AccessContext wb;
             wb.lineAddr = l2_out.evictedAddr;
+            wb.set = llc_->setIndex(wb.lineAddr);
             wb.threadId = l2_out.evictedThread;
             wb.isWrite = true;
             wb.isWriteback = true;
@@ -83,14 +88,17 @@ Hierarchy::access(const Access &access)
             pf.threadId = access.threadId;
             pf.isPrefetch = true;
             if (!llc_->contains(addr)) {
+                pf.set = llc_->setIndex(addr);
                 const AccessOutcome pf_out = llc_->access(pf);
                 if (pf_out.evictedValid && pf_out.evictedDirty)
                     ++memoryWritebacks_;
             }
+            pf.set = l2.setIndex(addr);
             const AccessOutcome l2_pf = l2.access(pf);
             if (l2_pf.evictedValid && l2_pf.evictedDirty) {
                 AccessContext wb;
                 wb.lineAddr = l2_pf.evictedAddr;
+                wb.set = llc_->setIndex(wb.lineAddr);
                 wb.threadId = l2_pf.evictedThread;
                 wb.isWrite = true;
                 wb.isWriteback = true;

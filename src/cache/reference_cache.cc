@@ -1,0 +1,159 @@
+#include "cache/reference_cache.h"
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include "check/check.h"
+
+namespace pdp
+{
+
+void
+ReferenceLru::attach(uint32_t num_sets, uint32_t num_ways)
+{
+    numWays_ = num_ways;
+    stamps_.assign(static_cast<size_t>(num_sets) * num_ways, 0);
+}
+
+void
+ReferenceLru::onHit(const AccessContext &ctx, int way)
+{
+    stamps_[static_cast<size_t>(ctx.set) * numWays_ + way] = ++clock_;
+}
+
+int
+ReferenceLru::selectVictim(const AccessContext &ctx)
+{
+    int victim = 0;
+    int64_t oldest = std::numeric_limits<int64_t>::max();
+    for (uint32_t way = 0; way < numWays_; ++way) {
+        const int64_t s =
+            stamps_[static_cast<size_t>(ctx.set) * numWays_ + way];
+        if (s < oldest) {
+            oldest = s;
+            victim = static_cast<int>(way);
+        }
+    }
+    return victim;
+}
+
+void
+ReferenceLru::onInsert(const AccessContext &ctx, int way)
+{
+    stamps_[static_cast<size_t>(ctx.set) * numWays_ + way] = ++clock_;
+}
+
+ReferenceCache::ReferenceCache(const CacheConfig &config,
+                               ReferenceReplacement &policy)
+    : config_(config), numSets_(config.numSets()),
+      lines_(static_cast<size_t>(config.numSets()) * config.ways),
+      policy_(policy)
+{
+    if (!config_.valid())
+        throw std::invalid_argument("invalid reference cache geometry");
+}
+
+int
+ReferenceCache::findWay(uint32_t set, uint64_t line_addr) const
+{
+    for (uint32_t way = 0; way < config_.ways; ++way) {
+        const Line &l = line(set, way);
+        if (l.valid && l.addr == line_addr)
+            return static_cast<int>(way);
+    }
+    return -1;
+}
+
+int
+ReferenceCache::findInvalidWay(uint32_t set) const
+{
+    for (uint32_t way = 0; way < config_.ways; ++way)
+        if (!line(set, way).valid)
+            return static_cast<int>(way);
+    return -1;
+}
+
+AccessOutcome
+ReferenceCache::access(const AccessContext &ctx_in)
+{
+    // Historical behaviour, step for step: clone the whole context to
+    // fold the set in, then pay the stats / observer / check work the
+    // old accessImpl did on every access.
+    AccessContext ctx = ctx_in;
+    ctx.set = setIndex(ctx.lineAddr);
+
+    AccessOutcome outcome;
+
+    const uint8_t tid = ctx.threadId < CacheStats::kMaxThreads
+        ? ctx.threadId : CacheStats::kMaxThreads - 1;
+
+    const bool demand = !ctx.isWriteback && !ctx.isPrefetch;
+    if (ctx.isWriteback)
+        ++stats_.writebackAccesses;
+    else if (demand) {
+        ++stats_.accesses;
+        ++stats_.threadAccesses[tid];
+    }
+
+    const int hit_way = findWay(ctx.set, ctx.lineAddr);
+    if (hit_way >= 0) {
+        Line &l = line(ctx.set, hit_way);
+        l.reused = true;
+        l.dirty = l.dirty || ctx.isWrite || ctx.isWriteback;
+        policy_.onHit(ctx, hit_way);
+        if (observer_)
+            observer_->onHit(ctx, hit_way);
+        if (demand) {
+            ++stats_.hits;
+            ++stats_.threadHits[tid];
+        }
+        outcome.hit = true;
+        outcome.way = hit_way;
+        return outcome;
+    }
+
+    if (demand) {
+        ++stats_.misses;
+        ++stats_.threadMisses[tid];
+    }
+
+    int victim_way = findInvalidWay(ctx.set);
+    if (victim_way < 0) {
+        victim_way = policy_.selectVictim(ctx);
+        if (victim_way == ReplacementPolicy::kBypass)
+            throw std::logic_error("reference policies never bypass");
+        PDP_CHECK(victim_way >= 0 &&
+                      victim_way < static_cast<int>(config_.ways),
+                  "reference policy returned victim way ", victim_way,
+                  " outside associativity ", config_.ways);
+
+        Line &victim = line(ctx.set, victim_way);
+        outcome.evictedValid = true;
+        outcome.evictedAddr = victim.addr;
+        outcome.evictedDirty = victim.dirty;
+        outcome.evictedReused = victim.reused;
+        outcome.evictedThread = victim.threadId;
+        if (victim.dirty)
+            ++stats_.evictionsDirty;
+        if (observer_)
+            observer_->onEvict(ctx, victim_way, victim.addr, victim.reused);
+    }
+
+    Line &l = line(ctx.set, victim_way);
+    l.addr = ctx.lineAddr;
+    l.valid = true;
+    l.dirty = ctx.isWrite || ctx.isWriteback;
+    l.reused = false;
+    l.threadId = ctx.threadId;
+    policy_.onInsert(ctx, victim_way);
+    if (observer_)
+        observer_->onInsert(ctx, victim_way);
+    if (ctx.isPrefetch)
+        ++stats_.prefetchFills;
+
+    outcome.way = victim_way;
+    return outcome;
+}
+
+} // namespace pdp

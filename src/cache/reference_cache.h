@@ -1,0 +1,130 @@
+/**
+ * @file
+ * ReferenceCache: the pre-SoA array-of-structs cache substrate, frozen.
+ *
+ * This is a faithful copy of the historical Cache fast path — an
+ * array-of-structs Line store scanned linearly with early exit, a
+ * second full-set scan for invalid ways on every miss, and a full
+ * AccessContext copy per access — kept for two jobs:
+ *
+ *  - the `hotpath` throughput suite benchmarks it next to the live
+ *    substrate, so BENCH_hotpath.json records the SoA speedup against
+ *    the pre-refactor layout on every run (machine-independent ratio);
+ *  - tests/test_hotpath.cpp drives it in lockstep with the live Cache
+ *    to assert the layouts are observationally identical.
+ *
+ * It reproduces the old per-access work in full — per-thread stats
+ * accounting, observer null checks, victim-range checks, the complete
+ * AccessOutcome — through a ReferenceReplacement mirroring the
+ * historical LruPolicy, virtual dispatch included.
+ *
+ * Do not "optimize" this file: its value is being exactly the old code.
+ */
+
+#ifndef PDP_CACHE_REFERENCE_CACHE_H
+#define PDP_CACHE_REFERENCE_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cache/cache_config.h"
+#include "policies/replacement_policy.h"
+
+namespace pdp
+{
+
+/** Minimal victim-selection interface mirroring the historical virtual
+ *  policy dispatch cost. */
+class ReferenceReplacement
+{
+  public:
+    virtual ~ReferenceReplacement() = default;
+    virtual void onHit(const AccessContext &ctx, int way) = 0;
+    virtual int selectVictim(const AccessContext &ctx) = 0;
+    virtual void onInsert(const AccessContext &ctx, int way) = 0;
+};
+
+/** The historical LruPolicy (recency stamps, linear oldest scan). */
+class ReferenceLru final : public ReferenceReplacement
+{
+  public:
+    void attach(uint32_t num_sets, uint32_t num_ways);
+    void onHit(const AccessContext &ctx, int way) override;
+    int selectVictim(const AccessContext &ctx) override;
+    void onInsert(const AccessContext &ctx, int way) override;
+
+  private:
+    std::vector<int64_t> stamps_;
+    int64_t clock_ = 0;
+    uint32_t numWays_ = 0;
+};
+
+/** The pre-SoA tag store + access loop, verbatim. */
+class ReferenceCache
+{
+  public:
+    ReferenceCache(const CacheConfig &config, ReferenceReplacement &policy);
+
+    /** The historical accessImpl: clones the context, linear tag scan,
+     *  unconditional invalid-way scan on miss, per-thread stats and
+     *  observer null checks on every step. */
+    AccessOutcome access(const AccessContext &ctx_in);
+
+    uint32_t numSets() const { return numSets_; }
+    uint32_t numWays() const { return config_.ways; }
+
+    uint32_t
+    setIndex(uint64_t line_addr) const
+    {
+        return static_cast<uint32_t>(line_addr & (numSets_ - 1));
+    }
+
+    bool isValid(uint32_t set, uint32_t way) const { return line(set, way).valid; }
+    bool isReused(uint32_t set, uint32_t way) const { return line(set, way).reused; }
+    bool isDirty(uint32_t set, uint32_t way) const { return line(set, way).dirty; }
+    uint8_t lineThread(uint32_t set, uint32_t way) const { return line(set, way).threadId; }
+    uint64_t lineAddr(uint32_t set, uint32_t way) const { return line(set, way).addr; }
+
+    const CacheStats &stats() const { return stats_; }
+    uint64_t hits() const { return stats_.hits; }
+    uint64_t accesses() const { return stats_.accesses; }
+
+    /** The historical observer hook (kept, null checks included, so the
+     *  reference pays the same per-access branches the old code did). */
+    void setObserver(CacheObserver *observer) { observer_ = observer; }
+
+  private:
+    struct Line
+    {
+        uint64_t addr = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool reused = false;
+        uint8_t threadId = 0;
+    };
+
+    Line &line(uint32_t set, uint32_t way)
+    {
+        return lines_[static_cast<size_t>(set) * config_.ways + way];
+    }
+
+    const Line &line(uint32_t set, uint32_t way) const
+    {
+        return lines_[static_cast<size_t>(set) * config_.ways + way];
+    }
+
+    int findWay(uint32_t set, uint64_t line_addr) const;
+    int findInvalidWay(uint32_t set) const;
+
+    CacheConfig config_;
+    uint32_t numSets_;
+    std::vector<Line> lines_;
+    ReferenceReplacement &policy_;
+    CacheStats stats_;
+    CacheObserver *observer_ = nullptr;
+};
+
+} // namespace pdp
+
+#endif // PDP_CACHE_REFERENCE_CACHE_H

@@ -18,15 +18,11 @@ PdpPolicy::PdpPolicy(PdpParams params)
     maxRpd_ = static_cast<uint8_t>((1u << params_.ncBits) - 1);
     sd_ = std::max<uint32_t>(1, params_.dMax >> params_.ncBits);
     pd_ = params_.dynamic ? params_.initialPd : params_.staticPd;
-}
-
-std::string
-PdpPolicy::name() const
-{
     if (!params_.dynamic)
-        return params_.bypass ? "SPDP-B" : "SPDP-NB";
-    return "PDP-" + std::to_string(params_.ncBits) +
-           (params_.bypass ? "" : "-NB");
+        name_ = params_.bypass ? "SPDP-B" : "SPDP-NB";
+    else
+        name_ = "PDP-" + std::to_string(params_.ncBits) +
+                (params_.bypass ? "" : "-NB");
 }
 
 void

@@ -90,7 +90,7 @@ class PdpPolicy : public ReplacementPolicy
   public:
     explicit PdpPolicy(PdpParams params = PdpParams());
 
-    std::string name() const override;
+    const std::string &name() const override { return name_; }
     bool usesBypass() const override { return params_.bypass; }
 
     void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;
@@ -149,6 +149,8 @@ class PdpPolicy : public ReplacementPolicy
     void step(const AccessContext &ctx);
 
     PdpParams params_;
+    /** Cached display name; subclasses overwrite in their constructor. */
+    std::string name_;
     uint32_t sd_ = 1;       //!< distance step S_d
     uint8_t maxRpd_ = 255;  //!< 2^n_c - 1
     uint32_t pd_ = 64;

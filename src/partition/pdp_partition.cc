@@ -29,12 +29,7 @@ PdpPartitionPolicy::PdpPartitionPolicy(unsigned num_threads,
     : PdpPolicy(partitionParams(nc_bits)), numThreads_(num_threads),
       peaksPerThread_(peaks_per_thread)
 {
-}
-
-std::string
-PdpPartitionPolicy::name() const
-{
-    return "PDP-" + std::to_string(params_.ncBits) + "-part";
+    name_ = "PDP-" + std::to_string(params_.ncBits) + "-part";
 }
 
 void

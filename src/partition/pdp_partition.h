@@ -39,8 +39,6 @@ class PdpPartitionPolicy : public PdpPolicy
     explicit PdpPartitionPolicy(unsigned num_threads, unsigned nc_bits = 3,
                                 unsigned peaks_per_thread = 3);
 
-    std::string name() const override;
-
     void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;
 
     /** Current PD of each thread. */

@@ -40,7 +40,12 @@ class PippPolicy : public ReplacementPolicy
     explicit PippPolicy(unsigned num_threads);
     PippPolicy(unsigned num_threads, Params params, uint64_t seed = 0x9199);
 
-    std::string name() const override { return "PIPP"; }
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "PIPP";
+        return n;
+    }
 
     void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;
     void onHit(const AccessContext &ctx, int way) override;

@@ -28,7 +28,12 @@ class TaDrripPolicy : public RripPolicy
      */
     explicit TaDrripPolicy(unsigned num_threads, double epsilon = 1.0 / 32);
 
-    std::string name() const override { return "TA-DRRIP"; }
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "TA-DRRIP";
+        return n;
+    }
 
     void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;
 

@@ -59,13 +59,14 @@ UcpPolicy::selectVictim(const AccessContext &ctx)
 
     auto lru_among = [&](auto &&predicate) {
         int victim = -1;
-        int64_t oldest = INT64_MAX;
+        int oldest = -1; // larger rank == older (rank ways-1 is LRU)
         for (uint32_t way = 0; way < numWays_; ++way) {
             const uint8_t owner = cache_->lineThread(ctx.set, way);
             if (!predicate(owner))
                 continue;
-            if (stamp(ctx.set, static_cast<int>(way)) < oldest) {
-                oldest = stamp(ctx.set, static_cast<int>(way));
+            const int r = rankOf(ctx.set, static_cast<int>(way));
+            if (r > oldest) {
+                oldest = r;
                 victim = static_cast<int>(way);
             }
         }

@@ -30,7 +30,12 @@ class UcpPolicy : public LruPolicy
     explicit UcpPolicy(unsigned num_threads,
                        uint64_t repartition_interval = 1'000'000);
 
-    std::string name() const override { return "UCP"; }
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "UCP";
+        return n;
+    }
 
     void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;
     void onHit(const AccessContext &ctx, int way) override;

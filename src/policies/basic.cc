@@ -1,6 +1,7 @@
 #include "policies/basic.h"
 
 #include "cache/cache.h"
+#include "check/check.h"
 #include "check/invariant_auditor.h"
 
 namespace pdp
@@ -10,28 +11,37 @@ void
 LruPolicy::attach(Cache &cache, uint32_t num_sets, uint32_t num_ways)
 {
     ReplacementPolicy::attach(cache, num_sets, num_ways);
-    stamps_.assign(static_cast<size_t>(num_sets) * num_ways, 0);
+    PDP_CHECK(num_ways >= 1 && num_ways <= 64, name(),
+              " rank permutation supports 1..64 ways, got ", num_ways);
+    if (uint8_t *scratch = cache.policyScratchBase()) {
+        // Rank rows ride in the cache's per-set metadata line.
+        rankBase_ = scratch;
+        rankStride_ = Cache::policyScratchStride();
+        vec16_ = true;
+    } else {
+        // Too wide for the scratch block: policy-owned storage, with
+        // tail padding to keep the vectorized lruWay() scan in bounds
+        // on the last set.
+        ranks_.assign(static_cast<size_t>(num_sets) * num_ways +
+                          kByteScanPadding,
+                      0);
+        rankBase_ = ranks_.data();
+        rankStride_ = num_ways;
+    }
+    // Identity permutation: way w starts at rank w.  Victims are only
+    // consulted once a set is full, by which point every way has been
+    // promoted or demoted at least once.
+    for (uint32_t set = 0; set < num_sets; ++set) {
+        uint8_t *row = rankBase_ + static_cast<size_t>(set) * rankStride_;
+        for (uint32_t way = 0; way < num_ways; ++way)
+            row[way] = static_cast<uint8_t>(way);
+    }
 }
 
 void
 LruPolicy::onHit(const AccessContext &ctx, int way)
 {
-    stamp(ctx.set, way) = nextStamp();
-}
-
-int
-LruPolicy::lruWay(uint32_t set) const
-{
-    int victim = 0;
-    int64_t oldest = INT64_MAX;
-    for (uint32_t way = 0; way < numWays_; ++way) {
-        const int64_t s = stamps_[static_cast<size_t>(set) * numWays_ + way];
-        if (s < oldest) {
-            oldest = s;
-            victim = static_cast<int>(way);
-        }
-    }
-    return victim;
+    promote(ctx.set, way);
 }
 
 int
@@ -43,38 +53,26 @@ LruPolicy::selectVictim(const AccessContext &ctx)
 void
 LruPolicy::onInsert(const AccessContext &ctx, int way)
 {
-    stamp(ctx.set, way) = nextStamp();
-}
-
-void
-LruPolicy::auditGlobal(InvariantReporter &reporter) const
-{
-    ReplacementPolicy::auditGlobal(reporter);
-    reporter.check(lowClock_ <= 0 && clock_ >= 0, "lru.clock", name(),
-                   ": clocks inverted: low ", lowClock_, " high ", clock_);
+    promote(ctx.set, way);
 }
 
 void
 LruPolicy::auditSet(uint32_t set, InvariantReporter &reporter) const
 {
+    // The ranks of a set form a permutation of 0..ways-1: each value
+    // exactly once.  Everything else (victim uniqueness, recency order)
+    // follows from it.
+    uint64_t seen = 0;
     for (uint32_t way = 0; way < numWays_; ++way) {
-        const int64_t s =
-            stamps_[static_cast<size_t>(set) * numWays_ + way];
-        reporter.check(s >= lowClock_ && s <= clock_, "lru.stamp_range",
-                       name(), ": set ", set, " way ", way, " stamp ", s,
-                       " outside [", lowClock_, ", ", clock_, "]");
-        if (!cache_ || !cache_->isValid(set, way))
-            continue;
-        // Valid ways carry distinct stamps: every insert/promotion draws
-        // a fresh clock value, so a duplicate means lost recency state.
-        for (uint32_t other = way + 1; other < numWays_; ++other) {
-            if (!cache_->isValid(set, other))
-                continue;
-            const int64_t o =
-                stamps_[static_cast<size_t>(set) * numWays_ + other];
-            reporter.check(o != s, "lru.stamp_unique", name(), ": set ",
-                           set, " ways ", way, " and ", other,
-                           " share stamp ", s);
+        const uint8_t r = rankOf(set, static_cast<int>(way));
+        reporter.check(r < numWays_, "lru.rank_range", name(), ": set ",
+                       set, " way ", way, " rank ", unsigned{r},
+                       " outside [0, ", numWays_, ")");
+        if (r < numWays_) {
+            reporter.check(!(seen & (1ull << r)), "lru.rank_perm", name(),
+                           ": set ", set, " holds rank ", unsigned{r},
+                           " twice");
+            seen |= 1ull << r;
         }
     }
 }

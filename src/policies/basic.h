@@ -6,56 +6,216 @@
 #ifndef PDP_POLICIES_BASIC_H
 #define PDP_POLICIES_BASIC_H
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
 #include "policies/replacement_policy.h"
+#include "util/bytescan.h"
 #include "util/rng.h"
 
 namespace pdp
 {
 
-/** True least-recently-used replacement (recency stamps). */
+/**
+ * True least-recently-used replacement.
+ *
+ * Recency is a per-set rank permutation, one byte per way: rank 0 is
+ * MRU, rank ways-1 is LRU.  A promotion increments every rank below the
+ * way's old rank (a ways-byte pass the compiler vectorizes) and victim
+ * selection is a byte match against the LRU rank — one cache line of
+ * state per 16-way set instead of the 8-byte recency stamps this
+ * replaced, and no 64-bit min scan.
+ *
+ * The representation is order-isomorphic to the stamp scheme:
+ * promote() == "assign a stamp newer than every other", demote() ==
+ * "assign a stamp older than every other" (LIP/BIP's LRU insert), and
+ * lruWay() == "smallest stamp".  Stamps were unique, so every victim
+ * decision of the stamp-based subclasses (DIP, SDP, UCP) is preserved
+ * decision for decision.
+ *
+ * promote/demote/lruWay are deliberately non-virtual and inline: the
+ * cache substrate devirtualizes exact LruPolicy instances by calling
+ * them directly (see Cache's fused-LRU fast path).
+ */
 class LruPolicy : public ReplacementPolicy
 {
   public:
-    std::string name() const override { return "LRU"; }
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "LRU";
+        return n;
+    }
 
     void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;
     void onHit(const AccessContext &ctx, int way) override;
     int selectVictim(const AccessContext &ctx) override;
     void onInsert(const AccessContext &ctx, int way) override;
 
-    void auditGlobal(InvariantReporter &reporter) const override;
     void auditSet(uint32_t set, InvariantReporter &reporter) const override;
 
-    /** Recency stamp accessors for subclasses (DIP reuses the machinery). */
-  protected:
-    int64_t &stamp(uint32_t set, int way)
+    /** Make `way` the MRU line of its set (rank 0). */
+    void
+    promote(uint32_t set, int way)
     {
-        return stamps_[static_cast<size_t>(set) * numWays_ + way];
+        uint8_t *row = rankRow(set);
+        const uint8_t r = row[way];
+#if defined(__SSE2__)
+        if (vec16_) {
+            // One 16-lane pass: +1 to every rank below r (cmplt yields
+            // -1 there, and x - (-1) == x + 1).  Lanes past ways-1 may
+            // accumulate junk; every reader masks to ways bits.
+            const __m128i v = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(row));
+            const __m128i lt =
+                _mm_cmplt_epi8(v, _mm_set1_epi8(static_cast<char>(r)));
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(row),
+                             _mm_sub_epi8(v, lt));
+            row[way] = 0;
+            return;
+        }
+#endif
+        for (uint32_t w = 0; w < numWays_; ++w)
+            row[w] = static_cast<uint8_t>(row[w] + (row[w] < r));
+        row[way] = 0;
     }
 
-    /** Stamp newer than every existing one (MRU position). */
-    int64_t nextStamp() { return ++clock_; }
+    /** Make `way` the LRU line of its set (rank ways-1); the "insert at
+     *  LRU" of LIP/BIP.  Like the old "stamp older than every other",
+     *  repeated demotions order newest-demoted first in eviction. */
+    void
+    demote(uint32_t set, int way)
+    {
+        uint8_t *row = rankRow(set);
+        const uint8_t r = row[way];
+#if defined(__SSE2__)
+        if (vec16_) {
+            // -1 to every rank above r (cmpgt yields -1 there).
+            const __m128i v = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(row));
+            const __m128i gt =
+                _mm_cmpgt_epi8(v, _mm_set1_epi8(static_cast<char>(r)));
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(row),
+                             _mm_add_epi8(v, gt));
+            row[way] = static_cast<uint8_t>(numWays_ - 1);
+            return;
+        }
+#endif
+        for (uint32_t w = 0; w < numWays_; ++w)
+            row[w] = static_cast<uint8_t>(row[w] - (row[w] > r));
+        row[way] = static_cast<uint8_t>(numWays_ - 1);
+    }
 
-    /** Stamp older than every existing one (LRU position, used by LIP). */
-    int64_t oldestStamp() { return --lowClock_; }
+    /** The way holding the LRU rank. */
+    int
+    lruWay(uint32_t set) const
+    {
+        const uint64_t match = byteMatchMask(
+            rankRow(set), numWays_, static_cast<uint8_t>(numWays_ - 1));
+        // The permutation invariant guarantees a match; fall back to way
+        // 0 if it is ever violated (the auditor reports that separately).
+        return match ? std::countr_zero(match) : 0;
+    }
 
-    /** Way with the smallest stamp (the LRU way). */
-    int lruWay(uint32_t set) const;
+    /**
+     * lruWay() followed by promote() of that way, in one pass over the
+     * rank row: since the victim holds the maximum rank, the promotion
+     * is an unconditional +1 of every rank.  Used by the substrate's
+     * fused miss path, where the evicted way is always reinstalled as
+     * MRU.
+     */
+    int
+    takeLruAndPromote(uint32_t set)
+    {
+        uint8_t *row = rankRow(set);
+#if defined(__SSE2__)
+        if (vec16_) {
+            // Find the LRU rank and age every way in one row load.
+            const __m128i v = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(row));
+            const uint32_t match =
+                static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(
+                    v, _mm_set1_epi8(static_cast<char>(numWays_ - 1))))) &
+                ((1u << numWays_) - 1);
+            const int way =
+                match ? std::countr_zero(match) : 0;
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(row),
+                             _mm_sub_epi8(v, _mm_set1_epi8(-1)));
+            row[way] = 0;
+            return way;
+        }
+#endif
+        const uint64_t match = byteMatchMask(
+            row, numWays_, static_cast<uint8_t>(numWays_ - 1));
+        const int way = match ? std::countr_zero(match) : 0;
+        for (uint32_t w = 0; w < numWays_; ++w)
+            row[w] = static_cast<uint8_t>(row[w] + 1);
+        row[way] = 0;
+        return way;
+    }
+
+    /** Hint that `set`'s rank row is about to be used; the substrate
+     *  issues this at access start so the row fetch overlaps the tag
+     *  probe. */
+    void
+    prefetchSet(uint32_t set) const
+    {
+#if defined(__GNUC__)
+        __builtin_prefetch(rankRow(set));
+#else
+        (void)set;
+#endif
+    }
+
+  protected:
+    /** Recency rank of one way: 0 = MRU .. ways-1 = LRU.  Subclasses
+     *  compare ranks where they used to compare stamps (larger rank ==
+     *  older). */
+    uint8_t
+    rankOf(uint32_t set, int way) const
+    {
+        return rankRow(set)[way];
+    }
 
   private:
-    std::vector<int64_t> stamps_;
-    int64_t clock_ = 0;
-    int64_t lowClock_ = 0;
+    uint8_t *
+    rankRow(uint32_t set)
+    {
+        return rankBase_ + static_cast<size_t>(set) * rankStride_;
+    }
+
+    const uint8_t *
+    rankRow(uint32_t set) const
+    {
+        return rankBase_ + static_cast<size_t>(set) * rankStride_;
+    }
+
+    /**
+     * Rank rows live in the cache's per-set scratch block when it
+     * offers one (ways <= Cache::kMaxFpWays), so victim selection and
+     * promotion touch the same cache line the lookup already loaded;
+     * wider caches fall back to the policy-owned ranks_ vector.
+     * rankBase_/rankStride_ are fixed at attach() either way.
+     */
+    uint8_t *rankBase_ = nullptr;
+    size_t rankStride_ = 0;
+    /** Scratch rows are 16 writable bytes, so the rank ops can run as
+     *  single 16-lane SSE2 passes instead of runtime-count loops. */
+    bool vec16_ = false;
+    std::vector<uint8_t> ranks_;
 };
 
 /** First-in-first-out replacement (insertion stamps only). */
 class FifoPolicy : public ReplacementPolicy
 {
   public:
-    std::string name() const override { return "FIFO"; }
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "FIFO";
+        return n;
+    }
 
     void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;
     void onHit(const AccessContext &ctx, int way) override;
@@ -75,7 +235,12 @@ class RandomPolicy : public ReplacementPolicy
   public:
     explicit RandomPolicy(uint64_t seed = 0xbadc0ffee) : rng_(seed) {}
 
-    std::string name() const override { return "Random"; }
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "Random";
+        return n;
+    }
 
     void onHit(const AccessContext &ctx, int way) override;
     int selectVictim(const AccessContext &ctx) override;

@@ -10,18 +10,12 @@ InsertionLruPolicy::InsertionLruPolicy(Mode mode, double epsilon,
                                        uint64_t seed)
     : mode_(mode), epsilon_(epsilon), rng_(seed)
 {
-}
-
-std::string
-InsertionLruPolicy::name() const
-{
     switch (mode_) {
-      case Mode::Lru: return "LRU";
-      case Mode::Lip: return "LIP";
-      case Mode::Bip: return "BIP";
-      case Mode::Dip: return "DIP";
+      case Mode::Lru: name_ = "LRU"; break;
+      case Mode::Lip: name_ = "LIP"; break;
+      case Mode::Bip: name_ = "BIP"; break;
+      case Mode::Dip: name_ = "DIP"; break;
     }
-    return "?";
 }
 
 void
@@ -67,7 +61,10 @@ InsertionLruPolicy::onInsert(const AccessContext &ctx, int way)
     // excludes writebacks from PSEL updates (Sec. 5).
     if (mode_ == Mode::Dip && !ctx.isWriteback)
         dueling_->recordMiss(ctx.set);
-    stamp(ctx.set, way) = insertAtMru(ctx) ? nextStamp() : oldestStamp();
+    if (insertAtMru(ctx))
+        promote(ctx.set, way);
+    else
+        demote(ctx.set, way);
 }
 
 void

@@ -37,7 +37,7 @@ class InsertionLruPolicy : public LruPolicy
     explicit InsertionLruPolicy(Mode mode, double epsilon = 1.0 / 32,
                                 uint64_t seed = 0xd1b0);
 
-    std::string name() const override;
+    const std::string &name() const override { return name_; }
 
     void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;
     void onInsert(const AccessContext &ctx, int way) override;
@@ -60,6 +60,7 @@ class InsertionLruPolicy : public LruPolicy
     double epsilon_;
     Rng rng_;
     std::optional<SetDueling> dueling_;
+    std::string name_;
 };
 
 /** Convenience factories. */

@@ -43,7 +43,12 @@ class EelruPolicy : public ReplacementPolicy
     EelruPolicy();
     explicit EelruPolicy(Params params);
 
-    std::string name() const override { return "EELRU"; }
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "EELRU";
+        return n;
+    }
 
     void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;
     void onHit(const AccessContext &ctx, int way) override;

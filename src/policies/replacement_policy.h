@@ -48,8 +48,10 @@ class ReplacementPolicy
 
     virtual ~ReplacementPolicy() = default;
 
-    /** Short policy name for reports (e.g. "DRRIP", "PDP-3"). */
-    virtual std::string name() const = 0;
+    /** Short policy name for reports (e.g. "DRRIP", "PDP-3").  Returns
+     *  a reference to a cached string, so audit and report paths never
+     *  allocate per call. */
+    virtual const std::string &name() const = 0;
 
     /**
      * Bind the policy to its cache.  Called exactly once, before any

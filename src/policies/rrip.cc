@@ -11,17 +11,11 @@ RripPolicy::RripPolicy(Mode mode, double epsilon, unsigned rrpv_bits,
     : mode_(mode), epsilon_(epsilon),
       maxRrpv_(static_cast<uint8_t>((1u << rrpv_bits) - 1)), rng_(seed)
 {
-}
-
-std::string
-RripPolicy::name() const
-{
     switch (mode_) {
-      case Mode::Srrip: return "SRRIP";
-      case Mode::Brrip: return "BRRIP";
-      case Mode::Drrip: return "DRRIP";
+      case Mode::Srrip: name_ = "SRRIP"; break;
+      case Mode::Brrip: name_ = "BRRIP"; break;
+      case Mode::Drrip: name_ = "DRRIP"; break;
     }
-    return "?";
 }
 
 void

@@ -37,7 +37,7 @@ class RripPolicy : public ReplacementPolicy
     explicit RripPolicy(Mode mode, double epsilon = 1.0 / 32,
                         unsigned rrpv_bits = 2, uint64_t seed = 0x5712);
 
-    std::string name() const override;
+    const std::string &name() const override { return name_; }
 
     void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;
     void onHit(const AccessContext &ctx, int way) override;
@@ -74,6 +74,7 @@ class RripPolicy : public ReplacementPolicy
 
   private:
     std::vector<uint8_t> rrpvs_;
+    std::string name_;
 };
 
 std::unique_ptr<RripPolicy> makeSrrip();

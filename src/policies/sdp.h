@@ -70,7 +70,12 @@ class SdpPolicy : public LruPolicy
     SdpPolicy();
     explicit SdpPolicy(Params params);
 
-    std::string name() const override { return "SDP"; }
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "SDP";
+        return n;
+    }
     bool usesBypass() const override { return true; }
 
     void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;

@@ -35,7 +35,12 @@ class ShipPolicy : public RripPolicy
     ShipPolicy();
     explicit ShipPolicy(Params params);
 
-    std::string name() const override { return "SHiP"; }
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "SHiP";
+        return n;
+    }
 
     void attach(Cache &cache, uint32_t num_sets, uint32_t num_ways) override;
     void onHit(const AccessContext &ctx, int way) override;

@@ -1,9 +1,11 @@
 #include "runner/suites.h"
 
 #include <algorithm>
+#include <chrono>
 #include <ostream>
 
 #include "cache/hierarchy.h"
+#include "cache/reference_cache.h"
 #include "core/pdp_policy.h"
 #include "policies/rrip.h"
 #include "runner/thread_pool.h"
@@ -489,6 +491,297 @@ buildSmoke(const SuiteOptions &options)
     return jobs;
 }
 
+// ---------------------------------------------------------------------------
+// hotpath — self-profiling throughput of the cache substrate itself.
+//
+// Unlike the figure suites, these jobs drive Cache::access directly (no
+// hierarchy, no timing model) so the metric is the substrate's raw
+// accesses/sec.  One job runs the frozen pre-SoA ReferenceCache on the
+// identical trace, so every BENCH_hotpath.json carries the SoA-vs-AoS
+// speedup as a machine-independent ratio next to the absolute rates.
+//
+// All timed jobs share one trace seed (seedFor("hotpath/trace")), so the
+// hit rates in the dump are comparable across policies and substrates.
+// The accesses/accesses_per_sec/hit_rate scalars land in JobOutcome::
+// metrics; accesses_per_sec is inherently wall-clock-volatile, which is
+// why determinism tests key on the smoke suite, not this one.
+
+/** Trace length of one measured pass (addresses, not bytes). */
+constexpr size_t kHotpathTraceLen = 1u << 20;
+
+/** Uniform line addresses over `span`; ~25% of the paper LLC resident
+ *  when span = 4 * numLines, which exercises hit, miss and evict paths
+ *  in realistic proportion. */
+std::vector<uint64_t>
+hotpathTrace(uint64_t seed, uint64_t span)
+{
+    Rng rng(seed);
+    std::vector<uint64_t> trace(kHotpathTraceLen);
+    for (uint64_t &addr : trace)
+        addr = rng.below(span);
+    return trace;
+}
+
+/** Measured accesses at `scale` (floor keeps CI smoke runs meaningful). */
+uint64_t
+hotpathTarget(double scale)
+{
+    const double scaled = 16.0 * 1024 * 1024 * scale;
+    return std::max<uint64_t>(2'000'000, static_cast<uint64_t>(scaled));
+}
+
+/**
+ * Walk `count` accesses of `trace` starting at *cursor (wrapping), and
+ * return the wall-clock seconds the walk took.  *cursor advances so
+ * consecutive segments continue the same access stream.
+ *
+ * `access` is called with the current address and the one after it: a
+ * trace-driven caller always knows the next access, so the SoA jobs
+ * software-pipeline the walk by issuing Cache::prefetchSet for the next
+ * set before performing the current access.  That is part of the
+ * substrate's driving model, not a trick of the benchmark — any trace
+ * consumer can do the same.
+ */
+template <typename AccessFn>
+double
+timedSegment(const std::vector<uint64_t> &trace, size_t *cursor,
+             uint64_t count, AccessFn &&access)
+{
+    const size_t n = trace.size();
+    size_t i = *cursor;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t k = 0; k < count; ++k) {
+        const uint64_t addr = trace[i];
+        i = i + 1 == n ? 0 : i + 1;
+        access(addr, trace[i]);
+    }
+    *cursor = i;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/** Pairs of interleaved A/B segments in one paired measurement (odd, so
+ *  the median ratio is a real pair's ratio). */
+constexpr int kHotpathPairs = 5;
+
+void
+hotpathMetrics(JobOutcome &outcome, uint64_t done, double seconds,
+               double hit_rate)
+{
+    outcome.metrics["accesses"] = static_cast<double>(done);
+    outcome.metrics["accesses_per_sec"] =
+        seconds > 0 ? static_cast<double>(done) / seconds : 0.0;
+    outcome.metrics["hit_rate"] = hit_rate;
+}
+
+/**
+ * Throughput of the live (SoA) Cache under a single-core policy,
+ * measured against an in-job AoS twin.
+ *
+ * Wall-clock rates on a shared machine drift by integer factors between
+ * phases, so a ratio of two rates measured in different jobs (possibly
+ * minutes apart) is meaningless.  Each job therefore drives the live
+ * cache and a private ReferenceCache through the same stream in
+ * interleaved timed segments and reports the median of the per-pair
+ * ratios as `vs_aos` — both sides of every pair see the same machine
+ * weather, and the median sheds the odd descheduled segment.
+ */
+Job
+hotpathCacheJob(std::string key, std::string policySpec, double scale)
+{
+    Job job;
+    job.key = std::move(key);
+    job.seed = seedFor("hotpath/trace");
+    job.run = [policySpec = std::move(policySpec),
+               scale](const JobContext &ctx) {
+        Cache cache(CacheConfig::paperLlc(), makePolicy(policySpec));
+        ReferenceLru ref_lru;
+        ReferenceCache ref(CacheConfig::paperLlc(), ref_lru);
+        ref_lru.attach(ref.numSets(), ref.numWays());
+
+        const auto trace =
+            hotpathTrace(ctx.seed, cache.config().numLines() * 4);
+
+        AccessContext access;
+        const auto soa = [&](uint64_t addr, uint64_t next) {
+            cache.prefetchSet(cache.setIndex(next));
+            access.lineAddr = addr;
+            access.set = cache.setIndex(addr);
+            cache.access(access);
+        };
+        AccessContext ref_access;
+        const auto aos = [&](uint64_t addr, uint64_t) {
+            ref_access.lineAddr = addr;
+            ref.access(ref_access);
+        };
+
+        // Warmup both substrates over one full pass.
+        size_t soa_cursor = 0, aos_cursor = 0;
+        timedSegment(trace, &soa_cursor, trace.size(), soa);
+        timedSegment(trace, &aos_cursor, trace.size(), aos);
+        cache.resetStats();
+
+        const uint64_t seg =
+            std::max<uint64_t>(hotpathTarget(scale) / kHotpathPairs, 1);
+        double soa_seconds = 0.0, aos_seconds = 0.0;
+        std::vector<double> ratios;
+        uint64_t done = 0;
+        for (int pair = 0; pair < kHotpathPairs; ++pair) {
+            const double s = timedSegment(trace, &soa_cursor, seg, soa);
+            const double a = timedSegment(trace, &aos_cursor, seg, aos);
+            soa_seconds += s;
+            aos_seconds += a;
+            done += seg;
+            if (s > 0 && a > 0)
+                ratios.push_back(a / s);
+        }
+        std::sort(ratios.begin(), ratios.end());
+
+        JobOutcome outcome;
+        hotpathMetrics(outcome, done, soa_seconds, cache.stats().hitRate());
+        outcome.metrics["aos_accesses_per_sec"] =
+            aos_seconds > 0 ? static_cast<double>(done) / aos_seconds : 0.0;
+        outcome.metrics["vs_aos"] =
+            ratios.empty() ? 0.0 : ratios[ratios.size() / 2];
+        return outcome;
+    };
+    return job;
+}
+
+/** The frozen pre-SoA substrate alone: the absolute anchor every
+ *  BENCH_hotpath.json carries next to the paired ratios. */
+Job
+hotpathReferenceJob(double scale)
+{
+    Job job;
+    job.key = "hotpath/llc/AoS-reference";
+    job.seed = seedFor("hotpath/trace");
+    job.run = [scale](const JobContext &ctx) {
+        ReferenceLru lru;
+        ReferenceCache cache(CacheConfig::paperLlc(), lru);
+        lru.attach(cache.numSets(), cache.numWays());
+        const auto trace =
+            hotpathTrace(ctx.seed, static_cast<uint64_t>(cache.numSets()) *
+                                       cache.numWays() * 4);
+        AccessContext access;
+        const auto aos = [&](uint64_t addr, uint64_t) {
+            access.lineAddr = addr;
+            cache.access(access);
+        };
+        size_t cursor = 0;
+        timedSegment(trace, &cursor, trace.size(), aos); // warmup
+        const uint64_t target = hotpathTarget(scale);
+        const double seconds = timedSegment(trace, &cursor, target, aos);
+        JobOutcome outcome;
+        const double hit_rate = cache.accesses()
+            ? static_cast<double>(cache.hits()) / cache.accesses()
+            : 0.0;
+        hotpathMetrics(outcome, target, seconds, hit_rate);
+        return outcome;
+    };
+    return job;
+}
+
+/** The partitioned multi-core fast path: a 4-core shared LLC under the
+ *  PD partitioning policy, threads interleaved round-robin. */
+Job
+hotpathPartitionJob(double scale)
+{
+    Job job;
+    job.key = "hotpath/shared/PDP-3-part-4c";
+    job.seed = seedFor("hotpath/trace-shared");
+    job.run = [scale](const JobContext &ctx) {
+        constexpr unsigned kThreads = 4;
+        Cache cache(CacheConfig::paperLlc(kThreads),
+                    makeSharedPolicy("PDP-3", kThreads));
+        // Thread t walks its own uniform window; the window tag in the
+        // high bits keeps the per-thread footprints disjoint while the
+        // low bits still spread over all sets.
+        const uint64_t span = cache.config().numLines();
+        Rng rng(ctx.seed);
+        std::vector<uint64_t> trace(kHotpathTraceLen);
+        for (size_t i = 0; i < trace.size(); ++i)
+            trace[i] = (static_cast<uint64_t>(i & (kThreads - 1)) << 40) |
+                rng.below(span);
+        AccessContext access;
+        const auto shared = [&](uint64_t addr, uint64_t next) {
+            cache.prefetchSet(cache.setIndex(next));
+            access.threadId = static_cast<uint8_t>(addr >> 40);
+            access.lineAddr = addr;
+            access.set = cache.setIndex(addr);
+            cache.access(access);
+        };
+        size_t cursor = 0;
+        timedSegment(trace, &cursor, trace.size(), shared); // warmup
+        const uint64_t target = hotpathTarget(scale);
+        const double seconds = timedSegment(trace, &cursor, target, shared);
+        JobOutcome outcome;
+        hotpathMetrics(outcome, target, seconds, cache.stats().hitRate());
+        return outcome;
+    };
+    return job;
+}
+
+const std::vector<std::string> kHotpathPolicies = {"LRU", "DRRIP", "PDP-3"};
+
+std::vector<Job>
+buildHotpath(const SuiteOptions &options)
+{
+    std::vector<Job> jobs;
+    for (const std::string &policy : kHotpathPolicies)
+        jobs.push_back(
+            hotpathCacheJob("hotpath/llc/" + policy, policy, options.scale));
+    jobs.push_back(hotpathReferenceJob(options.scale));
+    jobs.push_back(hotpathPartitionJob(options.scale));
+    return jobs;
+}
+
+void
+reportHotpath(std::ostream &out, const RecordLookup &records)
+{
+    out << "==== hotpath: cache-substrate throughput ====\n\n";
+
+    const auto metric = [&](const std::string &key, const char *name,
+                            double *value) {
+        const JobRecord *record = records.find(key);
+        if (!record || record->status == JobStatus::Failed)
+            return false;
+        const auto it = record->outcome.metrics.find(name);
+        if (it == record->outcome.metrics.end())
+            return false;
+        *value = it->second;
+        return true;
+    };
+
+    Table table({"configuration", "Macc/s", "hit rate", "vs AoS"});
+    std::vector<std::string> keys;
+    for (const std::string &policy : kHotpathPolicies)
+        keys.push_back("hotpath/llc/" + policy);
+    keys.push_back("hotpath/llc/AoS-reference");
+    keys.push_back("hotpath/shared/PDP-3-part-4c");
+    for (const std::string &key : keys) {
+        double aps = 0.0, hit_rate = 0.0, vs_aos = 0.0;
+        if (!metric(key, "accesses_per_sec", &aps)) {
+            table.addRow({key, "n/a", "n/a", "n/a"});
+            continue;
+        }
+        metric(key, "hit_rate", &hit_rate);
+        // vs_aos is the job's own paired-median ratio (rates measured
+        // in different jobs are not comparable on a noisy machine); the
+        // shared-LLC and AoS-anchor jobs have no paired twin.
+        const bool paired = metric(key, "vs_aos", &vs_aos) && vs_aos > 0;
+        table.addRow({key, Table::num(aps / 1e6, 2), Table::upct(hit_rate),
+                      paired ? Table::num(vs_aos, 2) + "x" : "-"});
+    }
+    table.print(out);
+
+    out << "\nAoS = the frozen pre-SoA substrate (reference_cache.h); "
+           "vs AoS = median of interleaved paired segments inside each "
+           "job.\ntools/check_perf.py enforces LRU >= 2.00x and the "
+           "committed-baseline regression bar in CI.\n";
+}
+
 } // namespace
 
 const std::vector<Suite> &
@@ -504,6 +797,9 @@ allSuites()
         {"fig12_partitioning",
          "Fig. 12: 4-/16-core shared-cache partitioning vs TA-DRRIP",
          buildFig12, reportFig12},
+        {"hotpath",
+         "cache-substrate throughput (SoA vs frozen AoS reference)",
+         buildHotpath, reportHotpath},
         // No figure report: the generic per-job table from runSuite()
         // is the whole story for a sanity grid.
         {"smoke", "small single-/multi-core grid for CI smoke runs",

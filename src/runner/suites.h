@@ -83,7 +83,7 @@ struct Suite
 };
 
 /** Registry of all suites (fig10_single_core, fig4_static_pdp,
- *  fig12_partitioning, smoke). */
+ *  fig12_partitioning, hotpath, smoke). */
 const std::vector<Suite> &allSuites();
 
 /** Lookup by name; nullptr when unknown. */

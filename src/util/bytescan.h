@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Branch-free byte scans for the cache hot path.
+ *
+ * The access fast path repeatedly asks "which positions of this small
+ * byte row equal this value?" (tag-fingerprint probes, LRU-rank
+ * lookups).  Writing that as `mask |= (row[w] == v) << w` defeats
+ * auto-vectorization — the variable shift forces a scalar loop — so the
+ * scan is implemented with SSE2 compare + movemask where available
+ * (SSE2 is part of baseline x86-64) and a portable scalar loop
+ * elsewhere.  Both paths return bit w set iff row[w] == needle.
+ */
+
+#ifndef PDP_UTIL_BYTESCAN_H
+#define PDP_UTIL_BYTESCAN_H
+
+#include <cstdint>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace pdp
+{
+
+/** Bytes of padding callers must keep readable past row[n - 1] so the
+ *  vector path can load whole 16-byte chunks.  Size backing vectors as
+ *  `n + kByteScanPadding`. */
+inline constexpr uint32_t kByteScanPadding = 15;
+
+/**
+ * Bitmask of the positions in row[0, n) holding `needle`.
+ *
+ * Requires n <= 64.  The row must be readable up to
+ * row[n + kByteScanPadding - 1]; the padding bytes' contents do not
+ * affect the result.
+ */
+inline uint64_t
+byteMatchMask(const uint8_t *row, uint32_t n, uint8_t needle)
+{
+#if defined(__SSE2__)
+    const __m128i nv = _mm_set1_epi8(static_cast<char>(needle));
+    uint64_t mask = 0;
+    for (uint32_t base = 0; base < n; base += 16) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(row + base));
+        const auto hits = static_cast<uint32_t>(
+            _mm_movemask_epi8(_mm_cmpeq_epi8(v, nv)));
+        mask |= static_cast<uint64_t>(hits) << base;
+    }
+    return n >= 64 ? mask : mask & ((1ull << n) - 1);
+#else
+    uint64_t mask = 0;
+    for (uint32_t w = 0; w < n; ++w)
+        mask |= static_cast<uint64_t>(row[w] == needle) << w;
+    return mask;
+#endif
+}
+
+} // namespace pdp
+
+#endif // PDP_UTIL_BYTESCAN_H

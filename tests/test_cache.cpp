@@ -42,7 +42,12 @@ at(uint64_t line, uint8_t thread = 0, bool write = false)
 class AlwaysBypassPolicy : public ReplacementPolicy
 {
   public:
-    std::string name() const override { return "AlwaysBypass"; }
+    const std::string &
+    name() const override
+    {
+        static const std::string n = "AlwaysBypass";
+        return n;
+    }
     bool usesBypass() const override { return true; }
     void onHit(const AccessContext &, int) override {}
     int selectVictim(const AccessContext &) override { return kBypass; }

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Equivalence and transition tests for the SoA cache substrate.
+ *
+ * The hot-path overhaul (SoA tag store, packed per-set masks, tag
+ * fingerprints, the rank-permutation LRU in the per-set scratch row and
+ * the fused non-virtual LRU path) is pure layout/dispatch work: every
+ * architectural observable must be identical to the frozen pre-SoA
+ * ReferenceCache and to the virtual-dispatch policy path.  These tests
+ * pin that down:
+ *
+ *  - lockstep Cache vs ReferenceCache over long random mixes (narrow
+ *    and wider-than-fingerprint associativities),
+ *  - fused (exact LruPolicy) vs virtual (LruPolicy subclass) dispatch,
+ *  - packed valid/dirty/reused mask transitions incl. invalidate,
+ *  - invariant-auditor cleanliness mid-stream (fingerprints, rank
+ *    permutation, mask/canonical-state coupling),
+ *  - byte-identical smoke-suite JSON across two serial runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cache/reference_cache.h"
+#include "check/invariant_auditor.h"
+#include "policies/basic.h"
+#include "runner/suites.h"
+#include "util/rng.h"
+
+using namespace pdp;
+
+namespace
+{
+
+CacheConfig
+smallConfig(uint32_t sets, uint32_t ways)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = static_cast<uint64_t>(sets) * ways * 64;
+    cfg.ways = ways;
+    return cfg;
+}
+
+AccessContext
+at(uint64_t line, uint8_t thread = 0, bool write = false)
+{
+    AccessContext ctx;
+    ctx.lineAddr = line;
+    ctx.threadId = thread;
+    ctx.isWrite = write;
+    return ctx;
+}
+
+void
+expectSameOutcome(const AccessOutcome &a, const AccessOutcome &b,
+                  uint64_t step)
+{
+    ASSERT_EQ(a.hit, b.hit) << "step " << step;
+    ASSERT_EQ(a.bypassed, b.bypassed) << "step " << step;
+    ASSERT_EQ(a.way, b.way) << "step " << step;
+    ASSERT_EQ(a.evictedValid, b.evictedValid) << "step " << step;
+    ASSERT_EQ(a.evictedAddr, b.evictedAddr) << "step " << step;
+    ASSERT_EQ(a.evictedDirty, b.evictedDirty) << "step " << step;
+    ASSERT_EQ(a.evictedReused, b.evictedReused) << "step " << step;
+    ASSERT_EQ(a.evictedThread, b.evictedThread) << "step " << step;
+}
+
+/** A pseudo-random demand mix: skewed line addresses (so hits, misses
+ *  and evictions all occur), two threads, ~1/4 writes. */
+AccessContext
+mixedAccess(Rng &rng, uint64_t span)
+{
+    const uint64_t line = rng.below(span);
+    return at(line, static_cast<uint8_t>(line & 1), rng.below(4) == 0);
+}
+
+// ---------------------------------------------------------------------------
+// Lockstep equivalence against the frozen pre-SoA substrate.
+
+void
+runLockstep(const CacheConfig &cfg, uint64_t steps)
+{
+    Cache soa(cfg, std::make_unique<LruPolicy>());
+    ReferenceLru ref_lru;
+    ReferenceCache aos(cfg, ref_lru);
+    ref_lru.attach(aos.numSets(), aos.numWays());
+
+    Rng rng(0x5ca1ab1e + cfg.ways);
+    const uint64_t span = static_cast<uint64_t>(cfg.numLines()) * 3;
+    for (uint64_t i = 0; i < steps; ++i) {
+        AccessContext ctx = mixedAccess(rng, span);
+        ctx.set = soa.setIndex(ctx.lineAddr);
+        const AccessOutcome a = soa.access(ctx);
+        const AccessOutcome b = aos.access(ctx);
+        expectSameOutcome(a, b, i);
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+
+    // Final architectural state, way by way.
+    for (uint32_t set = 0; set < soa.numSets(); ++set)
+        for (uint32_t way = 0; way < soa.numWays(); ++way) {
+            ASSERT_EQ(soa.isValid(set, way), aos.isValid(set, way));
+            ASSERT_EQ(soa.isDirty(set, way), aos.isDirty(set, way));
+            ASSERT_EQ(soa.isReused(set, way), aos.isReused(set, way));
+            ASSERT_EQ(soa.lineAddr(set, way), aos.lineAddr(set, way));
+            ASSERT_EQ(soa.lineThread(set, way), aos.lineThread(set, way));
+        }
+    EXPECT_EQ(soa.stats().hits, aos.stats().hits);
+    EXPECT_EQ(soa.stats().misses, aos.stats().misses);
+    EXPECT_EQ(soa.stats().accesses, aos.stats().accesses);
+}
+
+TEST(HotpathEquivalence, LockstepMatchesReferenceNarrow)
+{
+    // Fingerprint + scratch fast path (ways <= kMaxFpWays).
+    runLockstep(smallConfig(64, 8), 200000);
+}
+
+TEST(HotpathEquivalence, LockstepMatchesReferencePaperGeometry)
+{
+    runLockstep(smallConfig(128, 16), 200000);
+}
+
+TEST(HotpathEquivalence, LockstepMatchesReferenceWide)
+{
+    // Wider than kMaxFpWays: full-tag-scan fallback and policy-owned
+    // rank storage.
+    ASSERT_GT(32u, Cache::kMaxFpWays);
+    runLockstep(smallConfig(16, 32), 100000);
+}
+
+// ---------------------------------------------------------------------------
+// Fused (exact LruPolicy) vs virtual dispatch.
+
+/** Same behaviour as LruPolicy, but a distinct dynamic type, so the
+ *  substrate's exact-type fusion check does not engage. */
+class UnfusedLru final : public LruPolicy
+{
+};
+
+TEST(HotpathEquivalence, FusedLruMatchesVirtualLru)
+{
+    const CacheConfig cfg = smallConfig(64, 16);
+    Cache fused(cfg, std::make_unique<LruPolicy>());
+    Cache virt(cfg, std::make_unique<UnfusedLru>());
+
+    Rng rng(0xfeedface);
+    const uint64_t span = static_cast<uint64_t>(cfg.numLines()) * 3;
+    for (uint64_t i = 0; i < 200000; ++i) {
+        AccessContext ctx = mixedAccess(rng, span);
+        ctx.set = fused.setIndex(ctx.lineAddr);
+        const AccessOutcome a = fused.access(ctx);
+        const AccessOutcome b = virt.access(ctx);
+        expectSameOutcome(a, b, i);
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+    EXPECT_EQ(fused.stats().hits, virt.stats().hits);
+    EXPECT_EQ(fused.stats().misses, virt.stats().misses);
+}
+
+// ---------------------------------------------------------------------------
+// Packed-mask transitions.
+
+TEST(HotpathMasks, InsertHitWriteInvalidateTransitions)
+{
+    const CacheConfig cfg = smallConfig(4, 2);
+    Cache cache(cfg, std::make_unique<LruPolicy>());
+    const uint64_t line = 4; // set 0 in a 4-set cache
+
+    // Install: valid bit appears, dirty/reused stay clear.
+    AccessOutcome out = cache.access(at(line));
+    EXPECT_FALSE(out.hit);
+    ASSERT_EQ(out.way, 0);
+    EXPECT_EQ(cache.validMask(0), 1u);
+    EXPECT_FALSE(cache.isDirty(0, 0));
+    EXPECT_FALSE(cache.isReused(0, 0));
+
+    // Re-reference: hit, reused bit set.
+    out = cache.access(at(line));
+    EXPECT_TRUE(out.hit);
+    EXPECT_TRUE(cache.isReused(0, 0));
+    EXPECT_FALSE(cache.isDirty(0, 0));
+
+    // Write hit: dirty bit set.
+    out = cache.access(at(line, 0, true));
+    EXPECT_TRUE(out.hit);
+    EXPECT_TRUE(cache.isDirty(0, 0));
+
+    // Fill the set, then miss: the LRU victim is the original line,
+    // and the eviction reports the packed dirty/reused state it
+    // accumulated.
+    cache.access(at(line + 4));
+    EXPECT_EQ(cache.validMask(0), 3u);
+    out = cache.access(at(line + 8));
+    EXPECT_TRUE(out.evictedValid);
+    EXPECT_EQ(out.evictedAddr, line);
+    EXPECT_TRUE(out.evictedDirty);
+    EXPECT_TRUE(out.evictedReused);
+    out = cache.access(at(line));
+    EXPECT_TRUE(out.evictedValid);
+    EXPECT_EQ(out.evictedAddr, line + 4); // untouched since install
+    EXPECT_FALSE(out.evictedDirty);
+    EXPECT_FALSE(out.evictedReused);
+
+    // Invalidate: valid bit drops, line state reads canonical zero.
+    out = cache.access(at(line + 8));
+    ASSERT_TRUE(out.hit);
+    const int way = out.way;
+    ASSERT_GE(way, 0);
+    EXPECT_TRUE(cache.invalidate(line + 8));
+    EXPECT_FALSE(cache.isValid(0, static_cast<uint32_t>(way)));
+    EXPECT_EQ(cache.lineAddr(0, static_cast<uint32_t>(way)), 0u);
+    EXPECT_FALSE(cache.contains(line + 8));
+    EXPECT_FALSE(cache.invalidate(line + 8));
+
+    // A subsequent miss refills the invalidated way first.
+    out = cache.access(at(line + 12));
+    EXPECT_FALSE(out.hit);
+    EXPECT_FALSE(out.evictedValid);
+    EXPECT_EQ(out.way, way);
+}
+
+TEST(HotpathMasks, AuditorStaysCleanMidStream)
+{
+    // The auditor cross-checks the packed masks, fingerprints and rank
+    // permutation against the canonical line state; a drifting SoA
+    // representation (stale fingerprint, broken rank row, mask/tag
+    // mismatch) fails here.
+    const CacheConfig cfg = smallConfig(32, 16);
+    Cache cache(cfg, std::make_unique<LruPolicy>());
+    Rng rng(0xa0d17);
+    const uint64_t span = static_cast<uint64_t>(cfg.numLines()) * 3;
+    for (int i = 0; i < 50000; ++i) {
+        AccessContext ctx = mixedAccess(rng, span);
+        ctx.set = cache.setIndex(ctx.lineAddr);
+        cache.access(ctx);
+        if (i % 5000 == 4999) {
+            InvariantReporter reporter;
+            cache.auditInvariants(reporter);
+            ASSERT_TRUE(reporter.clean()) << reporter.report();
+        }
+    }
+    // Invalidation must clear the fingerprint too, or a later probe of
+    // an aliasing address could false-hit; the auditor checks the
+    // canonical coupling.
+    for (uint64_t line = 0; line < 64; ++line)
+        cache.invalidate(line);
+    InvariantReporter reporter;
+    cache.auditInvariants(reporter);
+    ASSERT_TRUE(reporter.clean()) << reporter.report();
+}
+
+// ---------------------------------------------------------------------------
+// Smoke-suite JSON determinism.
+
+TEST(HotpathDeterminism, SmokeSuiteJsonIsByteIdentical)
+{
+    // The deterministic (volatile-free) smoke-suite document must be
+    // byte-identical across serial runs: the SoA refactor may change
+    // throughput but never results.  (accesses_per_sec-style metrics
+    // live only in the hotpath suite, which determinism tests skip by
+    // design.)
+    const runner::Suite *smoke = runner::findSuite("smoke");
+    ASSERT_NE(smoke, nullptr);
+
+    runner::SuiteOptions options;
+    options.scale = 0.05;
+
+    const auto runOnce = [&]() {
+        runner::ResultsSink sink(smoke->name);
+        sink.setScale(options.scale);
+        for (runner::Job &job : smoke->buildJobs(options)) {
+            runner::JobRecord record;
+            record.key = job.key;
+            record.status = runner::JobStatus::Ok;
+            runner::JobContext ctx;
+            ctx.seed = job.seed;
+            record.outcome = job.run(ctx);
+            sink.add(std::move(record));
+        }
+        return sink.toJson(false).dump(2);
+    };
+
+    const std::string first = runOnce();
+    const std::string second = runOnce();
+    EXPECT_EQ(first, second);
+    EXPECT_FALSE(first.empty());
+}
+
+} // namespace

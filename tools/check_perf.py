@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_hotpath.json against the committed baseline.
+
+The hotpath suite reports, for every SoA job, the median ratio of
+interleaved paired segments against an in-job AoS (pre-SoA) reference
+cache (the ``vs_aos`` metric).  That ratio is the only number stable
+enough to gate on: absolute accesses/sec depend on the machine and its
+load, while both sides of a paired segment see the same machine weather.
+
+The gate fails when
+
+  * a configuration's current ratio regressed more than ``--max-regression``
+    (default 25%) below the committed baseline ratio,
+  * the LRU configuration's ratio falls below ``--min-lru-ratio``
+    (default 2.0, the substrate's acceptance bar),
+  * a configuration present in the baseline is missing from the current
+    run.
+
+Only the Python standard library is used.
+
+Usage:
+    tools/check_perf.py CURRENT_JSON BASELINE_JSON [options]
+"""
+
+import argparse
+import json
+import sys
+
+LRU_KEY = "hotpath/llc/LRU"
+
+
+def load_ratios(path):
+    """Map job key -> vs_aos ratio for every job that reports one."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    ratios = {}
+    for job in doc.get("jobs", []):
+        if job.get("status") != "ok":
+            continue
+        ratio = job.get("metrics", {}).get("vs_aos", 0.0)
+        if ratio > 0:
+            ratios[job["key"]] = ratio
+    return ratios
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Gate the SoA-vs-AoS throughput ratios of a "
+        "BENCH_hotpath.json against the committed baseline.")
+    parser.add_argument("current", help="freshly produced BENCH_hotpath.json")
+    parser.add_argument("baseline",
+                        help="committed baseline (ci/BENCH_hotpath_baseline.json)")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="maximum fractional drop below the baseline "
+                        "ratio before failing (default: 0.25)")
+    parser.add_argument("--min-lru-ratio", type=float, default=2.0,
+                        help="absolute floor for the %s ratio "
+                        "(default: 2.0)" % LRU_KEY)
+    args = parser.parse_args(argv)
+
+    current = load_ratios(args.current)
+    baseline = load_ratios(args.baseline)
+    if not baseline:
+        print("error: baseline %s carries no vs_aos ratios" % args.baseline)
+        return 1
+
+    failures = []
+    width = max(len(k) for k in baseline)
+    print("%-*s  %9s  %9s  %9s  status" %
+          (width, "configuration", "baseline", "current", "floor"))
+    for key in sorted(baseline):
+        base = baseline[key]
+        floor = base * (1.0 - args.max_regression)
+        if key == LRU_KEY:
+            floor = max(floor, args.min_lru_ratio)
+        cur = current.get(key)
+        if cur is None:
+            status = "MISSING"
+            failures.append("%s: missing from current results" % key)
+            cur_text = "-"
+        elif cur < floor:
+            status = "FAIL"
+            failures.append("%s: ratio %.2fx below floor %.2fx "
+                            "(baseline %.2fx)" % (key, cur, floor, base))
+            cur_text = "%.2fx" % cur
+        else:
+            status = "ok"
+            cur_text = "%.2fx" % cur
+        print("%-*s  %8.2fx  %9s  %8.2fx  %s" %
+              (width, key, base, cur_text, floor, status))
+
+    for key in sorted(set(current) - set(baseline)):
+        print("%-*s  %9s  %8.2fx  %9s  new" %
+              (width, key, "-", current[key], "-"))
+
+    if failures:
+        print("\nperf gate FAILED:")
+        for failure in failures:
+            print("  - " + failure)
+        return 1
+    print("\nperf gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
