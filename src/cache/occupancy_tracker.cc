@@ -16,6 +16,7 @@ void
 OccupancyTracker::bump(uint32_t set)
 {
     ++setCounter_[set];
+    ++totalBumps_;
 }
 
 void
@@ -74,6 +75,19 @@ OccupancyTracker::reset()
     std::fill(lastEvent_.begin(), lastEvent_.end(), 0);
     breakdown_ = OccupancyBreakdown{};
     demandInserts_ = 0;
+    totalBumps_ = 0;
+}
+
+void
+OccupancyTracker::auditGlobal(InvariantReporter &reporter) const
+{
+    reporter.check(totalBumps_ ==
+                       breakdown_.hits + breakdown_.bypasses +
+                           demandInserts_,
+                   "occ.conservation", "bump total ", totalBumps_,
+                   " but events sum to hits ", breakdown_.hits,
+                   " + bypasses ", breakdown_.bypasses, " + inserts ",
+                   demandInserts_);
 }
 
 void

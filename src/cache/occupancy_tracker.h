@@ -77,6 +77,17 @@ class OccupancyTracker : public CacheObserver
     void auditInvariants(const Cache &cache, bool cross_check_stats,
                          InvariantReporter &reporter) const;
 
+    /**
+     * The O(1) slice of the conservation invariant: the running bump
+     * total must equal hits + bypasses + demand inserts.  Cheap enough
+     * for the auditor's incremental (per-cadence) pass; the full
+     * per-set walk stays in auditInvariants.
+     */
+    void auditGlobal(InvariantReporter &reporter) const;
+
+    /** Sum of all per-set access counters (== total bumps). */
+    uint64_t counterSum() const { return totalBumps_; }
+
     /** Fault-injection hook for the checker tests. */
     void
     debugSetLastEvent(uint32_t set, int way, uint64_t value)
@@ -101,6 +112,8 @@ class OccupancyTracker : public CacheObserver
     OccupancyBreakdown breakdown_;
     /** Demand insertions observed (audit: set-counter conservation). */
     uint64_t demandInserts_ = 0;
+    /** Running sum of every bump (audit: O(1) conservation check). */
+    uint64_t totalBumps_ = 0;
 };
 
 } // namespace pdp

@@ -86,6 +86,8 @@ InvariantAuditor::incrementalAudit()
                 watched.cache->numSets();
         }
     }
+    for (const WatchedOccupancy &watched : occupancies_)
+        watched.tracker->auditGlobal(reporter);
     finish(std::move(reporter));
 }
 

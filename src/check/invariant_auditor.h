@@ -90,8 +90,9 @@ class InvariantAuditor
   public:
     struct Options
     {
-        /** Accesses between incremental audits (global checks + one
-         *  rotating set); 0 disables incremental auditing. */
+        /** Accesses between incremental audits (global checks — cache
+         *  + occupancy-conservation — plus one rotating set); 0
+         *  disables incremental auditing. */
         uint64_t cadence = 1;
         /** Accesses between full-state walks; 0 = only on demand. */
         uint64_t fullEvery = 1u << 18;

@@ -189,6 +189,34 @@ PdpPolicy::onInsert(const AccessContext &ctx, int way)
 }
 
 void
+PdpPolicy::telemetrySnapshot(telemetry::Snapshot &out) const
+{
+    out.setScalar("pd", pd_);
+    out.setScalar("recomputes", static_cast<double>(history_.size()));
+    if (!rdd_)
+        return;
+    out.setScalar("rdd_step", rdd_->step());
+    out.setScalar("rdd_total", static_cast<double>(rdd_->total()));
+    out.setScalar("rdd_hits", static_cast<double>(rdd_->hitSum()));
+    std::vector<double> buckets(rdd_->numBuckets());
+    for (uint32_t k = 0; k < rdd_->numBuckets(); ++k)
+        buckets[k] = static_cast<double>(rdd_->bucket(k));
+    out.setSeries("rdd", std::move(buckets));
+    // The E(d_p) curve only means something once the window has reuse
+    // mass; an all-zero RDD would export a flat zero curve.
+    if (rdd_->total() > 0 && rdd_->hitSum() > 0) {
+        const auto curve = model_.curve(*rdd_);
+        std::vector<double> dps(curve.size()), es(curve.size());
+        for (size_t i = 0; i < curve.size(); ++i) {
+            dps[i] = curve[i].dp;
+            es[i] = curve[i].e;
+        }
+        out.setSeries("e_dp", std::move(dps));
+        out.setSeries("e_curve", std::move(es));
+    }
+}
+
+void
 PdpPolicy::debugSetRpd(uint32_t set, int way, uint8_t value)
 {
     rpd(set, way) = value;

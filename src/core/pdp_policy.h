@@ -30,6 +30,7 @@
 #include "core/rd_sampler.h"
 #include "core/rdd.h"
 #include "policies/replacement_policy.h"
+#include "telemetry/source.h"
 
 namespace pdp
 {
@@ -85,7 +86,7 @@ struct PdSample
 };
 
 /** The PDP replacement/bypass policy. */
-class PdpPolicy : public ReplacementPolicy
+class PdpPolicy : public ReplacementPolicy, public telemetry::Source
 {
   public:
     explicit PdpPolicy(PdpParams params = PdpParams());
@@ -101,6 +102,9 @@ class PdpPolicy : public ReplacementPolicy
 
     void auditGlobal(InvariantReporter &reporter) const override;
     void auditSet(uint32_t set, InvariantReporter &reporter) const override;
+
+    /** Epoch telemetry: PD, RDD histogram and the E(d_p) curve. */
+    void telemetrySnapshot(telemetry::Snapshot &out) const override;
 
     /** Current protecting distance. */
     uint32_t pd() const { return pd_; }

@@ -63,6 +63,20 @@ class PdpPartitionPolicy : public PdpPolicy
 
     void auditGlobal(InvariantReporter &reporter) const override;
 
+    /** Epoch telemetry: the base PDP snapshot (shared RDD view) plus the
+     *  per-thread PD vector and per-thread RDD masses. */
+    void
+    telemetrySnapshot(telemetry::Snapshot &out) const override
+    {
+        PdpPolicy::telemetrySnapshot(out);
+        out.setSeries("thread_pds",
+                      std::vector<double>(pds_.begin(), pds_.end()));
+        std::vector<double> totals(perThreadRdd_.size());
+        for (size_t t = 0; t < perThreadRdd_.size(); ++t)
+            totals[t] = static_cast<double>(perThreadRdd_[t].total());
+        out.setSeries("thread_rdd_totals", std::move(totals));
+    }
+
     /** Fault-injection hook for the checker tests. */
     void
     debugSetThreadPd(unsigned thread, uint32_t pd)

@@ -18,13 +18,14 @@
 
 #include "partition/umon.h"
 #include "policies/replacement_policy.h"
+#include "telemetry/source.h"
 #include "util/rng.h"
 
 namespace pdp
 {
 
 /** PIPP replacement. */
-class PippPolicy : public ReplacementPolicy
+class PippPolicy : public ReplacementPolicy, public telemetry::Source
 {
   public:
     struct Params
@@ -57,6 +58,18 @@ class PippPolicy : public ReplacementPolicy
 
     const std::vector<uint32_t> &allocation() const { return alloc_; }
     bool isStreaming(unsigned thread) const { return streaming_[thread]; }
+
+    /** Epoch telemetry: way allocation + streaming classification. */
+    void
+    telemetrySnapshot(telemetry::Snapshot &out) const override
+    {
+        out.setSeries("allocation",
+                      std::vector<double>(alloc_.begin(), alloc_.end()));
+        std::vector<double> streaming(streaming_.size());
+        for (size_t t = 0; t < streaming_.size(); ++t)
+            streaming[t] = streaming_[t] ? 1.0 : 0.0;
+        out.setSeries("streaming", std::move(streaming));
+    }
 
     /** Fault-injection hook for the checker tests. */
     void

@@ -39,6 +39,23 @@ class TaDrripPolicy : public RripPolicy
 
     void auditGlobal(InvariantReporter &reporter) const override;
 
+    /** Epoch telemetry: every thread's PSEL and its current winner. */
+    void
+    telemetrySnapshot(telemetry::Snapshot &out) const override
+    {
+        std::vector<double> psels, winners;
+        psels.reserve(perThread_.size());
+        winners.reserve(perThread_.size());
+        for (const SetDueling &monitor : perThread_) {
+            psels.push_back(monitor.pselValue());
+            winners.push_back(monitor.followersUseB() ? 1.0 : 0.0);
+        }
+        out.setSeries("thread_psels", std::move(psels));
+        out.setSeries("thread_psel_b", std::move(winners));
+        if (!perThread_.empty())
+            out.setScalar("psel_max", perThread_.front().pselMax());
+    }
+
   protected:
     bool setUsesBrrip(const AccessContext &ctx) const override;
     void recordMiss(const AccessContext &ctx) override;

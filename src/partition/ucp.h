@@ -15,12 +15,13 @@
 
 #include "partition/umon.h"
 #include "policies/basic.h"
+#include "telemetry/source.h"
 
 namespace pdp
 {
 
 /** UCP replacement with way-partition enforcement. */
-class UcpPolicy : public LruPolicy
+class UcpPolicy : public LruPolicy, public telemetry::Source
 {
   public:
     /**
@@ -46,6 +47,14 @@ class UcpPolicy : public LruPolicy
 
     const std::vector<uint32_t> &allocation() const { return alloc_; }
     const Umon &umon() const { return *umon_; }
+
+    /** Epoch telemetry: the current per-thread way allocation. */
+    void
+    telemetrySnapshot(telemetry::Snapshot &out) const override
+    {
+        out.setSeries("allocation",
+                      std::vector<double>(alloc_.begin(), alloc_.end()));
+    }
 
     /** Fault-injection hook for the checker tests. */
     void

@@ -24,7 +24,7 @@ namespace pdp
 {
 
 /** The shared LRU-with-configurable-insertion machinery. */
-class InsertionLruPolicy : public LruPolicy
+class InsertionLruPolicy : public LruPolicy, public telemetry::Source
 {
   public:
     enum class Mode { Lru, Lip, Bip, Dip };
@@ -44,6 +44,14 @@ class InsertionLruPolicy : public LruPolicy
     int selectVictim(const AccessContext &ctx) override;
 
     void auditGlobal(InvariantReporter &reporter) const override;
+
+    /** Epoch telemetry: the DIP set-dueling PSEL (empty for LIP/BIP). */
+    void
+    telemetrySnapshot(telemetry::Snapshot &out) const override
+    {
+        if (dueling_)
+            dueling_->telemetrySnapshot(out);
+    }
 
     /** Fault-injection hook for the checker tests (DIP mode only). */
     void

@@ -14,6 +14,7 @@
 
 #include "check/check.h"
 #include "check/invariant_auditor.h"
+#include "telemetry/source.h"
 #include "util/sat_counter.h"
 
 namespace pdp
@@ -80,6 +81,18 @@ class SetDueling
 
     uint32_t pselValue() const { return psel_.value(); }
     uint32_t pselMax() const { return psel_.max(); }
+
+    /** The policy follower sets currently adopt (telemetry/diagnostics). */
+    bool followersUseB() const { return psel_.msbSet(); }
+
+    /** Append this monitor's state to a telemetry snapshot. */
+    void
+    telemetrySnapshot(telemetry::Snapshot &out) const
+    {
+        out.setScalar("psel", pselValue());
+        out.setScalar("psel_max", pselMax());
+        out.setScalar("psel_b", followersUseB() ? 1.0 : 0.0);
+    }
 
     /** Invariant audit: the PSEL stays within its configured width. */
     void

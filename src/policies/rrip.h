@@ -24,7 +24,7 @@ namespace pdp
 {
 
 /** SRRIP / BRRIP / DRRIP in one implementation. */
-class RripPolicy : public ReplacementPolicy
+class RripPolicy : public ReplacementPolicy, public telemetry::Source
 {
   public:
     enum class Mode { Srrip, Brrip, Drrip };
@@ -46,6 +46,15 @@ class RripPolicy : public ReplacementPolicy
 
     void auditGlobal(InvariantReporter &reporter) const override;
     void auditSet(uint32_t set, InvariantReporter &reporter) const override;
+
+    /** Epoch telemetry: the DRRIP set-dueling PSEL (empty for
+     *  SRRIP/BRRIP). */
+    void
+    telemetrySnapshot(telemetry::Snapshot &out) const override
+    {
+        if (dueling_)
+            dueling_->telemetrySnapshot(out);
+    }
 
     /** Fault-injection hook for the checker tests. */
     void

@@ -62,6 +62,90 @@ toJson(const MultiCoreResult &result)
     return j;
 }
 
+namespace
+{
+
+Json
+toJson(const telemetry::Snapshot &snapshot)
+{
+    Json j = Json::object();
+    Json policy = Json::object();
+    for (const auto &[name, value] : snapshot.scalars)
+        policy.set(name, value);
+    j.set("policy", std::move(policy));
+    if (!snapshot.series.empty()) {
+        Json series = Json::object();
+        for (const telemetry::Snapshot::Series &s : snapshot.series) {
+            Json values = Json::array();
+            for (double v : s.values)
+                values.push(v);
+            series.set(s.name, std::move(values));
+        }
+        j.set("series", std::move(series));
+    }
+    return j;
+}
+
+Json
+toJson(const telemetry::TraceEvent &event)
+{
+    Json j = Json::object();
+    j.set("type", event.type);
+    j.set("access", event.accessCount);
+    Json fields = Json::object();
+    for (const auto &[name, value] : event.fields)
+        fields.set(name, value);
+    j.set("fields", std::move(fields));
+    return j;
+}
+
+} // namespace
+
+Json
+toJson(const telemetry::RunTelemetry &run, bool includeVolatile)
+{
+    Json j = Json::object();
+    j.set("interval", run.interval);
+    if (run.epochsDropped)
+        j.set("epochs_dropped", run.epochsDropped);
+    Json epochs = Json::array();
+    for (const telemetry::EpochRecord &rec : run.epochs) {
+        Json e = Json::object();
+        e.set("epoch", rec.epoch);
+        e.set("access", rec.accessCount);
+        e.set("accesses", rec.intervalAccesses);
+        e.set("hits", rec.intervalHits);
+        e.set("misses", rec.intervalMisses);
+        e.set("bypasses", rec.intervalBypasses);
+        e.set("hit_rate",
+              rec.intervalAccesses
+                  ? static_cast<double>(rec.intervalHits) /
+                        static_cast<double>(rec.intervalAccesses)
+                  : 0.0);
+        const Json policy = toJson(rec.policy);
+        e.set("policy", *policy.find("policy"));
+        if (const Json *series = policy.find("series"))
+            e.set("series", *series);
+        Json occupancy = Json::array();
+        for (uint64_t n : rec.threadOccupancy)
+            occupancy.push(n);
+        e.set("thread_occupancy", std::move(occupancy));
+        epochs.push(std::move(e));
+    }
+    j.set("epochs", std::move(epochs));
+    if (!run.events.empty() || run.eventsDropped) {
+        Json events = Json::array();
+        for (const telemetry::TraceEvent &event : run.events) {
+            if (event.isVolatile && !includeVolatile)
+                continue;
+            events.push(toJson(event));
+        }
+        j.set("events", std::move(events));
+        j.set("events_dropped", run.eventsDropped);
+    }
+    return j;
+}
+
 Json
 toJson(const JobRecord &record, bool includeVolatile)
 {
@@ -83,7 +167,74 @@ toJson(const JobRecord &record, bool includeVolatile)
         j.set("single", toJson(*record.outcome.single));
     if (record.outcome.multi)
         j.set("multi", toJson(*record.outcome.multi));
+    const telemetry::RunTelemetry *run = nullptr;
+    if (record.outcome.single && record.outcome.single->telemetry)
+        run = record.outcome.single->telemetry.get();
+    else if (record.outcome.multi && record.outcome.multi->telemetry)
+        run = record.outcome.multi->telemetry.get();
+    if (run)
+        j.set("telemetry", toJson(*run, includeVolatile));
     return j;
+}
+
+int
+validateResultsDocument(const Json &doc, std::string *error)
+{
+    const auto fail = [&](const std::string &message) {
+        if (error)
+            *error = message;
+        return 0;
+    };
+    if (!doc.isObject())
+        return fail("document is not an object");
+    const Json *schema = doc.find("schema");
+    if (!schema || !schema->isString())
+        return fail("missing schema string");
+    int version = 0;
+    if (schema->asString() == kResultsSchemaV1)
+        version = 1;
+    else if (schema->asString() == kResultsSchemaV2)
+        version = 2;
+    else
+        return fail("unknown schema: " + schema->asString());
+    const Json *experiment = doc.find("experiment");
+    if (!experiment || !experiment->isString())
+        return fail("missing experiment string");
+    const Json *jobs = doc.find("jobs");
+    if (!jobs || !jobs->isArray())
+        return fail("missing jobs array");
+    const Json *count = doc.find("job_count");
+    if (!count || !count->isNumber() || count->asUint() != jobs->size())
+        return fail("job_count does not match the jobs array");
+    for (size_t i = 0; i < jobs->size(); ++i) {
+        const Json &job = jobs->at(i);
+        const std::string where = "jobs[" + std::to_string(i) + "]";
+        if (!job.isObject())
+            return fail(where + " is not an object");
+        const Json *key = job.find("key");
+        if (!key || !key->isString())
+            return fail(where + ": missing key");
+        if (!job.find("seed") || !job.find("status"))
+            return fail(where + ": missing seed/status");
+        const Json *run = job.find("telemetry");
+        if (!run)
+            continue;
+        if (version < 2)
+            return fail(where + ": telemetry section in a v1 document");
+        if (!run->isObject() || !run->find("interval"))
+            return fail(where + ": telemetry without an interval");
+        const Json *epochs = run->find("epochs");
+        if (!epochs || !epochs->isArray())
+            return fail(where + ": telemetry without an epochs array");
+        for (size_t e = 0; e < epochs->size(); ++e) {
+            const Json &epoch = epochs->at(e);
+            if (!epoch.isObject() || !epoch.find("access") ||
+                !epoch.find("policy"))
+                return fail(where + ": malformed epoch " +
+                            std::to_string(e));
+        }
+    }
+    return version;
 }
 
 ResultsSink::ResultsSink(std::string experiment)
@@ -103,6 +254,13 @@ ResultsSink::setWorkers(unsigned workers)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     workers_ = workers;
+}
+
+void
+ResultsSink::setRegistrySnapshot(std::vector<telemetry::MetricSnapshot> snap)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    registry_ = std::move(snap);
 }
 
 void
@@ -140,14 +298,16 @@ ResultsSink::toJson(bool includeVolatile) const
     const std::vector<JobRecord> records = sortedRecords();
     double scale = 1.0;
     unsigned workers = 0;
+    std::vector<telemetry::MetricSnapshot> registry;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         scale = scale_;
         workers = workers_;
+        registry = registry_;
     }
 
     Json doc = Json::object();
-    doc.set("schema", "pdp-bench-results/v1");
+    doc.set("schema", kResultsSchemaV2);
     doc.set("experiment", experiment_);
     doc.set("git", PDP_GIT_DESCRIBE);
     doc.set("scale", scale);
@@ -158,6 +318,18 @@ ResultsSink::toJson(bool includeVolatile) const
     for (const JobRecord &record : records)
         jobs.push(runner::toJson(record, includeVolatile));
     doc.set("jobs", std::move(jobs));
+    // Registry totals are process-global (they accumulate across every
+    // suite the process ran), so they only belong in the volatile form.
+    if (includeVolatile && !registry.empty()) {
+        Json reg = Json::object();
+        for (const telemetry::MetricSnapshot &metric : registry) {
+            if (metric.kind == telemetry::MetricKind::Gauge)
+                reg.set(metric.name, metric.value);
+            else
+                reg.set(metric.name, metric.count);
+        }
+        doc.set("registry", std::move(reg));
+    }
     return doc;
 }
 
@@ -165,6 +337,12 @@ std::string
 ResultsSink::fileName() const
 {
     return "BENCH_" + experiment_ + ".json";
+}
+
+std::string
+ResultsSink::traceFileName() const
+{
+    return "TRACE_" + experiment_ + ".jsonl";
 }
 
 std::string
@@ -193,6 +371,53 @@ ResultsSink::writeFile(const std::string &directory,
     if (!out)
         return false;
     out << toJson().dump(2) << '\n';
+    if (!out)
+        return false;
+    if (pathOut)
+        *pathOut = path;
+    return true;
+}
+
+bool
+ResultsSink::writeTraceFile(const std::string &directory,
+                            std::string *pathOut) const
+{
+    std::string dir = directory.empty() ? jsonDirectory() : directory;
+    if (dir.empty() || dir == "none" || dir == "0")
+        return false;
+    if (dir.back() != '/')
+        dir += '/';
+    const std::string path = dir + traceFileName();
+    std::ofstream out(path);
+    if (!out)
+        return false;
+
+    Json header = Json::object();
+    header.set("schema", "pdp-bench-trace/v1");
+    header.set("experiment", experiment_);
+    header.set("git", PDP_GIT_DESCRIBE);
+    out << header.dump() << '\n';
+
+    for (const JobRecord &record : sortedRecords()) {
+        const telemetry::RunTelemetry *run = nullptr;
+        if (record.outcome.single && record.outcome.single->telemetry)
+            run = record.outcome.single->telemetry.get();
+        else if (record.outcome.multi && record.outcome.multi->telemetry)
+            run = record.outcome.multi->telemetry.get();
+        if (!run)
+            continue;
+        for (const telemetry::TraceEvent &event : run->events) {
+            Json line = Json::object();
+            line.set("job", record.key);
+            line.set("type", event.type);
+            line.set("access", event.accessCount);
+            Json fields = Json::object();
+            for (const auto &[name, value] : event.fields)
+                fields.set(name, value);
+            line.set("fields", std::move(fields));
+            out << line.dump() << '\n';
+        }
+    }
     if (!out)
         return false;
     if (pathOut)

@@ -8,10 +8,12 @@
  * serializes everything as one BENCH_<experiment>.json document next to
  * the usual text tables.
  *
- * JSON schema ("pdp-bench-results/v1"):
+ * JSON schema ("pdp-bench-results/v2"; v1 differs only in lacking the
+ * telemetry/registry sections and is still accepted by
+ * validateResultsDocument):
  *
  *   {
- *     "schema": "pdp-bench-results/v1",
+ *     "schema": "pdp-bench-results/v2",
  *     "experiment": "fig10_single_core",
  *     "git": "<git describe at configure time>",
  *     "scale": 0.1,               // PDP_BENCH_SCALE in effect
@@ -26,15 +28,34 @@
  *         "seconds": 1.32,        // volatile: omitted in deterministic dumps
  *         "metrics": {"best_pd": 72, ...},          // optional scalars
  *         "single": { ... SimResult fields ... },   // when present
- *         "multi": { ... MultiCoreResult fields ... }
+ *         "multi": { ... MultiCoreResult fields ... },
+ *         "telemetry": {          // only when the run sampled epochs
+ *           "interval": 262144,
+ *           "epochs_dropped": 0,  // only when nonzero
+ *           "epochs": [
+ *             {"epoch": 0, "access": 262144, "accesses": 181002,
+ *              "hits": 48211, "misses": 132791, "bypasses": 60102,
+ *              "hit_rate": 0.266,
+ *              "policy": {"pd": 68, ...},           // Source scalars
+ *              "series": {"rdd": [..], "e_curve": [..], ...},
+ *              "thread_occupancy": [31768]}, ...
+ *           ],
+ *           "events": [           // only when --trace; volatile events
+ *             {"type": "pd_change", "access": 262144,  // (phase timers)
+ *              "fields": {"from": 128, "to": 68}}, ... // are omitted in
+ *           ],                                         // determin. dumps
+ *           "events_dropped": 0
+ *         }
  *       }, ...
- *     ]
+ *     ],
+ *     "registry": {"telemetry.epochs": 34, ...}  // volatile-only section
  *   }
  *
  * The deterministic form (includeVolatile = false) omits wall-clock
- * durations and the worker count, so a 1-worker and an N-worker sweep of
- * the same grid dump byte-identical documents — that equality is the
- * runner's determinism test.
+ * durations, the worker count, volatile trace events and the registry
+ * dump, so a 1-worker and an N-worker sweep of the same grid dump
+ * byte-identical documents — that equality is the runner's determinism
+ * test, and it holds with telemetry on.
  */
 
 #ifndef PDP_RUNNER_RESULTS_SINK_H
@@ -46,11 +67,17 @@
 
 #include "runner/job.h"
 #include "runner/json.h"
+#include "telemetry/epoch_sampler.h"
+#include "telemetry/metrics.h"
 
 namespace pdp
 {
 namespace runner
 {
+
+/** Schema identifiers accepted by validateResultsDocument. */
+inline constexpr const char *kResultsSchemaV1 = "pdp-bench-results/v1";
+inline constexpr const char *kResultsSchemaV2 = "pdp-bench-results/v2";
 
 /** SimResult as a JSON object (schema above). */
 Json toJson(const SimResult &result);
@@ -58,8 +85,20 @@ Json toJson(const SimResult &result);
 /** MultiCoreResult as a JSON object (schema above). */
 Json toJson(const MultiCoreResult &result);
 
+/** One run's telemetry as a JSON object (schema above); volatile events
+ *  (phase timers) are dropped when includeVolatile is false. */
+Json toJson(const telemetry::RunTelemetry &run, bool includeVolatile = true);
+
 /** One job record as a JSON object. */
 Json toJson(const JobRecord &record, bool includeVolatile = true);
+
+/**
+ * Structural validation of a parsed results document.  Accepts both v1
+ * and v2; returns the schema version (1 or 2), or 0 with a message in
+ * *error when the document is malformed.  A telemetry section on a job
+ * is only legal in v2.
+ */
+int validateResultsDocument(const Json &doc, std::string *error = nullptr);
 
 class ResultsSink
 {
@@ -73,6 +112,10 @@ class ResultsSink
 
     /** Record the executor's worker count (volatile metadata). */
     void setWorkers(unsigned workers);
+
+    /** Attach a metrics-registry dump (emitted only in volatile form:
+     *  registry totals are process-global, not per-grid). */
+    void setRegistrySnapshot(std::vector<telemetry::MetricSnapshot> snap);
 
     /** Append one record.  Thread-safe; callable from worker threads. */
     void add(JobRecord record);
@@ -88,6 +131,9 @@ class ResultsSink
 
     /** "BENCH_<experiment>.json". */
     std::string fileName() const;
+
+    /** "TRACE_<experiment>.jsonl". */
+    std::string traceFileName() const;
 
     /**
      * Write the document into `directory` ("" uses jsonDirectory()).
@@ -105,10 +151,22 @@ class ResultsSink
      */
     static std::string jsonDirectory();
 
+    /**
+     * Flush every record's trace events as JSONL into
+     * `directory`/TRACE_<experiment>.jsonl: one header line ("schema":
+     * "pdp-bench-trace/v1") then one line per event, tagged with its job
+     * key.  Volatile events are included — a trace is a profiling
+     * artifact, not a determinism surface.  Returns false when disabled
+     * or the file cannot be created.
+     */
+    bool writeTraceFile(const std::string &directory = "",
+                        std::string *pathOut = nullptr) const;
+
   private:
     std::string experiment_;
     double scale_ = 1.0;
     unsigned workers_ = 0;
+    std::vector<telemetry::MetricSnapshot> registry_;
     mutable std::mutex mutex_;
     std::vector<JobRecord> records_;
 };

@@ -11,6 +11,7 @@
 #include "runner/thread_pool.h"
 #include "sim/policy_factory.h"
 #include "sim/static_pd_search.h"
+#include "telemetry/metrics.h"
 #include "trace/spec_suite.h"
 #include "trace/workload.h"
 #include "util/stats.h"
@@ -103,14 +104,25 @@ multiCoreJob(std::string key, WorkloadSpec workload, std::string policySpec,
 namespace
 {
 
+/** The per-run telemetry knobs a suite's options ask for. */
+telemetry::TelemetryConfig
+telemetryConfig(const SuiteOptions &options)
+{
+    telemetry::TelemetryConfig config;
+    config.enabled = options.telemetry || options.trace;
+    config.traceEvents = options.trace;
+    return config;
+}
+
 SimConfig
-scaledConfig(double scale, uint64_t accesses = 3'000'000,
+scaledConfig(const SuiteOptions &options, uint64_t accesses = 3'000'000,
              uint64_t warmup = 1'000'000)
 {
     SimConfig config;
     config.accesses = accesses;
     config.warmup = warmup;
-    return config.scaled(scale);
+    config.telemetry = telemetryConfig(options);
+    return config.scaled(options.scale);
 }
 
 /** Miss-minimizing point of an already-run static-PD grid (strictly
@@ -148,7 +160,7 @@ const std::vector<std::string> kFig10Policies = {
 std::vector<Job>
 buildFig10(const SuiteOptions &options)
 {
-    const SimConfig config = scaledConfig(options.scale);
+    const SimConfig config = scaledConfig(options);
     std::vector<Job> jobs;
     for (const std::string &bench : SpecSuite::singleCoreNames()) {
         const std::string prefix = "fig10/" + bench + "/";
@@ -277,7 +289,7 @@ const std::vector<unsigned> kFig4EpsDenoms = {4, 8, 16, 32, 64, 128};
 std::vector<Job>
 buildFig4(const SuiteOptions &options)
 {
-    const SimConfig config = scaledConfig(options.scale, 2'000'000, 800'000);
+    const SimConfig config = scaledConfig(options, 2'000'000, 800'000);
     std::vector<Job> jobs;
     for (const std::string &bench : SpecSuite::singleCoreNames()) {
         const std::string prefix = "fig4/" + bench + "/";
@@ -373,6 +385,7 @@ buildFig12(const SuiteOptions &options)
         MultiCoreConfig config;
         config.cores = cores;
         config = config.scaled(options.scale);
+        config.telemetry = telemetryConfig(options);
         const auto workloads = randomWorkloads(kFig12Workloads, cores);
         for (unsigned w = 0; w < workloads.size(); ++w) {
             const std::string prefix = "fig12/" + std::to_string(cores) +
@@ -461,7 +474,7 @@ std::vector<Job>
 buildSmoke(const SuiteOptions &options)
 {
     const SimConfig config =
-        scaledConfig(options.scale, 1'500'000, 500'000);
+        scaledConfig(options, 1'500'000, 500'000);
     std::vector<Job> jobs;
 
     const std::vector<std::pair<std::string, std::string>> cells = {
@@ -483,6 +496,7 @@ buildSmoke(const SuiteOptions &options)
     MultiCoreConfig mc;
     mc.cores = 2;
     mc = mc.scaled(options.scale);
+    mc.telemetry = telemetryConfig(options);
     const auto names = SpecSuite::multiCoreNames();
     WorkloadSpec workload;
     workload.benchmarks = {names.at(0), names.at(1)};
@@ -723,6 +737,79 @@ hotpathPartitionJob(double scale)
     return job;
 }
 
+/**
+ * Overhead of an enabled-but-idle telemetry build on the substrate hot
+ * path: two identical SoA LRU caches walk the same stream in interleaved
+ * paired segments; one side also bumps a registry counter per access —
+ * the pattern an always-on metric would use.  `telemetry_idle_ratio` is
+ * the median plain/instrumented time ratio (1.0 = free; CI gates >=
+ * 0.98, i.e. within the 2% budget), and `telemetry_compiled` records
+ * whether the build compiled telemetry in at all.
+ */
+Job
+hotpathTelemetryIdleJob(double scale)
+{
+    Job job;
+    job.key = "hotpath/llc/LRU-telemetry-idle";
+    job.seed = seedFor("hotpath/trace");
+    job.run = [scale](const JobContext &ctx) {
+        Cache plain(CacheConfig::paperLlc(), makePolicy("LRU"));
+        Cache instr(CacheConfig::paperLlc(), makePolicy("LRU"));
+        const auto trace =
+            hotpathTrace(ctx.seed, plain.config().numLines() * 4);
+
+        telemetry::Counter &counter = telemetry::MetricsRegistry::global()
+            .counter("hotpath.idle_probe", /*volatile_metric=*/true);
+        AccessContext pa;
+        const auto plain_walk = [&](uint64_t addr, uint64_t next) {
+            plain.prefetchSet(plain.setIndex(next));
+            pa.lineAddr = addr;
+            pa.set = plain.setIndex(addr);
+            plain.access(pa);
+        };
+        AccessContext ia;
+        const auto instr_walk = [&](uint64_t addr, uint64_t next) {
+            instr.prefetchSet(instr.setIndex(next));
+            ia.lineAddr = addr;
+            ia.set = instr.setIndex(addr);
+            instr.access(ia);
+            counter.add(1);
+        };
+
+        size_t plain_cursor = 0, instr_cursor = 0;
+        timedSegment(trace, &plain_cursor, trace.size(), plain_walk);
+        timedSegment(trace, &instr_cursor, trace.size(), instr_walk);
+        plain.resetStats();
+
+        const uint64_t seg =
+            std::max<uint64_t>(hotpathTarget(scale) / kHotpathPairs, 1);
+        double plain_seconds = 0.0;
+        std::vector<double> ratios;
+        uint64_t done = 0;
+        for (int pair = 0; pair < kHotpathPairs; ++pair) {
+            const double p = timedSegment(trace, &plain_cursor, seg,
+                                          plain_walk);
+            const double t = timedSegment(trace, &instr_cursor, seg,
+                                          instr_walk);
+            plain_seconds += p;
+            done += seg;
+            if (p > 0 && t > 0)
+                ratios.push_back(p / t);
+        }
+        std::sort(ratios.begin(), ratios.end());
+
+        JobOutcome outcome;
+        hotpathMetrics(outcome, done, plain_seconds,
+                       plain.stats().hitRate());
+        outcome.metrics["telemetry_idle_ratio"] =
+            ratios.empty() ? 0.0 : ratios[ratios.size() / 2];
+        outcome.metrics["telemetry_compiled"] =
+            telemetry::kCompiled ? 1.0 : 0.0;
+        return outcome;
+    };
+    return job;
+}
+
 const std::vector<std::string> kHotpathPolicies = {"LRU", "DRRIP", "PDP-3"};
 
 std::vector<Job>
@@ -734,6 +821,7 @@ buildHotpath(const SuiteOptions &options)
             hotpathCacheJob("hotpath/llc/" + policy, policy, options.scale));
     jobs.push_back(hotpathReferenceJob(options.scale));
     jobs.push_back(hotpathPartitionJob(options.scale));
+    jobs.push_back(hotpathTelemetryIdleJob(options.scale));
     return jobs;
 }
 
@@ -760,6 +848,7 @@ reportHotpath(std::ostream &out, const RecordLookup &records)
         keys.push_back("hotpath/llc/" + policy);
     keys.push_back("hotpath/llc/AoS-reference");
     keys.push_back("hotpath/shared/PDP-3-part-4c");
+    keys.push_back("hotpath/llc/LRU-telemetry-idle");
     for (const std::string &key : keys) {
         double aps = 0.0, hit_rate = 0.0, vs_aos = 0.0;
         if (!metric(key, "accesses_per_sec", &aps)) {
@@ -775,6 +864,16 @@ reportHotpath(std::ostream &out, const RecordLookup &records)
                       paired ? Table::num(vs_aos, 2) + "x" : "-"});
     }
     table.print(out);
+
+    double idle = 0.0, compiled = 0.0;
+    if (metric("hotpath/llc/LRU-telemetry-idle", "telemetry_idle_ratio",
+               &idle)) {
+        metric("hotpath/llc/LRU-telemetry-idle", "telemetry_compiled",
+               &compiled);
+        out << "\ntelemetry idle overhead: plain/instrumented = "
+            << Table::num(idle, 3) << "x (1.00 = free; telemetry "
+            << (compiled > 0 ? "compiled in" : "compiled out") << ")\n";
+    }
 
     out << "\nAoS = the frozen pre-SoA substrate (reference_cache.h); "
            "vs AoS = median of interleaved paired segments inside each "
@@ -893,8 +992,14 @@ runSuite(const Suite &suite, const SuiteOptions &options, std::ostream &out)
             << (record.error.empty() ? "" : " — " + record.error) << "\n";
     }
 
+    if (options.telemetry || options.trace)
+        sink.setRegistrySnapshot(
+            telemetry::MetricsRegistry::global().snapshot());
+
     std::string path;
     if (sink.writeFile(options.jsonDir, &path))
+        out << "[runner] wrote " << path << "\n";
+    if (options.trace && sink.writeTraceFile(options.jsonDir, &path))
         out << "[runner] wrote " << path << "\n";
     out << "[runner] " << suite.name << ": "
         << (records.size() - static_cast<size_t>(notOk)) << "/"

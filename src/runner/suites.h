@@ -51,6 +51,11 @@ struct SuiteOptions
     std::string filter;
     /** Soft per-job timeout in seconds; 0 = none. */
     double timeoutSeconds = 0.0;
+    /** Record epoch telemetry in every simulation job (--telemetry). */
+    bool telemetry = false;
+    /** Also derive structured events and write TRACE_<suite>.jsonl
+     *  (--trace; implies telemetry). */
+    bool trace = false;
 };
 
 /** Key-indexed view over executed records for the reduce step. */

@@ -94,13 +94,25 @@ runMultiCore(const WorkloadSpec &workload, const std::string &policy_spec,
         auditor->watchCache(hierarchy.llc());
     }
 
+    std::unique_ptr<telemetry::EpochSampler> sampler;
+    if (config.telemetry.enabled)
+        sampler = std::make_unique<telemetry::EpochSampler>(
+            config.telemetry, hierarchy.llc(),
+            config.accessesPerThread * cores, cores);
+
     // Warmup: round-robin, stats discarded afterwards.
-    for (uint64_t i = 0; i < config.warmupPerThread; ++i)
-        for (unsigned t = 0; t < cores; ++t)
-            hierarchy.access(generators[t]->next());
+    {
+        telemetry::ScopedPhaseTimer phase(
+            sampler ? sampler->trace() : nullptr, "warmup");
+        for (uint64_t i = 0; i < config.warmupPerThread; ++i)
+            for (unsigned t = 0; t < cores; ++t)
+                hierarchy.access(generators[t]->next());
+    }
     hierarchy.resetStats();
     if (auditor)
         hierarchy.llc().setAuditor(auditor.get());
+    if (sampler)
+        sampler->beginMeasurement();
 
     // Measured phase: per-thread stats freeze at the access budget; all
     // threads keep running (generators are infinite) so contention stays
@@ -109,24 +121,30 @@ runMultiCore(const WorkloadSpec &workload, const std::string &policy_spec,
     std::vector<uint64_t> measured(cores, 0);
     std::vector<uint64_t> frozenMisses(cores, 0);
     unsigned remaining = cores;
-    while (remaining > 0) {
-        for (unsigned t = 0; t < cores; ++t) {
-            const Access access = generators[t]->next();
-            const HierarchyResult res = hierarchy.access(access);
-            if (measured[t] >= config.accessesPerThread)
-                continue;
-            timers[t].onAccess(access.instrGap, res.level);
-            if (++measured[t] == config.accessesPerThread) {
-                ThreadOutcome &out = outcomes[t];
-                out.benchmark = workload.benchmarks[t];
-                out.ipc = timers[t].ipc();
-                out.llcMisses =
-                    hierarchy.llc().stats().threadMisses[t] - frozenMisses[t];
-                out.mpki = timers[t].instructions()
-                    ? 1000.0 * static_cast<double>(out.llcMisses) /
-                          static_cast<double>(timers[t].instructions())
-                    : 0.0;
-                --remaining;
+    {
+        telemetry::ScopedPhaseTimer phase(
+            sampler ? sampler->trace() : nullptr, "measure");
+        while (remaining > 0) {
+            for (unsigned t = 0; t < cores; ++t) {
+                const Access access = generators[t]->next();
+                const HierarchyResult res = hierarchy.access(access);
+                if (sampler)
+                    sampler->onAccess();
+                if (measured[t] >= config.accessesPerThread)
+                    continue;
+                timers[t].onAccess(access.instrGap, res.level);
+                if (++measured[t] == config.accessesPerThread) {
+                    ThreadOutcome &out = outcomes[t];
+                    out.benchmark = workload.benchmarks[t];
+                    out.ipc = timers[t].ipc();
+                    out.llcMisses = hierarchy.llc().stats().threadMisses[t] -
+                        frozenMisses[t];
+                    out.mpki = timers[t].instructions()
+                        ? 1000.0 * static_cast<double>(out.llcMisses) /
+                              static_cast<double>(timers[t].instructions())
+                        : 0.0;
+                    --remaining;
+                }
             }
         }
     }
@@ -151,6 +169,11 @@ runMultiCore(const WorkloadSpec &workload, const std::string &policy_spec,
         auditor->auditNow();
         result.auditsRun = auditor->auditsRun();
         result.auditViolations = auditor->totalViolations();
+    }
+    if (sampler) {
+        sampler->finish();
+        result.telemetry = std::make_shared<telemetry::RunTelemetry>(
+            sampler->take());
     }
     return result;
 }

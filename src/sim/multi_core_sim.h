@@ -24,6 +24,7 @@
 
 #include "cache/hierarchy.h"
 #include "sim/timing_model.h"
+#include "telemetry/epoch_sampler.h"
 #include "trace/workload.h"
 
 namespace pdp
@@ -42,6 +43,8 @@ struct MultiCoreConfig
     uint64_t auditEvery = 0;
     /** Throw CheckFailure on the first audit violation. */
     bool auditFailFast = false;
+    /** Epoch telemetry knobs (off by default; see src/telemetry/). */
+    telemetry::TelemetryConfig telemetry{};
 
     MultiCoreConfig
     scaled(double factor) const
@@ -75,6 +78,8 @@ struct MultiCoreResult
     /** Invariant audit outcome (only populated when auditEvery > 0). */
     uint64_t auditsRun = 0;
     uint64_t auditViolations = 0;
+    /** Epoch time-series + events (only when config.telemetry.enabled). */
+    std::shared_ptr<const telemetry::RunTelemetry> telemetry;
 };
 
 /** Build a shared-LLC policy by name for `threads` cores:

@@ -24,16 +24,43 @@ runSingleCore(AccessGenerator &gen, Hierarchy &hierarchy,
         auditor->watchCache(hierarchy.llc());
     }
 
-    for (uint64_t i = 0; i < config.warmup; ++i)
-        hierarchy.access(gen.next());
+    std::unique_ptr<telemetry::EpochSampler> sampler;
+    if (config.telemetry.enabled)
+        sampler = std::make_unique<telemetry::EpochSampler>(
+            config.telemetry, hierarchy.llc(), config.accesses,
+            config.hierarchy.numThreads);
+
+    {
+        telemetry::ScopedPhaseTimer phase(
+            sampler ? sampler->trace() : nullptr, "warmup");
+        for (uint64_t i = 0; i < config.warmup; ++i)
+            hierarchy.access(gen.next());
+    }
     hierarchy.resetStats();
     if (auditor)
         hierarchy.llc().setAuditor(auditor.get());
+    if (sampler)
+        sampler->beginMeasurement();
 
-    for (uint64_t i = 0; i < config.accesses; ++i) {
-        const Access access = gen.next();
-        const HierarchyResult res = hierarchy.access(access);
-        timing.onAccess(access.instrGap, res.level);
+    {
+        telemetry::ScopedPhaseTimer phase(
+            sampler ? sampler->trace() : nullptr, "measure");
+        // The telemetry tick lives in its own loop so the common
+        // (telemetry-off) path carries no extra per-access branch.
+        if (sampler) {
+            for (uint64_t i = 0; i < config.accesses; ++i) {
+                const Access access = gen.next();
+                const HierarchyResult res = hierarchy.access(access);
+                timing.onAccess(access.instrGap, res.level);
+                sampler->onAccess();
+            }
+        } else {
+            for (uint64_t i = 0; i < config.accesses; ++i) {
+                const Access access = gen.next();
+                const HierarchyResult res = hierarchy.access(access);
+                timing.onAccess(access.instrGap, res.level);
+            }
+        }
     }
 
     const CacheStats &llc = hierarchy.llc().stats();
@@ -61,6 +88,11 @@ runSingleCore(AccessGenerator &gen, Hierarchy &hierarchy,
         auditor->auditNow();
         result.auditsRun = auditor->auditsRun();
         result.auditViolations = auditor->totalViolations();
+    }
+    if (sampler) {
+        sampler->finish();
+        result.telemetry = std::make_shared<telemetry::RunTelemetry>(
+            sampler->take());
     }
     return result;
 }

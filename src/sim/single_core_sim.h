@@ -13,6 +13,7 @@
 
 #include "cache/hierarchy.h"
 #include "sim/timing_model.h"
+#include "telemetry/epoch_sampler.h"
 #include "trace/generator.h"
 
 namespace pdp
@@ -33,6 +34,8 @@ struct SimConfig
     uint64_t auditEvery = 0;
     /** Throw CheckFailure on the first audit violation. */
     bool auditFailFast = false;
+    /** Epoch telemetry knobs (off by default; see src/telemetry/). */
+    telemetry::TelemetryConfig telemetry{};
 
     /** Scale both run length and warmup (quick CI runs). */
     SimConfig
@@ -64,6 +67,9 @@ struct SimResult
     /** Invariant audit outcome (only populated when auditEvery > 0). */
     uint64_t auditsRun = 0;
     uint64_t auditViolations = 0;
+    /** Epoch time-series + events (only when config.telemetry.enabled;
+     *  shared_ptr keeps SimResult cheap to copy). */
+    std::shared_ptr<const telemetry::RunTelemetry> telemetry;
 };
 
 /**

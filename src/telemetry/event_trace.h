@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Structured event trace: a bounded ring buffer of typed records plus a
+ * scoped timer for profiling simulation phases.
+ *
+ * Event taxonomy (DESIGN.md "Telemetry & tracing"):
+ *
+ *   "epoch"              epoch rollover (every sampler interval)
+ *   "pd_change"          the policy's PD moved between epochs
+ *   "psel_flip"          the set-dueling winner changed between epochs
+ *   "partition_realloc"  a per-thread PD/way allocation changed
+ *   "phase"              a ScopedPhaseTimer closed (volatile: wall-clock)
+ *
+ * The ring drops the OLDEST records when full — the tail of a run is
+ * usually where the interesting convergence behaviour lives — and counts
+ * what it dropped so exports are honest about truncation.
+ */
+
+#ifndef PDP_TELEMETRY_EVENT_TRACE_H
+#define PDP_TELEMETRY_EVENT_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pdp
+{
+namespace telemetry
+{
+
+/** One typed trace record. */
+struct TraceEvent
+{
+    std::string type;
+    /** Measured-access count when the event fired. */
+    uint64_t accessCount = 0;
+    /** Wall-clock derived events are excluded from deterministic dumps. */
+    bool isVolatile = false;
+    std::vector<std::pair<std::string, double>> fields;
+};
+
+/** Bounded drop-oldest ring buffer of TraceEvents. */
+class EventTrace
+{
+  public:
+    explicit EventTrace(size_t capacity = 4096);
+
+    void record(TraceEvent event);
+
+    /** Records currently held (<= capacity). */
+    size_t size() const { return size_; }
+    size_t capacity() const { return capacity_; }
+    /** Records evicted because the ring was full. */
+    uint64_t dropped() const { return dropped_; }
+
+    /** Held records, oldest first. */
+    std::vector<TraceEvent> chronological() const;
+
+  private:
+    size_t capacity_;
+    size_t head_ = 0; //!< next write slot
+    size_t size_ = 0;
+    uint64_t dropped_ = 0;
+    std::vector<TraceEvent> ring_;
+};
+
+/**
+ * RAII phase timer: on destruction records a volatile "phase" event
+ * (fields: seconds) into the trace.  A null trace makes it a no-op, so
+ * call sites need no branching when tracing is off.
+ */
+class ScopedPhaseTimer
+{
+  public:
+    ScopedPhaseTimer(EventTrace *trace, std::string phase,
+                     uint64_t access_count = 0);
+    ~ScopedPhaseTimer();
+
+    ScopedPhaseTimer(const ScopedPhaseTimer &) = delete;
+    ScopedPhaseTimer &operator=(const ScopedPhaseTimer &) = delete;
+
+  private:
+    EventTrace *trace_;
+    std::string phase_;
+    uint64_t accessCount_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace telemetry
+} // namespace pdp
+
+#endif // PDP_TELEMETRY_EVENT_TRACE_H

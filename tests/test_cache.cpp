@@ -7,9 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "cache/cache.h"
 #include "cache/hierarchy.h"
 #include "cache/occupancy_tracker.h"
+#include "check/invariant_auditor.h"
 #include "policies/basic.h"
 #include "policies/replacement_policy.h"
 
@@ -246,4 +249,62 @@ TEST(OccupancyTracker, ClassifiesEvents)
     EXPECT_EQ(b.hits, 1u);
     EXPECT_EQ(b.evictsShort + b.evictsLong, 1u);
     EXPECT_GT(b.totalOccupancy(), 0u);
+}
+
+TEST(OccupancyTracker, ConservationHoldsUnderRandomizedTraffic)
+{
+    CacheConfig cfg = tinyConfig(8, 4);
+    Cache cache(cfg, std::make_unique<LruPolicy>());
+    OccupancyTracker tracker(cache, /*threshold=*/8);
+    cache.setObserver(&tracker);
+
+    // Pre-fill every way so each later insert is an insert-with-evict,
+    // then zero tracker and cache stats at the same instant (the
+    // precondition of the cross-stats audit).
+    for (uint64_t line = 0; line < 8u * 4u; ++line)
+        cache.access(at(line));
+    tracker.reset();
+    cache.resetStats();
+
+    // Random traffic over 2x the resident footprint: a mix of hits,
+    // misses-with-evict and repeated promotions, in random order.
+    std::mt19937_64 rng(20120217);
+    for (int i = 0; i < 20'000; ++i)
+        cache.access(at(rng() % (8u * 4u * 2u)));
+
+    // With every set full, every demand access is a promotion, a bypass
+    // or an insert-with-evict, so the per-set access counters conserve
+    // the Fig. 5a event breakdown exactly.
+    const OccupancyBreakdown &b = tracker.breakdown();
+    EXPECT_EQ(tracker.counterSum(),
+              b.hits + b.bypasses + b.evictsShort + b.evictsLong);
+    EXPECT_EQ(tracker.counterSum(), b.totalEvents());
+
+    InvariantReporter reporter;
+    tracker.auditGlobal(reporter);
+    tracker.auditInvariants(cache, /*cross_check_stats=*/true, reporter);
+    EXPECT_TRUE(reporter.clean()) << reporter.report();
+}
+
+TEST(OccupancyTracker, IncrementalAuditCoversConservation)
+{
+    CacheConfig cfg = tinyConfig(4, 2);
+    Cache cache(cfg, std::make_unique<LruPolicy>());
+    OccupancyTracker tracker(cache);
+    cache.setObserver(&tracker);
+
+    InvariantAuditor::Options opts;
+    opts.cadence = 1;
+    opts.fullEvery = 0; // incremental passes only
+    InvariantAuditor auditor(opts);
+    auditor.watchCache(cache);
+    auditor.watchOccupancy(cache, tracker);
+
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 256; ++i) {
+        cache.access(at(rng() % 16));
+        auditor.onAccess();
+    }
+    EXPECT_EQ(auditor.auditsRun(), 256u);
+    EXPECT_EQ(auditor.totalViolations(), 0u) << auditor.lastReport().report();
 }

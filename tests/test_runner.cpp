@@ -253,7 +253,9 @@ TEST(ResultsSink, DocumentMatchesSchema)
     ASSERT_TRUE(doc.has_value()) << error;
 
     ASSERT_TRUE(doc->find("schema"));
-    EXPECT_EQ(doc->find("schema")->asString(), "pdp-bench-results/v1");
+    EXPECT_EQ(doc->find("schema")->asString(), kResultsSchemaV2);
+    std::string verror;
+    EXPECT_EQ(validateResultsDocument(*doc, &verror), 2) << verror;
     EXPECT_EQ(doc->find("experiment")->asString(), "schema_check");
     ASSERT_TRUE(doc->find("git"));
     EXPECT_TRUE(doc->find("git")->isString());
@@ -365,8 +367,170 @@ TEST(Suites, SmokeSuiteRunsEndToEndAndWritesJson)
 
     const auto doc = Json::parse(text);
     ASSERT_TRUE(doc.has_value());
-    EXPECT_EQ(doc->find("schema")->asString(), "pdp-bench-results/v1");
+    EXPECT_EQ(doc->find("schema")->asString(), kResultsSchemaV2);
+    std::string verror;
+    EXPECT_EQ(validateResultsDocument(*doc, &verror), 2) << verror;
     EXPECT_GT(doc->find("jobs")->size(), 0u);
+}
+
+namespace
+{
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return "";
+    std::string text(1 << 20, '\0');
+    text.resize(std::fread(text.data(), 1, text.size(), f));
+    std::fclose(f);
+    return text;
+}
+
+/** A structurally minimal results document at `schema`. */
+Json
+minimalDocument(const char *schema, bool with_telemetry)
+{
+    Json job = Json::object();
+    job.set("key", "k").set("seed", uint64_t{7}).set("status", "ok");
+    if (with_telemetry) {
+        Json telemetry = Json::object();
+        telemetry.set("interval", uint64_t{128});
+        telemetry.set("epochs", Json::array());
+        job.set("telemetry", std::move(telemetry));
+    }
+    Json jobs = Json::array();
+    jobs.push(std::move(job));
+    Json doc = Json::object();
+    doc.set("schema", schema)
+        .set("experiment", "synthetic")
+        .set("job_count", uint64_t{1})
+        .set("jobs", std::move(jobs));
+    return doc;
+}
+
+} // namespace
+
+TEST(ResultsSink, GoldenV1DocumentStillValidates)
+{
+    // A frozen pre-telemetry document (the schema this repo shipped
+    // before v2): new readers must keep accepting it.
+    const std::string path =
+        std::string(PDP_TEST_DATA_DIR) + "/golden/BENCH_v1_example.json";
+    const std::string text = readWholeFile(path);
+    ASSERT_FALSE(text.empty()) << path;
+
+    std::string error;
+    const auto doc = Json::parse(text, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_EQ(validateResultsDocument(*doc, &error), 1) << error;
+    EXPECT_EQ(doc->find("experiment")->asString(), "golden_v1");
+    EXPECT_EQ(doc->find("jobs")->size(), 2u);
+}
+
+TEST(ResultsSink, ValidatorVersionsAndRejections)
+{
+    std::string error;
+    EXPECT_EQ(validateResultsDocument(minimalDocument(kResultsSchemaV1,
+                                                      false),
+                                      &error),
+              1)
+        << error;
+    EXPECT_EQ(validateResultsDocument(minimalDocument(kResultsSchemaV2,
+                                                      true),
+                                      &error),
+              2)
+        << error;
+
+    // A telemetry section is only legal in v2.
+    EXPECT_EQ(validateResultsDocument(minimalDocument(kResultsSchemaV1,
+                                                      true),
+                                      &error),
+              0);
+    EXPECT_FALSE(error.empty());
+
+    // Unknown schema string.
+    EXPECT_EQ(validateResultsDocument(minimalDocument("bogus/v9", false),
+                                      &error),
+              0);
+
+    // job_count disagreeing with the jobs array.
+    Json doc = minimalDocument(kResultsSchemaV2, false);
+    doc.set("job_count", uint64_t{5});
+    EXPECT_EQ(validateResultsDocument(doc, &error), 0);
+
+    // Not an object at all.
+    EXPECT_EQ(validateResultsDocument(Json::array(), &error), 0);
+}
+
+TEST(ResultsSink, TelemetryRoundTripsThroughV2Document)
+{
+    telemetry::RunTelemetry run;
+    run.interval = 128;
+    telemetry::EpochRecord epoch;
+    epoch.epoch = 0;
+    epoch.accessCount = 128;
+    epoch.intervalAccesses = 128;
+    epoch.intervalHits = 60;
+    epoch.intervalMisses = 68;
+    epoch.intervalBypasses = 12;
+    epoch.policy.setScalar("pd", 64.0);
+    epoch.policy.setSeries("rdd", {3.0, 2.0, 1.0});
+    epoch.threadOccupancy = {42};
+    run.epochs.push_back(epoch);
+    telemetry::TraceEvent change;
+    change.type = "pd_change";
+    change.accessCount = 128;
+    change.fields = {{"from", 256.0}, {"to", 64.0}};
+    run.events.push_back(change);
+    telemetry::TraceEvent timing;
+    timing.type = "phase:warmup";
+    timing.isVolatile = true;
+    timing.fields = {{"seconds", 0.25}};
+    run.events.push_back(timing);
+
+    JobRecord record;
+    record.key = "t/roundtrip";
+    record.seed = 3;
+    record.status = JobStatus::Ok;
+    record.outcome.single = SimResult{};
+    record.outcome.single->telemetry =
+        std::make_shared<telemetry::RunTelemetry>(run);
+
+    ResultsSink sink("round_trip");
+    sink.add(record);
+
+    std::string error;
+    const auto doc = Json::parse(sink.toJson().dump(2), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_EQ(validateResultsDocument(*doc, &error), 2) << error;
+
+    const Json &job = doc->find("jobs")->at(0);
+    const Json *telemetry = job.find("telemetry");
+    ASSERT_TRUE(telemetry);
+    EXPECT_EQ(telemetry->find("interval")->asUint(), 128u);
+    const Json &ep = telemetry->find("epochs")->at(0);
+    EXPECT_EQ(ep.find("accesses")->asUint(), 128u);
+    EXPECT_EQ(ep.find("hits")->asUint(), 60u);
+    EXPECT_EQ(ep.find("policy")->find("pd")->asNumber(), 64.0);
+    ASSERT_TRUE(ep.find("series")->find("rdd"));
+    EXPECT_EQ(ep.find("series")->find("rdd")->size(), 3u);
+    EXPECT_EQ(ep.find("thread_occupancy")->at(0).asUint(), 42u);
+    ASSERT_TRUE(telemetry->find("events"));
+    EXPECT_EQ(telemetry->find("events")->size(), 2u);
+
+    // The deterministic dump keeps the epochs but filters the
+    // wall-clock phase event.
+    const auto det = Json::parse(sink.toJson(false).dump(2), &error);
+    ASSERT_TRUE(det.has_value()) << error;
+    const Json *dtel = det->find("jobs")->at(0).find("telemetry");
+    ASSERT_TRUE(dtel);
+    EXPECT_EQ(dtel->find("epochs")->size(), 1u);
+    ASSERT_TRUE(dtel->find("events"));
+    EXPECT_EQ(dtel->find("events")->size(), 1u);
+    EXPECT_EQ(dtel->find("events")->at(0).find("type")->asString(),
+              "pd_change");
 }
 
 TEST(Suites, FilteredRunExecutesSubsetWithGenericReport)

@@ -14,7 +14,15 @@ The gate fails when
   * the LRU configuration's ratio falls below ``--min-lru-ratio``
     (default 2.0, the substrate's acceptance bar),
   * a configuration present in the baseline is missing from the current
-    run.
+    run,
+  * the telemetry-idle job reports a ``telemetry_idle_ratio`` below
+    ``--min-telemetry-idle`` (default 0.98 — an enabled-but-idle
+    telemetry build must stay within the 2% overhead budget; the check
+    is skipped when the current run carries no such metric).
+
+Every row prints its measured-vs-baseline ratio (``vs base``), passing
+or not, so CI logs show headroom, not just pass/fail.  ``--json`` emits
+the same comparison as a machine-readable document on stdout.
 
 Only the Python standard library is used.
 
@@ -27,20 +35,21 @@ import json
 import sys
 
 LRU_KEY = "hotpath/llc/LRU"
+TELEMETRY_IDLE_KEY = "hotpath/llc/LRU-telemetry-idle"
 
 
-def load_ratios(path):
-    """Map job key -> vs_aos ratio for every job that reports one."""
+def load_metrics(path, name):
+    """Map job key -> `name` metric for every ok job that reports one."""
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
-    ratios = {}
+    values = {}
     for job in doc.get("jobs", []):
         if job.get("status") != "ok":
             continue
-        ratio = job.get("metrics", {}).get("vs_aos", 0.0)
-        if ratio > 0:
-            ratios[job["key"]] = ratio
-    return ratios
+        value = job.get("metrics", {}).get(name, 0.0)
+        if value > 0:
+            values[job["key"]] = value
+    return values
 
 
 def main(argv=None):
@@ -56,18 +65,22 @@ def main(argv=None):
     parser.add_argument("--min-lru-ratio", type=float, default=2.0,
                         help="absolute floor for the %s ratio "
                         "(default: 2.0)" % LRU_KEY)
+    parser.add_argument("--min-telemetry-idle", type=float, default=0.98,
+                        help="floor for the telemetry_idle_ratio metric "
+                        "when present (default: 0.98)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the comparison as JSON on stdout")
     args = parser.parse_args(argv)
 
-    current = load_ratios(args.current)
-    baseline = load_ratios(args.baseline)
+    current = load_metrics(args.current, "vs_aos")
+    baseline = load_metrics(args.baseline, "vs_aos")
     if not baseline:
-        print("error: baseline %s carries no vs_aos ratios" % args.baseline)
+        print("error: baseline %s carries no vs_aos ratios" % args.baseline,
+              file=sys.stderr)
         return 1
 
     failures = []
-    width = max(len(k) for k in baseline)
-    print("%-*s  %9s  %9s  %9s  status" %
-          (width, "configuration", "baseline", "current", "floor"))
+    rows = []
     for key in sorted(baseline):
         base = baseline[key]
         floor = base * (1.0 - args.max_regression)
@@ -77,21 +90,58 @@ def main(argv=None):
         if cur is None:
             status = "MISSING"
             failures.append("%s: missing from current results" % key)
-            cur_text = "-"
         elif cur < floor:
             status = "FAIL"
             failures.append("%s: ratio %.2fx below floor %.2fx "
                             "(baseline %.2fx)" % (key, cur, floor, base))
-            cur_text = "%.2fx" % cur
         else:
             status = "ok"
-            cur_text = "%.2fx" % cur
-        print("%-*s  %8.2fx  %9s  %8.2fx  %s" %
-              (width, key, base, cur_text, floor, status))
-
+        rows.append({"key": key, "baseline": base, "current": cur,
+                     "floor": floor,
+                     "vs_baseline": cur / base if cur else None,
+                     "status": status})
     for key in sorted(set(current) - set(baseline)):
-        print("%-*s  %9s  %8.2fx  %9s  new" %
-              (width, key, "-", current[key], "-"))
+        rows.append({"key": key, "baseline": None, "current": current[key],
+                     "floor": None, "vs_baseline": None, "status": "new"})
+
+    # Telemetry-idle overhead gate: only meaningful when the current run
+    # includes the hotpath telemetry-idle job (older dumps do not).
+    idle = load_metrics(args.current, "telemetry_idle_ratio") \
+        .get(TELEMETRY_IDLE_KEY)
+    idle_row = None
+    if idle is not None:
+        status = "ok" if idle >= args.min_telemetry_idle else "FAIL"
+        if status == "FAIL":
+            failures.append(
+                "%s: telemetry_idle_ratio %.3f below floor %.3f" %
+                (TELEMETRY_IDLE_KEY, idle, args.min_telemetry_idle))
+        idle_row = {"key": TELEMETRY_IDLE_KEY, "metric":
+                    "telemetry_idle_ratio", "current": idle,
+                    "floor": args.min_telemetry_idle, "status": status}
+
+    if args.as_json:
+        print(json.dumps({"rows": rows, "telemetry_idle": idle_row,
+                          "failures": failures,
+                          "passed": not failures}, indent=2))
+        return 1 if failures else 0
+
+    width = max(len(r["key"]) for r in rows)
+    if idle_row:
+        width = max(width, len("telemetry idle overhead"))
+    print("%-*s  %9s  %9s  %9s  %8s  status" %
+          (width, "configuration", "baseline", "current", "floor",
+           "vs base"))
+    for row in rows:
+        fmt = lambda v, suffix="x": ("%.2f%s" % (v, suffix)) \
+            if v is not None else "-"
+        print("%-*s  %9s  %9s  %9s  %8s  %s" %
+              (width, row["key"], fmt(row["baseline"]),
+               fmt(row["current"]), fmt(row["floor"]),
+               fmt(row["vs_baseline"], ""), row["status"]))
+    if idle_row:
+        print("%-*s  %9s  %8.3fx  %8.3fx  %8s  %s" %
+              (width, "telemetry idle overhead", "-", idle_row["current"],
+               idle_row["floor"], "-", idle_row["status"]))
 
     if failures:
         print("\nperf gate FAILED:")

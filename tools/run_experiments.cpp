@@ -8,6 +8,14 @@
  *   run_experiments --suite <name> [--suite <name> ...]
  *                   [--filter <substring>] [--jobs N] [--scale X]
  *                   [--json DIR|none] [--timeout SECONDS] [--verbose]
+ *                   [--telemetry[=DIR]] [--trace]
+ *
+ * --telemetry records per-epoch policy snapshots (PD, RDD, PSEL,
+ * partition allocations, interval hit rates) into each job's results;
+ * the optional =DIR overrides the --json output directory.  --trace
+ * additionally derives structured events (PD changes, PSEL flips,
+ * partition reallocations) and writes TRACE_<suite>.jsonl; it implies
+ * --telemetry.  Render either with tools/telemetry_report.py.
  *
  * Defaults come from the same environment knobs the bench binaries use:
  * PDP_BENCH_SCALE, PDP_BENCH_JOBS, PDP_BENCH_VERBOSE, PDP_BENCH_JSON.
@@ -36,6 +44,11 @@ printUsage(std::FILE *to)
                  "                       [--filter <substring>] [--jobs N]\n"
                  "                       [--scale X] [--json DIR|none]\n"
                  "                       [--timeout SECONDS] [--verbose]\n"
+                 "                       [--telemetry[=DIR]] [--trace]\n"
+                 "\n"
+                 "--telemetry samples per-epoch policy state into the\n"
+                 "BENCH json (optional =DIR overrides --json); --trace\n"
+                 "also writes TRACE_<suite>.jsonl structured events.\n"
                  "\n"
                  "Environment defaults: PDP_BENCH_SCALE, PDP_BENCH_JOBS,\n"
                  "PDP_BENCH_VERBOSE, PDP_BENCH_JSON.\n");
@@ -93,6 +106,13 @@ main(int argc, char **argv)
             options.jsonDir = needValue(i);
         } else if (arg == "--timeout") {
             options.timeoutSeconds = std::strtod(needValue(i), nullptr);
+        } else if (arg == "--telemetry") {
+            options.telemetry = true;
+        } else if (arg.rfind("--telemetry=", 0) == 0) {
+            options.telemetry = true;
+            options.jsonDir = arg.substr(std::string("--telemetry=").size());
+        } else if (arg == "--trace") {
+            options.trace = true;
         } else if (arg == "--verbose" || arg == "-v") {
             options.verbose = true;
         } else if (arg == "--help" || arg == "-h") {

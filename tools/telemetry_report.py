@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""Render or validate the telemetry section of BENCH_*.json documents.
+
+Reading modes (default: all three, per job that carries telemetry):
+
+  PD over time      epoch x PD table from each epoch's policy snapshot —
+                    the Fig. 4 / Fig. 10 "how did the dynamic PD move"
+                    view the paper plots as a converged endpoint.
+  hit-rate curve    interval hit rate per epoch as a sparkline + table.
+  event summary     counts per event type from the structured trace.
+
+Validation mode (--check): structurally validate a results document
+(schema v1 or v2 — v1 simply has no telemetry) and, when given, a
+TRACE_*.jsonl file; exit nonzero on any malformed content.  CI's
+telemetry-smoke job gates on this.
+
+Stdlib only; no third-party dependencies.
+
+Usage:
+  telemetry_report.py BENCH_fig10_single_core.json [--job SUBSTRING]
+  telemetry_report.py --check BENCH_x.json [TRACE_x.jsonl]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+RESULTS_SCHEMAS = {"pdp-bench-results/v1": 1, "pdp-bench-results/v2": 2}
+TRACE_SCHEMA = "pdp-bench-trace/v1"
+
+SPARK = " .:-=+*#%@"
+
+
+def sparkline(values):
+    """Map values onto a coarse per-character intensity scale."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        t = 0.0 if span == 0 else (v - lo) / span
+        out.append(SPARK[min(len(SPARK) - 1, int(t * (len(SPARK) - 1)))])
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Validation
+
+
+class ValidationError(Exception):
+    pass
+
+
+def _need(obj, key, kinds, where):
+    if key not in obj:
+        raise ValidationError(f"{where}: missing '{key}'")
+    if not isinstance(obj[key], kinds):
+        raise ValidationError(f"{where}: '{key}' has the wrong type")
+    return obj[key]
+
+
+def validate_results(doc):
+    """Validate a parsed results document; returns its schema version."""
+    if not isinstance(doc, dict):
+        raise ValidationError("document is not a JSON object")
+    schema = _need(doc, "schema", str, "document")
+    if schema not in RESULTS_SCHEMAS:
+        raise ValidationError(f"unknown schema '{schema}'")
+    version = RESULTS_SCHEMAS[schema]
+    _need(doc, "experiment", str, "document")
+    jobs = _need(doc, "jobs", list, "document")
+    if doc.get("job_count") != len(jobs):
+        raise ValidationError("job_count disagrees with the jobs array")
+    for job in jobs:
+        if not isinstance(job, dict):
+            raise ValidationError("job is not an object")
+        key = _need(job, "key", str, "job")
+        _need(job, "seed", int, key)
+        _need(job, "status", str, key)
+        if "telemetry" in job:
+            if version < 2:
+                raise ValidationError(
+                    f"{key}: telemetry section in a v1 document")
+            validate_telemetry(job["telemetry"], key)
+    return version
+
+
+def validate_telemetry(tel, key):
+    if not isinstance(tel, dict):
+        raise ValidationError(f"{key}: telemetry is not an object")
+    _need(tel, "interval", int, key)
+    epochs = _need(tel, "epochs", list, key)
+    last_access = -1
+    for epoch in epochs:
+        if not isinstance(epoch, dict):
+            raise ValidationError(f"{key}: epoch is not an object")
+        access = _need(epoch, "access", int, key)
+        if access <= last_access:
+            raise ValidationError(
+                f"{key}: epoch access counts are not increasing")
+        last_access = access
+        _need(epoch, "policy", dict, key)
+        for counter in ("accesses", "hits", "misses", "bypasses"):
+            _need(epoch, counter, int, key)
+        if epoch["hits"] + epoch["misses"] != epoch["accesses"]:
+            raise ValidationError(
+                f"{key}: epoch at access {access}: hits + misses != "
+                "accesses")
+    for event in tel.get("events", []):
+        validate_event(event, key)
+
+
+def validate_event(event, where):
+    if not isinstance(event, dict):
+        raise ValidationError(f"{where}: event is not an object")
+    _need(event, "type", str, where)
+    _need(event, "access", int, where)
+    if "fields" in event and not isinstance(event["fields"], dict):
+        raise ValidationError(f"{where}: event fields is not an object")
+
+
+def validate_trace_file(path):
+    """Validate a TRACE_*.jsonl file; returns the number of events."""
+    events = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise ValidationError(f"line {lineno}: {err}") from err
+            if lineno == 1:
+                if record.get("schema") != TRACE_SCHEMA:
+                    raise ValidationError(
+                        f"line 1: expected header with schema "
+                        f"'{TRACE_SCHEMA}'")
+                continue
+            if not isinstance(record.get("job"), str):
+                raise ValidationError(f"line {lineno}: missing 'job'")
+            validate_event(record, f"line {lineno}")
+            events += 1
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+
+
+def telemetry_jobs(doc, job_filter):
+    for job in doc.get("jobs", []):
+        if "telemetry" not in job:
+            continue
+        if job_filter and job_filter not in job.get("key", ""):
+            continue
+        yield job
+
+
+def render_job(job):
+    tel = job["telemetry"]
+    epochs = tel["epochs"]
+    print(f"== {job['key']} ==")
+    print(f"   interval: {tel['interval']} accesses, "
+          f"{len(epochs)} epoch(s)"
+          + (f", {tel['epochs_dropped']} dropped"
+             if tel.get("epochs_dropped") else ""))
+    if not epochs:
+        print()
+        return
+
+    # PD over time (PDP policies; skipped when the policy has no PD).
+    pds = [e["policy"].get("pd") for e in epochs]
+    if any(pd is not None for pd in pds):
+        print("\n   PD over time:")
+        print("   epoch   access       PD  hit rate")
+        for e in epochs:
+            print(f"   {e['epoch']:>5}  {e['access']:>8}  "
+                  f"{e['policy'].get('pd', 0):>7}  "
+                  f"{e.get('hit_rate', 0.0):>8.4f}")
+
+    rates = [e.get("hit_rate", 0.0) for e in epochs]
+    print("\n   interval hit rate: "
+          f"min {min(rates):.4f}  max {max(rates):.4f}")
+    print(f"   [{sparkline(rates)}]")
+
+    events = tel.get("events", [])
+    if events:
+        counts = {}
+        for event in events:
+            counts[event["type"]] = counts.get(event["type"], 0) + 1
+        print("\n   events:"
+              + (f" ({tel['events_dropped']} dropped)"
+                 if tel.get("events_dropped") else ""))
+        for etype in sorted(counts):
+            print(f"   {counts[etype]:>6}  {etype}")
+    print()
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Render or validate BENCH_*.json telemetry")
+    parser.add_argument("results", help="BENCH_*.json document")
+    parser.add_argument("trace", nargs="?",
+                        help="TRACE_*.jsonl to validate (with --check)")
+    parser.add_argument("--job", default="",
+                        help="only render jobs whose key contains this")
+    parser.add_argument("--check", action="store_true",
+                        help="validate instead of render; exit nonzero "
+                             "on malformed input")
+    args = parser.parse_args()
+
+    try:
+        with open(args.results, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: {args.results}: {err}", file=sys.stderr)
+        return 1
+
+    try:
+        version = validate_results(doc)
+    except ValidationError as err:
+        print(f"error: {args.results}: {err}", file=sys.stderr)
+        return 1
+
+    if args.check:
+        with_tel = sum(1 for _ in telemetry_jobs(doc, ""))
+        print(f"{args.results}: ok (schema v{version}, "
+              f"{len(doc['jobs'])} job(s), {with_tel} with telemetry)")
+        if args.trace:
+            try:
+                events = validate_trace_file(args.trace)
+            except (OSError, ValidationError) as err:
+                print(f"error: {args.trace}: {err}", file=sys.stderr)
+                return 1
+            print(f"{args.trace}: ok ({events} event(s))")
+        return 0
+
+    rendered = 0
+    for job in telemetry_jobs(doc, args.job):
+        render_job(job)
+        rendered += 1
+    if rendered == 0:
+        print("no jobs with telemetry"
+              + (f" matching '{args.job}'" if args.job else "")
+              + " — run with --telemetry to record some")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
