@@ -179,6 +179,9 @@ Cache::accessImpl(const AccessContext &ctx)
             victim_way = policy_->selectVictim(ctx);
             if (victim_way == ReplacementPolicy::kBypass) {
                 if (!config_.allowBypass)
+                    // pdplint: allow(hot-path) cold contract-violation
+                    // exit; unreachable with a well-formed policy/config
+                    // pairing, so the throw never runs on the hot path.
                     throw std::logic_error(
                         "policy bypassed an inclusive cache");
                 policy_->onBypass(ctx);

@@ -24,6 +24,7 @@
 
 #include "cache/cache_config.h"
 #include "cache/cache_stats.h"
+#include "check/contracts.h"
 #include "policies/replacement_policy.h"
 #include "util/bytescan.h"
 
@@ -247,7 +248,7 @@ class Cache
      * the full tag row instead.  Defined here so the access fast path
      * inlines it.
      */
-    int
+    PDP_HOT int
     findWay(uint32_t set, uint64_t line_addr) const
     {
         const size_t base = lineIdx(set, 0);
@@ -272,7 +273,7 @@ class Cache
         return match ? std::countr_zero(match) : -1;
     }
 
-    int
+    PDP_HOT int
     findInvalidWay(uint32_t set) const
     {
         const uint64_t free = ~setState_[set].valid & fullSetMask_;
@@ -280,9 +281,11 @@ class Cache
     }
 
     /** The access fast path.  Instrumented == false is compiled without
-     *  any observer/auditor branches; access() dispatches once. */
+     *  any observer/auditor branches; access() dispatches once.
+     *  PDP_HOT on this declaration covers the out-of-line template
+     *  definition in cache.cc (pdplint hot-marks by name). */
     template <bool Instrumented>
-    AccessOutcome accessImpl(const AccessContext &ctx);
+    PDP_HOT AccessOutcome accessImpl(const AccessContext &ctx);
 
     CacheConfig config_;
     uint32_t numSets_;
@@ -317,6 +320,9 @@ class Cache
         uint8_t pad[8] = {};
     };
     static_assert(sizeof(SetState) == 64, "SetState must be one cache line");
+    static_assert(sizeof(SetState::scratch) == kPolicyScratchBytes,
+                  "the contracts.h scratch-row size must match the lent "
+                  "per-set scratch block");
 
     std::vector<SetState> setState_;
     std::unique_ptr<ReplacementPolicy> policy_;

@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/contracts.h"
 #include "core/hit_rate_model.h"
 #include "core/rd_sampler.h"
 #include "core/rdd.h"
@@ -177,6 +178,11 @@ std::unique_ptr<PdpPolicy> makeSpdpNb(uint32_t static_pd);
 std::unique_ptr<PdpPolicy> makeSpdpB(uint32_t static_pd);
 std::unique_ptr<PdpPolicy> makeDynamicPdp(unsigned nc_bits,
                                           bool bypass = true);
+
+// PDP keeps the per-line remaining-PD counters in a policy-owned
+// array (n_c bits per line in hardware, a byte per way here); the
+// cache's scratch row stays untouched.
+PDP_SCRATCH_LAYOUT(PdpPolicy, NoScratchState);
 
 } // namespace pdp
 

@@ -15,6 +15,11 @@ RdProfiler::prune(SetState &state)
     // drop them to bound memory on streaming workloads.
     if (state.lastAccess.size() < 4ull * dMax_)
         return;
+    // pdplint: allow(unordered-iter) order-independent sweep: each
+    // entry is dropped or kept on its own (counter, dMax_) predicate,
+    // nothing is emitted, and the surviving map contents are identical
+    // whatever order the buckets are walked in.  No emission path
+    // iterates lastAccess (the RDD histogram is the only output).
     for (auto it = state.lastAccess.begin(); it != state.lastAccess.end();) {
         if (state.counter - it->second > dMax_)
             it = state.lastAccess.erase(it);

@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/contracts.h"
 #include "core/pdp_policy.h"
 
 namespace pdp
@@ -105,6 +106,10 @@ class PdpPartitionPolicy : public PdpPolicy
 /** Make the defaults used by Fig. 12 (S_c = 16, n_c in {2, 3}). */
 std::unique_ptr<PdpPartitionPolicy> makePdpPartition(unsigned num_threads,
                                                      unsigned nc_bits);
+
+// Like its PdpPolicy base: RPD counters are policy-owned, no
+// scratch-row state.
+PDP_SCRATCH_LAYOUT(PdpPartitionPolicy, NoScratchState);
 
 } // namespace pdp
 

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/contracts.h"
 #include "partition/umon.h"
 #include "policies/replacement_policy.h"
 #include "telemetry/source.h"
@@ -109,6 +110,11 @@ class PippPolicy : public ReplacementPolicy, public telemetry::Source
     std::vector<uint64_t> epochAccesses_;
     uint64_t accesses_ = 0;
 };
+
+// PIPP's per-set priority order is a policy-owned byte array (it
+// would fit the row; candidate for a future migration), and the UMON
+// and allocation state are global.
+PDP_SCRATCH_LAYOUT(PippPolicy, NoScratchState);
 
 } // namespace pdp
 

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "check/contracts.h"
 #include "policies/rrip.h"
 
 namespace pdp
@@ -64,6 +65,10 @@ class TaDrripPolicy : public RripPolicy
     unsigned numThreads_;
     std::vector<SetDueling> perThread_;
 };
+
+// Thread-aware dueling adds per-thread PSELs (global state) on top of
+// RRIP; the scratch row stays untouched.
+PDP_SCRATCH_LAYOUT(TaDrripPolicy, NoScratchState);
 
 } // namespace pdp
 

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/contracts.h"
 #include "partition/umon.h"
 #include "policies/basic.h"
 #include "telemetry/source.h"
@@ -72,6 +73,10 @@ class UcpPolicy : public LruPolicy, public telemetry::Source
     std::unique_ptr<Umon> umon_;
     std::vector<uint32_t> alloc_;
 };
+
+// UCP replaces within partitions using the inherited LRU ranks in the
+// scratch row; the UMON sampler and allocation vector are global.
+PDP_SCRATCH_LAYOUT(UcpPolicy, LruRankRow);
 
 } // namespace pdp
 

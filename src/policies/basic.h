@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/contracts.h"
 #include "policies/replacement_policy.h"
 #include "util/bytescan.h"
 #include "util/rng.h"
@@ -56,7 +57,7 @@ class LruPolicy : public ReplacementPolicy
     void auditSet(uint32_t set, InvariantReporter &reporter) const override;
 
     /** Make `way` the MRU line of its set (rank 0). */
-    void
+    PDP_HOT void
     promote(uint32_t set, int way)
     {
         uint8_t *row = rankRow(set);
@@ -84,7 +85,7 @@ class LruPolicy : public ReplacementPolicy
     /** Make `way` the LRU line of its set (rank ways-1); the "insert at
      *  LRU" of LIP/BIP.  Like the old "stamp older than every other",
      *  repeated demotions order newest-demoted first in eviction. */
-    void
+    PDP_HOT void
     demote(uint32_t set, int way)
     {
         uint8_t *row = rankRow(set);
@@ -108,7 +109,7 @@ class LruPolicy : public ReplacementPolicy
     }
 
     /** The way holding the LRU rank. */
-    int
+    PDP_HOT int
     lruWay(uint32_t set) const
     {
         const uint64_t match = byteMatchMask(
@@ -125,7 +126,7 @@ class LruPolicy : public ReplacementPolicy
      * fused miss path, where the evicted way is always reinstalled as
      * MRU.
      */
-    int
+    PDP_HOT int
     takeLruAndPromote(uint32_t set)
     {
         uint8_t *row = rankRow(set);
@@ -249,6 +250,14 @@ class RandomPolicy : public ReplacementPolicy
   private:
     Rng rng_;
 };
+
+// Scratch-row contracts (tools/pdplint, DESIGN.md "Enforced
+// contracts").  LRU keeps its rank permutation in the cache's lent
+// row; FIFO's 8-byte insertion stamps do not fit the row and Random
+// has no per-set state, so both leave the row untouched.
+PDP_SCRATCH_LAYOUT(LruPolicy, LruRankRow);
+PDP_SCRATCH_LAYOUT(FifoPolicy, NoScratchState);
+PDP_SCRATCH_LAYOUT(RandomPolicy, NoScratchState);
 
 } // namespace pdp
 

@@ -16,6 +16,7 @@
 #include <memory>
 #include <optional>
 
+#include "check/contracts.h"
 #include "policies/basic.h"
 #include "policies/dueling.h"
 #include "util/rng.h"
@@ -75,6 +76,11 @@ class InsertionLruPolicy : public LruPolicy, public telemetry::Source
 std::unique_ptr<InsertionLruPolicy> makeLip();
 std::unique_ptr<InsertionLruPolicy> makeBip(double epsilon = 1.0 / 32);
 std::unique_ptr<InsertionLruPolicy> makeDip(double epsilon = 1.0 / 32);
+
+// DIP/LIP/BIP are LRU underneath: the inherited rank permutation in
+// the cache's scratch row is their entire per-set state (the PSEL and
+// dueling map are global).
+PDP_SCRATCH_LAYOUT(InsertionLruPolicy, LruRankRow);
 
 } // namespace pdp
 

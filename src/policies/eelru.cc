@@ -23,6 +23,7 @@ EelruPolicy::attach(Cache &cache, uint32_t num_sets, uint32_t num_ways)
     for (auto &queue : queues_)
         queue.reserve(params_.maxDepth);
     hitsAtPos_.assign(params_.maxDepth + 1, 0);
+    prefix_.assign(hitsAtPos_.size() + 1, 0);
 }
 
 void
@@ -51,13 +52,14 @@ EelruPolicy::maybeRetune()
     if (++accessCount_ % params_.epochAccesses != 0)
         return;
 
-    // Prefix sums of the recency-hit histogram.
-    std::vector<uint64_t> prefix(hitsAtPos_.size() + 1, 0);
+    // Prefix sums of the recency-hit histogram, in the buffer attach()
+    // sized once: an epoch retune must not allocate on the access path.
+    std::fill(prefix_.begin(), prefix_.end(), 0);
     for (size_t p = 1; p < hitsAtPos_.size(); ++p)
-        prefix[p + 1] = prefix[p] + hitsAtPos_[p];
+        prefix_[p + 1] = prefix_[p] + hitsAtPos_[p];
     auto hits_upto = [&](uint32_t pos) {
         pos = std::min<uint32_t>(pos, params_.maxDepth);
-        return prefix[pos + 1];
+        return prefix_[pos + 1];
     };
 
     // Expected hits under plain LRU: everything within the cache depth.

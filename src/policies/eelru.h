@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/contracts.h"
 #include "policies/replacement_policy.h"
 
 namespace pdp
@@ -74,17 +75,27 @@ class EelruPolicy : public ReplacementPolicy
      *  residency of the entry is preserved. */
     void touch(uint32_t set, uint64_t addr, bool count_hit);
 
-    void maybeRetune();
+    /** Runs on every access (early-outs between epochs), so it is held
+     *  to the allocation-free hot-path contract. */
+    PDP_HOT void maybeRetune();
 
     Params params_;
     /** Per-set recency queue, front = MRU. */
     std::vector<std::vector<Entry>> queues_;
     /** hitsAtPos_[p] = demand touches at recency position p (1-based). */
     std::vector<uint64_t> hitsAtPos_;
+    /** Reused prefix-sum buffer of maybeRetune(), sized at attach() so
+     *  the epoch retune never allocates on the access path. */
+    std::vector<uint64_t> prefix_;
     uint64_t accessCount_ = 0;
     uint32_t early_ = 0; //!< 0 disables early eviction (plain LRU)
     uint32_t late_ = 0;
 };
+
+// EELRU's recency queues extend past the associativity (shadow depth
+// up to d_max), so its per-set state is policy-owned and the lent
+// scratch row stays untouched.
+PDP_SCRATCH_LAYOUT(EelruPolicy, NoScratchState);
 
 } // namespace pdp
 

@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/contracts.h"
 #include "policies/dueling.h"
 #include "policies/replacement_policy.h"
 #include "util/rng.h"
@@ -89,6 +90,11 @@ class RripPolicy : public ReplacementPolicy, public telemetry::Source
 std::unique_ptr<RripPolicy> makeSrrip();
 std::unique_ptr<RripPolicy> makeBrrip(double epsilon = 1.0 / 32);
 std::unique_ptr<RripPolicy> makeDrrip(double epsilon = 1.0 / 32);
+
+// The RRPV bytes live in a policy-owned array today; nothing is kept
+// in the cache's scratch row.  (A 2-bit-per-way image would fit the
+// row with room to spare — candidate for a future migration.)
+PDP_SCRATCH_LAYOUT(RripPolicy, NoScratchState);
 
 } // namespace pdp
 

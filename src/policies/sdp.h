@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/contracts.h"
 #include "policies/basic.h"
 #include "util/sat_counter.h"
 
@@ -125,6 +126,10 @@ class SdpPolicy : public LruPolicy
     uint64_t samplerClock_ = 0;
     uint32_t sampleStride_ = 1;
 };
+
+// SDP's in-row state is the inherited LRU rank permutation; the dead
+// bits, sampler and predictor tables are policy-owned (off-row).
+PDP_SCRATCH_LAYOUT(SdpPolicy, LruRankRow);
 
 } // namespace pdp
 

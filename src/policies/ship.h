@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/contracts.h"
 #include "policies/rrip.h"
 #include "util/sat_counter.h"
 
@@ -66,6 +67,10 @@ class ShipPolicy : public RripPolicy
     std::vector<uint32_t> lineSignature_;
     std::vector<bool> lineOutcome_;
 };
+
+// SHiP adds per-line signatures/outcome bits on top of RRIP's RRPVs;
+// all of it is policy-owned, the scratch row stays untouched.
+PDP_SCRATCH_LAYOUT(ShipPolicy, NoScratchState);
 
 } // namespace pdp
 

@@ -35,6 +35,9 @@ ThreadPoolExecutor::execute(const Job &job, unsigned worker) const
     ctx.seed = job.seed;
     ctx.worker = worker;
 
+    // pdplint: allow(wall-clock) job duration feeds the soft-timeout
+    // check and the volatile `seconds` field only; ResultsSink omits
+    // it from deterministic dumps.
     const auto start = std::chrono::steady_clock::now();
     try {
         PDP_CHECK(job.run != nullptr, "job \"", job.key,
@@ -49,6 +52,7 @@ ThreadPoolExecutor::execute(const Job &job, unsigned worker) const
         record.error = "non-standard exception";
     }
     record.seconds =
+        // pdplint: allow(wall-clock) see above: volatile timing only.
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();

@@ -42,6 +42,9 @@ EventTrace::chronological() const
 ScopedPhaseTimer::ScopedPhaseTimer(EventTrace *trace, std::string phase,
                                    uint64_t access_count)
     : trace_(trace), phase_(std::move(phase)), accessCount_(access_count),
+      // pdplint: allow(wall-clock) phase timings are wall-clock by
+      // definition; the events they produce are marked isVolatile and
+      // ResultsSink filters them out of deterministic dumps.
       start_(std::chrono::steady_clock::now())
 {
 }
@@ -51,6 +54,8 @@ ScopedPhaseTimer::~ScopedPhaseTimer()
     if (!trace_)
         return;
     const double seconds =
+        // pdplint: allow(wall-clock) closing stamp of the volatile
+        // phase event; excluded from deterministic dumps (isVolatile).
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();

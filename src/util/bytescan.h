@@ -16,6 +16,8 @@
 
 #include <cstdint>
 
+#include "check/contracts.h"
+
 #if defined(__SSE2__)
 #include <emmintrin.h>
 #endif
@@ -35,7 +37,7 @@ inline constexpr uint32_t kByteScanPadding = 15;
  * row[n + kByteScanPadding - 1]; the padding bytes' contents do not
  * affect the result.
  */
-inline uint64_t
+PDP_HOT inline uint64_t
 byteMatchMask(const uint8_t *row, uint32_t n, uint8_t needle)
 {
 #if defined(__SSE2__)

@@ -1,0 +1,34 @@
+// Compile-fail probe: a scratch-row image with a user-provided copy
+// constructor is not trivially copyable — the cache memcpy-moves rows
+// during resizes — and must be rejected by PDP_SCRATCH_LAYOUT.  Built
+// by the pdplint_contracts_nontrivial_rejected ctest entry, which
+// expects the build to FAIL.
+#include <cstdint>
+
+#include "check/contracts.h"
+
+namespace pdp
+{
+
+class NontrivialProbePolicy
+{
+};
+
+struct NontrivialRow
+{
+    std::uint8_t counter = 0;
+
+    NontrivialRow() = default;
+    NontrivialRow(const NontrivialRow &other) : counter(other.counter) {}
+};
+
+PDP_SCRATCH_LAYOUT(NontrivialProbePolicy, NontrivialRow);
+
+} // namespace pdp
+
+int
+main()
+{
+    return static_cast<int>(
+        pdp::ScratchLayout<pdp::NontrivialProbePolicy>::size);
+}

@@ -1,0 +1,30 @@
+// Compile-fail probe: a scratch-row image one byte larger than the
+// lent block must be rejected by the static_assert inside
+// PDP_SCRATCH_LAYOUT.  Built by the pdplint_contracts_oversized_rejected
+// ctest entry, which expects the build to FAIL.
+#include <cstdint>
+
+#include "check/contracts.h"
+
+namespace pdp
+{
+
+class OversizedProbePolicy
+{
+};
+
+struct OversizedRow
+{
+    std::uint8_t bytes[kPolicyScratchBytes + 1];
+};
+
+PDP_SCRATCH_LAYOUT(OversizedProbePolicy, OversizedRow);
+
+} // namespace pdp
+
+int
+main()
+{
+    return static_cast<int>(
+        pdp::ScratchLayout<pdp::OversizedProbePolicy>::size);
+}

@@ -1,0 +1,108 @@
+// Positive coverage for the scratch-row contract (check/contracts.h):
+// every concrete policy declares a PDP_SCRATCH_LAYOUT whose row image
+// fits the cache's lent 16-byte per-set scratch block.  The negative
+// side (oversized / non-trivially-copyable images must not compile)
+// lives in tests/contracts/ behind the pdplint_contracts_*_rejected
+// ctest entries.
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.h"
+#include "check/contracts.h"
+#include "core/pdp_policy.h"
+#include "partition/pdp_partition.h"
+#include "partition/pipp.h"
+#include "partition/ta_drrip.h"
+#include "partition/ucp.h"
+#include "policies/basic.h"
+#include "policies/dip.h"
+#include "policies/eelru.h"
+#include "policies/rrip.h"
+#include "policies/sdp.h"
+#include "policies/ship.h"
+
+namespace pdp
+{
+namespace
+{
+
+template <typename Policy>
+constexpr bool
+layoutHolds()
+{
+    using Layout = ScratchLayout<Policy>;
+    static_assert(Layout::size == sizeof(typename Layout::type),
+                  "size member must mirror sizeof(type)");
+    static_assert(Layout::size <= kPolicyScratchBytes,
+                  "row image must fit the lent scratch block");
+    static_assert(std::is_trivially_copyable_v<typename Layout::type>,
+                  "row image must be trivially copyable");
+    return true;
+}
+
+// Every concrete policy in src/policies + src/partition + src/core.
+static_assert(layoutHolds<LruPolicy>());
+static_assert(layoutHolds<FifoPolicy>());
+static_assert(layoutHolds<RandomPolicy>());
+static_assert(layoutHolds<InsertionLruPolicy>());
+static_assert(layoutHolds<SdpPolicy>());
+static_assert(layoutHolds<EelruPolicy>());
+static_assert(layoutHolds<RripPolicy>());
+static_assert(layoutHolds<ShipPolicy>());
+static_assert(layoutHolds<PdpPolicy>());
+static_assert(layoutHolds<UcpPolicy>());
+static_assert(layoutHolds<TaDrripPolicy>());
+static_assert(layoutHolds<PippPolicy>());
+static_assert(layoutHolds<PdpPartitionPolicy>());
+
+// The recency family stores per-way ranks in the lent row; everyone
+// else keeps per-set state policy-owned and declares NoScratchState.
+static_assert(std::is_same_v<ScratchLayout<LruPolicy>::type, LruRankRow>);
+static_assert(
+    std::is_same_v<ScratchLayout<InsertionLruPolicy>::type, LruRankRow>);
+static_assert(std::is_same_v<ScratchLayout<SdpPolicy>::type, LruRankRow>);
+static_assert(std::is_same_v<ScratchLayout<UcpPolicy>::type, LruRankRow>);
+static_assert(
+    std::is_same_v<ScratchLayout<FifoPolicy>::type, NoScratchState>);
+static_assert(
+    std::is_same_v<ScratchLayout<RandomPolicy>::type, NoScratchState>);
+static_assert(
+    std::is_same_v<ScratchLayout<EelruPolicy>::type, NoScratchState>);
+static_assert(
+    std::is_same_v<ScratchLayout<RripPolicy>::type, NoScratchState>);
+static_assert(
+    std::is_same_v<ScratchLayout<ShipPolicy>::type, NoScratchState>);
+static_assert(
+    std::is_same_v<ScratchLayout<PdpPolicy>::type, NoScratchState>);
+static_assert(
+    std::is_same_v<ScratchLayout<TaDrripPolicy>::type, NoScratchState>);
+static_assert(
+    std::is_same_v<ScratchLayout<PippPolicy>::type, NoScratchState>);
+static_assert(
+    std::is_same_v<ScratchLayout<PdpPartitionPolicy>::type, NoScratchState>);
+
+// The rank row uses the whole block; the empty image stays empty.
+static_assert(sizeof(LruRankRow) == kPolicyScratchBytes);
+static_assert(std::is_empty_v<NoScratchState>);
+
+TEST(ScratchContracts, RowImagesFitTheLentRow)
+{
+    // The static_asserts above are the real gate; restate the bound at
+    // runtime so a failure would name the policy in ctest output.
+    EXPECT_LE(ScratchLayout<LruPolicy>::size, kPolicyScratchBytes);
+    EXPECT_LE(ScratchLayout<SdpPolicy>::size, kPolicyScratchBytes);
+    EXPECT_LE(ScratchLayout<UcpPolicy>::size, kPolicyScratchBytes);
+    EXPECT_EQ(ScratchLayout<FifoPolicy>::size, sizeof(NoScratchState));
+}
+
+TEST(ScratchContracts, CacheLendsAFullRowPerSet)
+{
+    // Scratch rows live inside the 64-byte SetState lines, one full
+    // kPolicyScratchBytes block per set.
+    EXPECT_GE(Cache::policyScratchStride(), kPolicyScratchBytes);
+    EXPECT_EQ(Cache::policyScratchStride() % 64u, 0u);
+}
+
+} // namespace
+} // namespace pdp

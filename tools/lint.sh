@@ -1,22 +1,38 @@
 #!/usr/bin/env bash
 # Run clang-tidy over the whole tree using the repo's .clang-tidy profile.
 #
-# Usage: tools/lint.sh [build-dir]
+# Usage: tools/lint.sh [--with-pdplint] [build-dir]
 #
 # The build directory must contain compile_commands.json (configure with
 # -DCMAKE_EXPORT_COMPILE_COMMANDS=ON). Without clang-tidy installed the
 # script reports and exits 0 so environments with only a GCC toolchain
 # (and pre-lint CI stages) are not broken by it.
+#
+# --with-pdplint additionally runs the domain-specific contract checks
+# (tools/pdplint/) against the checked-in baseline; the combined exit
+# status fails when either analyzer finds a problem.
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+with_pdplint=0
+if [ "${1:-}" = "--with-pdplint" ]; then
+    with_pdplint=1
+    shift
+fi
 build_dir="${1:-$repo_root/build}"
+
+pdplint_status=0
+if [ "$with_pdplint" -eq 1 ]; then
+    python3 "$repo_root/tools/pdplint/pdplint.py" src \
+        --baseline tools/pdplint/baseline.json || pdplint_status=1
+fi
 
 tidy="$(command -v clang-tidy || true)"
 if [ -z "$tidy" ]; then
     echo "lint.sh: clang-tidy not found in PATH; skipping lint (install" \
          "clang-tidy to enable)."
-    exit 0
+    exit "$pdplint_status"
 fi
 
 if [ ! -f "$build_dir/compile_commands.json" ]; then
@@ -31,10 +47,11 @@ fi
 runner="$(command -v run-clang-tidy || command -v run-clang-tidy.py || true)"
 cd "$repo_root"
 if [ -n "$runner" ]; then
-    exec "$runner" -p "$build_dir" -quiet "src/.*\.cc$"
+    "$runner" -p "$build_dir" -quiet "src/.*\.cc$" || exit 1
+    exit "$pdplint_status"
 fi
 
-status=0
+status=$pdplint_status
 for file in $(find src -name '*.cc' | sort); do
     "$tidy" -p "$build_dir" --quiet "$file" || status=1
 done

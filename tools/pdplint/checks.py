@@ -1,0 +1,556 @@
+"""pdplint check implementations.
+
+Three contract families over the simulator sources (see DESIGN.md
+"Enforced contracts"):
+
+  determinism   no nondeterministic inputs may reach results that feed
+                ResultsSink: banned RNG sources, wall-clock reads,
+                unordered-container iteration, pointer-identity
+                ordering, and order-dependent float reductions.
+  hot-path      functions marked PDP_HOT, and everything they
+                transitively call within the file set, must be free of
+                heap allocation, locks, I/O and dynamic_cast.
+  scratch-row   every replacement policy declares its scratch-row image
+                with PDP_SCRATCH_LAYOUT, and raw scratch indexing must
+                stay inside the 16-byte row.
+
+Every check can be waived per-line with
+`// pdplint: allow(<check>) reason` — the reason is mandatory — or
+grandfathered via the baseline file (see pdplint.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from cpplex import LexedFile, Token
+from cppmodel import FileModel
+
+SCRATCH_BYTES = 16
+
+
+@dataclass
+class Finding:
+    file: str
+    line: int
+    check: str
+    message: str
+    context: str = ""
+
+    def key(self) -> tuple:
+        return (self.file, self.check, self.context)
+
+
+class Project:
+    """Cross-file state shared by the per-file checks."""
+
+    def __init__(self) -> None:
+        self.models: Dict[str, FileModel] = {}
+        #: Names of variables/members declared with unordered types
+        #: anywhere in the file set (checks are name-based).
+        self.unordered_names: Dict[str, str] = {}
+        #: Function names hot-marked on a declaration anywhere (the
+        #: definition may live in another file of the same TU).
+        self.hot_names: Set[str] = set()
+        #: Policy class name -> file of its PDP_SCRATCH_LAYOUT.
+        self.layouts: Dict[str, str] = {}
+        #: struct name -> StructLayout (first definition wins).
+        self.structs: Dict[str, object] = {}
+        #: class name -> list of base names (first definition wins).
+        self.class_bases: Dict[str, List[str]] = {}
+        #: files containing a definition of policyScratchBase (the
+        #: provider is exempt from the declaration requirement).
+        self.scratch_providers: Set[str] = set()
+        #: file stems (basename sans extension) declaring any layout.
+        self.layout_stems: Set[str] = set()
+
+    def add(self, model: FileModel) -> None:
+        path = model.lf.path
+        self.models[path] = model
+        self.unordered_names.update(model.unordered_vars)
+        self.hot_names.update(model.hot_declarations)
+        for fn in model.functions:
+            if fn.hot:
+                self.hot_names.add(fn.name)
+            if fn.name == "policyScratchBase":
+                self.scratch_providers.add(path)
+        for name, layout in model.structs.items():
+            self.structs.setdefault(name, layout)
+        for cls in model.classes:
+            self.class_bases.setdefault(cls.name, cls.bases)
+        for pol in _layout_declarations(model.lf):
+            self.layouts.setdefault(pol, path)
+            self.layout_stems.add(_stem(path))
+
+    def policy_classes(self) -> Dict[str, str]:
+        """All classes transitively derived from ReplacementPolicy,
+        mapped to the file that defines them."""
+        derived: Set[str] = {"ReplacementPolicy"}
+        changed = True
+        while changed:
+            changed = False
+            for name, bases in self.class_bases.items():
+                if name not in derived and any(b in derived for b in bases):
+                    derived.add(name)
+                    changed = True
+        derived.discard("ReplacementPolicy")
+        out: Dict[str, str] = {}
+        for path, model in self.models.items():
+            for cls in model.classes:
+                if cls.name in derived:
+                    out.setdefault(cls.name, path)
+        return out
+
+
+def _stem(path: str) -> str:
+    base = path.rsplit("/", 1)[-1]
+    return base.rsplit(".", 1)[0]
+
+
+def _layout_declarations(lf: LexedFile) -> List[str]:
+    """Policy names from PDP_SCRATCH_LAYOUT(Policy, Struct) uses
+    (the macro's own #define does not count)."""
+    toks = lf.code_tokens
+    out = []
+    for i, t in enumerate(toks):
+        if (t.kind == "id" and t.value == "PDP_SCRATCH_LAYOUT"
+                and i + 2 < len(toks) and toks[i + 1].value == "("
+                and toks[i + 2].kind == "id"):
+            out.append(toks[i + 2].value)
+    return out
+
+
+def _layout_struct_names(lf: LexedFile) -> List[tuple]:
+    """(policy, struct, line) triples of PDP_SCRATCH_LAYOUT uses."""
+    toks = lf.code_tokens
+    out = []
+    for i, t in enumerate(toks):
+        if (t.kind == "id" and t.value == "PDP_SCRATCH_LAYOUT"
+                and i + 4 < len(toks) and toks[i + 1].value == "("
+                and toks[i + 2].kind == "id" and toks[i + 3].value == ","
+                and toks[i + 4].kind == "id"):
+            out.append((toks[i + 2].value, toks[i + 4].value, t.line))
+    return out
+
+
+def _emit(findings: List[Finding], lf: LexedFile, line: int, check: str,
+          message: str) -> None:
+    if lf.is_allowed(check, line):
+        return
+    findings.append(Finding(lf.path, line, check, message,
+                            lf.line_text(line)))
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+_BANNED_RNG = {
+    "random_device": "std::random_device is a nondeterministic seed source",
+    "rand": "std::rand() draws from unseeded global state",
+    "srand": "srand() reseeds global RNG state",
+    "rand_r": "rand_r() is banned; use util/rng.h",
+    "drand48": "drand48() is banned; use util/rng.h",
+}
+
+_CHRONO_CLOCKS = {"steady_clock", "system_clock", "high_resolution_clock"}
+
+_WALLCLOCK_FUNCS = {"gettimeofday", "clock_gettime", "localtime", "gmtime",
+                    "mktime", "ftime"}
+
+
+def check_determinism(model: FileModel, project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    lf = model.lf
+    toks = model.toks
+
+    for i, t in enumerate(toks):
+        if t.kind != "id":
+            continue
+        nxt = toks[i + 1] if i + 1 < len(toks) else None
+        prev = toks[i - 1] if i > 0 else None
+
+        # -- rand ----------------------------------------------------
+        if t.value in _BANNED_RNG:
+            is_member = prev is not None and prev.value in (".", "->")
+            is_call = nxt is not None and nxt.value == "("
+            is_type = t.value == "random_device"
+            if not is_member and (is_call or is_type):
+                _emit(findings, lf, t.line, "rand",
+                      _BANNED_RNG[t.value])
+
+        # -- wall-clock ----------------------------------------------
+        if t.value in _WALLCLOCK_FUNCS and nxt is not None \
+                and nxt.value == "(":
+            _emit(findings, lf, t.line, "wall-clock",
+                  f"{t.value}() reads the wall clock")
+        if t.value in ("time", "clock") and nxt is not None \
+                and nxt.value == "(":
+            member = prev is not None and prev.value in (".", "->")
+            qualified_other = (prev is not None and prev.value == "::"
+                               and i >= 2 and toks[i - 2].value != "std")
+            if not member and not qualified_other:
+                _emit(findings, lf, t.line, "wall-clock",
+                      f"{t.value}() reads the wall clock")
+        if t.value in _CHRONO_CLOCKS:
+            # steady_clock::now() — the ::now read is the violation;
+            # time_point/duration types alone are fine.
+            if (nxt is not None and nxt.value == "::"
+                    and i + 2 < len(toks) and toks[i + 2].value == "now"):
+                _emit(findings, lf, t.line, "wall-clock",
+                      f"std::chrono::{t.value}::now() reads the wall clock")
+
+        # -- pointer-order -------------------------------------------
+        if t.value == "reinterpret_cast" and nxt is not None \
+                and nxt.value == "<":
+            j = i + 2
+            target = []
+            while j < len(toks) and toks[j].value != ">":
+                if toks[j].kind == "id":
+                    target.append(toks[j].value)
+                j += 1
+            if any(v in ("uintptr_t", "intptr_t", "size_t", "ptrdiff_t")
+                   for v in target):
+                _emit(findings, lf, t.line, "pointer-order",
+                      "pointer cast to an integer: pointer values are "
+                      "allocation-dependent and must not order or hash "
+                      "results")
+        if t.value == "hash" and nxt is not None and nxt.value == "<":
+            j = i + 2
+            depth = 1
+            saw_ptr = False
+            while j < len(toks) and depth > 0:
+                v = toks[j].value
+                if v == "<":
+                    depth += 1
+                elif v == ">":
+                    depth -= 1
+                elif v == "*":
+                    saw_ptr = True
+                j += 1
+            if saw_ptr:
+                _emit(findings, lf, t.line, "pointer-order",
+                      "std::hash over a pointer type hashes allocation-"
+                      "dependent addresses")
+
+    findings.extend(_check_unordered_iteration(model, project))
+    return findings
+
+
+def _check_unordered_iteration(model: FileModel,
+                               project: Project) -> List[Finding]:
+    """Range-for over, or iterator walks of, unordered containers.
+
+    Iteration order of unordered containers is implementation- and
+    allocation-dependent; any traversal that can influence emitted
+    results breaks byte-identical reproducibility.  Matching is by
+    declared variable/member *name*, collected across the whole file
+    set (the declaration often lives in the header).
+    """
+    findings: List[Finding] = []
+    lf = model.lf
+    toks = model.toks
+    names = project.unordered_names
+
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.value not in names:
+            continue
+        nxt = toks[i + 1] if i + 1 < len(toks) else None
+        # `x.begin()` / `x.cbegin()` / `x.rbegin()` iterator walks.
+        if nxt is not None and nxt.value in (".",) and i + 2 < len(toks) \
+                and toks[i + 2].value in ("begin", "cbegin", "rbegin"):
+            _emit(findings, lf, t.line, "unordered-iter",
+                  f"iterator walk of {names[t.value]} '{t.value}': "
+                  "unordered iteration order is nondeterministic")
+            continue
+        # Range-for: `for ( ... : expr-ending-in-name )`.
+        j = i - 1
+        depth = 0
+        is_range_for = False
+        while j >= 0:
+            v = toks[j].value
+            if toks[j].kind == "punct":
+                if v in (")", "]"):
+                    depth += 1
+                elif v in ("(", "["):
+                    if depth == 0:
+                        is_range_for = (j >= 1
+                                        and toks[j - 1].value == "for")
+                        break
+                    depth -= 1
+                elif v in (";", "{", "}"):
+                    break
+                elif v == ":" and depth == 0:
+                    j -= 1
+                    continue
+            j -= 1
+        if is_range_for:
+            # Confirm a ':' sits between the '(' and the name.
+            has_colon = any(toks[k].value == ":"
+                            for k in range(j, i)
+                            if toks[k].kind == "punct")
+            if has_colon:
+                _emit(findings, lf, t.line, "unordered-iter",
+                      f"range-for over {names[t.value]} '{t.value}': "
+                      "unordered iteration order is nondeterministic")
+                findings.extend(
+                    _check_float_reduction(model, i, t, names[t.value]))
+    return findings
+
+
+def _check_float_reduction(model: FileModel, name_idx: int, name_tok: Token,
+                           kind: str) -> List[Finding]:
+    """Float accumulation inside an unordered range-for body.
+
+    FP addition is not associative, so even a sum over an unordered
+    container is order-dependent; flag `f +=`-style compound updates of
+    float/double variables inside the loop body.
+    """
+    findings: List[Finding] = []
+    lf = model.lf
+    toks = model.toks
+    # Find the loop body '{' after the range-for's closing ')'.
+    j = name_idx
+    while j < len(toks) and toks[j].value != ")":
+        j += 1
+    while j < len(toks) and toks[j].value != "{":
+        if toks[j].value == ";":
+            return findings  # single-statement body: skip
+        j += 1
+    if j >= len(toks):
+        return findings
+    end = model._match_brace(j)
+    for k in range(j, end - 1):
+        t = toks[k]
+        if (t.kind == "id" and t.value in model.float_vars
+                and toks[k + 1].kind == "punct"
+                and toks[k + 1].value in ("+=", "-=", "*=", "/=")):
+            _emit(findings, lf, t.line, "float-order",
+                  f"float accumulation into '{t.value}' inside a "
+                  f"{kind} loop: FP reduction order is nondeterministic")
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# hot-path
+# ---------------------------------------------------------------------------
+
+_ALLOC_CALLS = {"malloc", "calloc", "realloc", "free", "strdup",
+                "aligned_alloc", "posix_memalign"}
+_GROWTH_METHODS = {"push_back", "emplace_back", "resize", "reserve",
+                   "assign", "insert", "emplace", "shrink_to_fit",
+                   "push_front", "emplace_front"}
+_ALLOC_TYPES = {"vector", "string", "deque", "list", "map", "set",
+                "unordered_map", "unordered_set", "ostringstream",
+                "stringstream", "istringstream", "function"}
+_LOCK_TYPES = {"mutex", "recursive_mutex", "shared_mutex", "lock_guard",
+               "unique_lock", "scoped_lock", "shared_lock"}
+_IO_NAMES = {"printf", "fprintf", "sprintf", "snprintf", "puts", "putchar",
+             "fopen", "fwrite", "fread", "fputs", "fflush", "getline",
+             "cout", "cerr", "clog", "ofstream", "ifstream", "fstream"}
+
+
+def check_hotpath(model: FileModel, project: Project) -> List[Finding]:
+    """Walk PDP_HOT roots and their in-file callees for impurities."""
+    findings: List[Finding] = []
+    lf = model.lf
+
+    by_name: Dict[str, List] = {}
+    for fn in model.functions:
+        by_name.setdefault(fn.name, []).append(fn)
+
+    # Seed: functions hot-marked here or hot-declared anywhere.
+    hot: Set[str] = set()
+    work: List[str] = []
+    for fn in model.functions:
+        if fn.hot or fn.name in project.hot_names:
+            if fn.name not in hot:
+                hot.add(fn.name)
+                work.append(fn.name)
+    # Transitive closure over in-file definitions.
+    while work:
+        name = work.pop()
+        for fn in by_name.get(name, []):
+            for callee in fn.calls:
+                if callee in by_name and callee not in hot:
+                    hot.add(callee)
+                    work.append(callee)
+
+    for fn in model.functions:
+        if fn.name not in hot:
+            continue
+        findings.extend(_scan_hot_body(model, fn))
+    return findings
+
+
+def _scan_hot_body(model: FileModel, fn) -> List[Finding]:
+    findings: List[Finding] = []
+    lf = model.lf
+    toks = model.toks
+    label = f"PDP_HOT function '{fn.qualified}'"
+    for i in range(fn.body_begin, fn.body_end):
+        t = toks[i]
+        if t.kind != "id":
+            continue
+        nxt = toks[i + 1] if i + 1 < len(toks) else None
+        prev = toks[i - 1] if i > 0 else None
+        is_call = nxt is not None and nxt.value == "("
+        is_member = prev is not None and prev.value in (".", "->")
+
+        if t.value == "new":
+            _emit(findings, lf, t.line, "hot-path",
+                  f"{label}: operator new allocates on the hot path")
+        elif t.value == "delete":
+            _emit(findings, lf, t.line, "hot-path",
+                  f"{label}: operator delete on the hot path")
+        elif t.value == "throw":
+            _emit(findings, lf, t.line, "hot-path",
+                  f"{label}: throw constructs an exception (and usually "
+                  "a std::string) on the hot path")
+        elif t.value == "dynamic_cast":
+            _emit(findings, lf, t.line, "hot-path",
+                  f"{label}: dynamic_cast walks RTTI on the hot path")
+        elif t.value in _ALLOC_CALLS and is_call and not is_member:
+            _emit(findings, lf, t.line, "hot-path",
+                  f"{label}: {t.value}() heap call on the hot path")
+        elif t.value in _GROWTH_METHODS and is_call and is_member:
+            _emit(findings, lf, t.line, "hot-path",
+                  f"{label}: container mutation .{t.value}() may "
+                  "reallocate on the hot path")
+        elif t.value in _ALLOC_TYPES and not is_member:
+            # Type use: `std::vector<...> x`, `string s(...)`.
+            qualified_std = (prev is not None and prev.value == "::"
+                            and i >= 2 and toks[i - 2].value == "std")
+            bare_type = (nxt is not None
+                         and nxt.value in ("<", "{")
+                         and prev is not None
+                         and prev.value not in (".", "->", "::"))
+            if qualified_std or bare_type:
+                _emit(findings, lf, t.line, "hot-path",
+                      f"{label}: constructing std::{t.value} allocates "
+                      "on the hot path")
+        elif t.value == "to_string" and is_call:
+            _emit(findings, lf, t.line, "hot-path",
+                  f"{label}: std::to_string allocates on the hot path")
+        elif t.value in _LOCK_TYPES and not is_member:
+            _emit(findings, lf, t.line, "hot-path",
+                  f"{label}: lock '{t.value}' on the hot path")
+        elif t.value == "lock" and is_call and is_member:
+            _emit(findings, lf, t.line, "hot-path",
+                  f"{label}: .lock() on the hot path")
+        elif t.value in _IO_NAMES and not is_member:
+            if is_call or t.value in ("cout", "cerr", "clog",
+                                      "ofstream", "ifstream", "fstream"):
+                _emit(findings, lf, t.line, "hot-path",
+                      f"{label}: I/O ({t.value}) on the hot path")
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# scratch-row
+# ---------------------------------------------------------------------------
+
+def check_scratch_file(model: FileModel, project: Project) -> List[Finding]:
+    """Per-file scratch checks: declared layouts must fit the row, and
+    raw scratch indexing must stay inside it."""
+    findings: List[Finding] = []
+    lf = model.lf
+    toks = model.toks
+
+    # Layout declarations whose struct is visibly too large.  The
+    # static_assert in contracts.h is the authoritative gate; linting
+    # it too means fixtures and non-compiled trees get the diagnosis.
+    for policy, struct, line in _layout_struct_names(lf):
+        layout = model.structs.get(struct) or project.structs.get(struct)
+        if layout is None or layout.size_align is None:
+            continue
+        size, _align = layout.size_align
+        if size > SCRATCH_BYTES:
+            _emit(findings, lf, line, "scratch-overflow",
+                  f"PDP_SCRATCH_LAYOUT({policy}, {struct}): {struct} is "
+                  f"{size} bytes, exceeding the {SCRATCH_BYTES}-byte "
+                  "scratch row")
+
+    # Raw scratch offset arithmetic: `scratch[N]` / `scratch + N` with
+    # a constant at or past the row size.
+    for i, t in enumerate(toks):
+        if t.kind != "id" or t.value not in ("scratch",
+                                             "policyScratchBase"):
+            continue
+        j = i + 1
+        if t.value == "policyScratchBase":
+            # Skip the call parens: policyScratchBase() [+ N]
+            if j < len(toks) and toks[j].value == "(":
+                while j < len(toks) and toks[j].value != ")":
+                    j += 1
+                j += 1
+        if j + 1 < len(toks) and toks[j].kind == "punct" \
+                and toks[j].value in ("[", "+"):
+            num = toks[j + 1]
+            if num.kind == "num" and num.int_value is not None \
+                    and num.int_value >= SCRATCH_BYTES:
+                _emit(findings, lf, t.line, "scratch-offset",
+                      f"scratch offset {num.int_value} is outside the "
+                      f"{SCRATCH_BYTES}-byte per-set scratch row")
+
+    # Using the scratch row without declaring a layout: any file that
+    # calls policyScratchBase() must have a PDP_SCRATCH_LAYOUT in its
+    # header/source pair (same stem), except the provider itself.
+    if lf.path not in project.scratch_providers:
+        for i, t in enumerate(toks):
+            if (t.kind == "id" and t.value == "policyScratchBase"
+                    and i + 1 < len(toks) and toks[i + 1].value == "("):
+                if _stem(lf.path) not in project.layout_stems:
+                    _emit(findings, lf, t.line, "scratch-layout",
+                          "policyScratchBase() used but no "
+                          "PDP_SCRATCH_LAYOUT declared in this file's "
+                          "header/source pair")
+                break
+    return findings
+
+
+def check_scratch_project(project: Project) -> List[Finding]:
+    """Project-wide: every policy class needs a layout declaration."""
+    findings: List[Finding] = []
+    for name, path in sorted(project.policy_classes().items()):
+        if name in project.layouts:
+            continue
+        model = project.models[path]
+        line = next((c.line for c in model.classes if c.name == name), 1)
+        lf = model.lf
+        if lf.is_allowed("scratch-layout", line):
+            continue
+        findings.append(Finding(
+            lf.path, line, "scratch-layout",
+            f"policy class {name} has no PDP_SCRATCH_LAYOUT declaration "
+            "(declare its scratch-row image, or NoScratchState if all "
+            "per-set state is policy-owned)",
+            lf.line_text(line)))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# annotation hygiene
+# ---------------------------------------------------------------------------
+
+def check_allow_hygiene(model: FileModel, project: Project) -> List[Finding]:
+    """An allow() without a reason is itself a finding: the documented
+    justification is the contract."""
+    findings: List[Finding] = []
+    lf = model.lf
+    for allowance in lf.bare_allows:
+        findings.append(Finding(
+            lf.path, allowance.line, "bare-allow",
+            "pdplint: allow(...) annotation without a reason; add a "
+            "justification after the closing parenthesis",
+            lf.line_text(allowance.line)))
+    return findings
+
+
+ALL_CHECKS = ("rand", "wall-clock", "unordered-iter", "pointer-order",
+              "float-order", "hot-path", "scratch-layout",
+              "scratch-overflow", "scratch-offset", "bare-allow")
+
+FILE_CHECKS = (check_determinism, check_hotpath, check_scratch_file,
+               check_allow_hygiene)

@@ -1,0 +1,325 @@
+"""A small, dependency-free C++ lexer for pdplint.
+
+pdplint's checks are token-pattern matchers, so the lexer's one job is
+to classify the byte stream well enough that a banned identifier inside
+a comment, a string literal, a raw string or a preprocessor directive is
+never confused with live code.  It is deliberately not a parser: no
+preprocessing, no template disambiguation, no type checking.
+
+Produces a flat list of Token(kind, value, line, col) where kind is one
+of:
+
+  id        identifiers and keywords
+  num       numeric literals (integers keep a parsed .int_value)
+  str       string/char literals (including raw strings), value is the
+            literal text with quotes
+  punct     operators and punctuation, longest-match ("::", "->", "<<=")
+  comment   // and /* */ comments, value includes the delimiters
+  pp        one whole preprocessor directive (with line continuations)
+
+Comments are kept as tokens because the `// pdplint: allow(...)` escape
+hatch lives in them; callers that only care about code use
+LexedFile.code_tokens.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+@dataclass
+class Token:
+    kind: str
+    value: str
+    line: int
+    col: int
+    #: Parsed value of integer literals (kind == "num" only, else None).
+    int_value: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, L{self.line})"
+
+
+# Longest-match punctuation table.  Three-char operators first.
+_PUNCT3 = ("<<=", ">>=", "...", "->*")
+_PUNCT2 = ("::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+           "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+           ".*")
+
+_ID_START = re.compile(r"[A-Za-z_]")
+_ID_CONT = re.compile(r"[A-Za-z0-9_]")
+_NUM_RE = re.compile(
+    r"(?:0[xX][0-9a-fA-F']+|0[bB][01']+|[0-9][0-9a-fA-F'.xXbBpP+-]*)"
+    r"[uUlLfz]*")
+_INT_RE = re.compile(r"^(0[xX][0-9a-fA-F']+|0[bB][01']+|[0-9']+)[uUlLz]*$")
+
+
+class LexError(Exception):
+    """Unterminated literal or comment."""
+
+
+def _parse_int(text: str) -> Optional[int]:
+    match = _INT_RE.match(text)
+    if not match:
+        return None
+    digits = match.group(1).replace("'", "")
+    try:
+        return int(digits, 0)
+    except ValueError:  # pragma: no cover - _INT_RE should prevent this
+        return None
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize C++ source text; never raises on valid UTF-8 input
+    except for unterminated block comments / string literals."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(text)
+
+    def advance(span: str) -> None:
+        nonlocal line, col
+        newlines = span.count("\n")
+        if newlines:
+            line += newlines
+            col = len(span) - span.rfind("\n")
+        else:
+            col += len(span)
+
+    at_line_start = True
+    while i < n:
+        ch = text[i]
+
+        if ch in " \t\r\n":
+            if ch == "\n":
+                at_line_start = True
+            advance(ch)
+            i += 1
+            continue
+
+        start_line, start_col = line, col
+
+        # Preprocessor directive: '#' first on its (logical) line.
+        if ch == "#" and at_line_start:
+            j = i
+            while j < n:
+                k = text.find("\n", j)
+                if k < 0:
+                    j = n
+                    break
+                if text[k - 1] == "\\" if k > 0 else False:
+                    j = k + 1
+                    continue
+                j = k
+                break
+            value = text[i:j]
+            tokens.append(Token("pp", value, start_line, start_col))
+            advance(value)
+            i = j
+            continue
+
+        at_line_start = False
+
+        # Comments.
+        if ch == "/" and i + 1 < n:
+            nxt = text[i + 1]
+            if nxt == "/":
+                j = text.find("\n", i)
+                j = n if j < 0 else j
+                value = text[i:j]
+                tokens.append(Token("comment", value, start_line, start_col))
+                advance(value)
+                i = j
+                continue
+            if nxt == "*":
+                j = text.find("*/", i + 2)
+                if j < 0:
+                    raise LexError(
+                        f"line {line}: unterminated block comment")
+                value = text[i:j + 2]
+                tokens.append(Token("comment", value, start_line, start_col))
+                advance(value)
+                i = j + 2
+                continue
+
+        # Raw strings: R"delim( ... )delim", with optional encoding prefix.
+        raw = _match_raw_string(text, i)
+        if raw is not None:
+            tokens.append(Token("str", raw, start_line, start_col))
+            advance(raw)
+            i += len(raw)
+            continue
+
+        # Ordinary string / char literals (with optional prefix).
+        lit = _match_quoted(text, i, line)
+        if lit is not None:
+            tokens.append(Token("str", lit, start_line, start_col))
+            advance(lit)
+            i += len(lit)
+            continue
+
+        # Identifiers / keywords.
+        if _ID_START.match(ch):
+            j = i + 1
+            while j < n and _ID_CONT.match(text[j]):
+                j += 1
+            value = text[i:j]
+            tokens.append(Token("id", value, start_line, start_col))
+            advance(value)
+            i = j
+            continue
+
+        # Numbers.
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            match = _NUM_RE.match(text, i)
+            if match:
+                value = match.group(0)
+                tokens.append(Token("num", value, start_line, start_col,
+                                    int_value=_parse_int(value)))
+                advance(value)
+                i = match.end()
+                continue
+
+        # Punctuation, longest match first.
+        for table in (_PUNCT3, _PUNCT2):
+            cand = text[i:i + len(table[0])]
+            if cand in table:
+                tokens.append(Token("punct", cand, start_line, start_col))
+                advance(cand)
+                i += len(cand)
+                break
+        else:
+            tokens.append(Token("punct", ch, start_line, start_col))
+            advance(ch)
+            i += 1
+    return tokens
+
+
+_RAW_RE = re.compile(r'(?:u8|[uUL])?R"([^ ()\\\t\n]{0,16})\(')
+
+
+def _match_raw_string(text: str, i: int) -> Optional[str]:
+    match = _RAW_RE.match(text, i)
+    if not match:
+        return None
+    close = ")" + match.group(1) + '"'
+    j = text.find(close, match.end())
+    if j < 0:
+        raise LexError("unterminated raw string literal")
+    return text[i:j + len(close)]
+
+
+_QUOTE_PREFIX_RE = re.compile(r'(?:u8|[uUL])?["\']')
+
+
+def _match_quoted(text: str, i: int, line: int) -> Optional[str]:
+    match = _QUOTE_PREFIX_RE.match(text, i)
+    if not match:
+        return None
+    quote = text[match.end() - 1]
+    j = match.end()
+    n = len(text)
+    while j < n:
+        ch = text[j]
+        if ch == "\\":
+            j += 2
+            continue
+        if ch == quote:
+            return text[i:j + 1]
+        if ch == "\n":
+            break
+        j += 1
+    raise LexError(f"line {line}: unterminated {quote}...{quote} literal")
+
+
+_ALLOW_RE = re.compile(
+    r"pdplint:\s*allow\(([A-Za-z0-9_,\- ]+)\)\s*(.*)", re.DOTALL)
+
+
+@dataclass
+class Allowance:
+    """One `// pdplint: allow(check[,check]) reason` annotation."""
+    checks: Set[str]
+    reason: str
+    line: int
+    #: True when the comment shares its line with code (applies to that
+    #: line); False when it stands alone (applies to the next code line).
+    trailing: bool
+
+
+@dataclass
+class LexedFile:
+    """A tokenized file plus the derived views the checks consume."""
+    path: str
+    text: str
+    tokens: List[Token]
+    #: Tokens with comments stripped (pp directives retained).
+    code_tokens: List[Token] = field(default_factory=list)
+    #: line -> set of check names allowed on that line.
+    allowed: Dict[int, Set[str]] = field(default_factory=dict)
+    #: Allowances whose reason text is empty (reported, not honoured).
+    bare_allows: List[Allowance] = field(default_factory=list)
+
+    def line_text(self, line: int) -> str:
+        lines = self.text.splitlines()
+        if 1 <= line <= len(lines):
+            return lines[line - 1].strip()
+        return ""
+
+    def is_allowed(self, check: str, line: int) -> bool:
+        return check in self.allowed.get(line, set())
+
+
+def lex_file(path: str, text: Optional[str] = None) -> LexedFile:
+    if text is None:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            text = fh.read()
+    tokens = tokenize(text)
+    lf = LexedFile(path=path, text=text, tokens=tokens)
+    lf.code_tokens = [t for t in tokens if t.kind != "comment"]
+    _collect_allowances(lf)
+    return lf
+
+
+def _collect_allowances(lf: LexedFile) -> None:
+    """Resolve allow annotations to the set of (line, check) exemptions.
+
+    A trailing annotation exempts its own line; a standalone comment
+    line exempts the next line that holds a code token.  An annotation
+    without a reason is recorded in bare_allows and NOT honoured: the
+    whole point of the escape hatch is the documented justification.
+    """
+    code_lines = sorted({t.line for t in lf.code_tokens})
+
+    for tok in lf.tokens:
+        if tok.kind != "comment":
+            continue
+        match = _ALLOW_RE.search(tok.value)
+        if not match:
+            continue
+        checks = {c.strip() for c in match.group(1).split(",") if c.strip()}
+        reason = match.group(2).strip().rstrip("*/").strip()
+        trailing = any(t.line == tok.line for t in lf.code_tokens)
+        allowance = Allowance(checks, reason, tok.line, trailing)
+        if not reason:
+            lf.bare_allows.append(allowance)
+            continue
+        if trailing:
+            target_lines = [tok.line]
+        else:
+            target_lines = [ln for ln in code_lines if ln > tok.line][:1]
+        # Multi-line statements: extend the exemption to the physical
+        # lines of the statement the target line starts (up to the next
+        # ';' or '{').  Cheap approximation: also exempt the following
+        # line when the target line has no statement terminator.
+        for ln in target_lines:
+            lf.allowed.setdefault(ln, set()).update(checks)
+            tail = lf.line_text(ln)
+            while (ln in code_lines and not tail.endswith((";", "{", "}"))
+                   and ln + 1 <= (code_lines[-1] if code_lines else 0)):
+                ln += 1
+                lf.allowed.setdefault(ln, set()).update(checks)
+                tail = lf.line_text(ln)

@@ -1,0 +1,422 @@
+"""Lightweight structural model extracted from lexed C++.
+
+Built on top of cpplex, this module recovers just enough structure for
+pdplint's checks:
+
+  * function definitions (name, annotations, body token span, calls)
+  * variable/member declarations of interesting container types
+  * class definitions and their base-class lists
+  * struct layouts with a conservative sizeof computation
+
+All of it is heuristic token matching.  The heuristics are tuned to the
+repo's house style (clang-format'ed, one declaration per line) and err
+on the side of missing a construct rather than mis-attributing one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from cpplex import LexedFile, Token
+
+# Keywords that look like calls (`if (...)`) but are not.
+_NOT_CALLS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "catch", "new", "delete", "throw", "static_assert", "decltype",
+    "case", "default", "do", "else", "alignas", "noexcept", "assert",
+    "defined", "co_return", "co_await", "co_yield", "constexpr",
+    "requires", "typename", "template",
+}
+
+# Tokens that may sit between the closing paren of a function's
+# parameter list and its body's opening brace.
+_FN_TRAILERS = {"const", "noexcept", "override", "final", "volatile",
+                "&", "&&", "->", "try"}
+
+
+@dataclass
+class FunctionDef:
+    name: str
+    qualified: str
+    line: int
+    #: Index range [body_begin, body_end) into code_tokens covering the
+    #: function body, braces included.
+    body_begin: int
+    body_end: int
+    hot: bool = False
+    #: Unqualified names of functions called from the body.
+    calls: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ClassDef:
+    name: str
+    line: int
+    bases: List[str]
+
+
+@dataclass
+class StructLayout:
+    name: str
+    line: int
+    #: (size, align) or None when a field type was not understood.
+    size_align: Optional[Tuple[int, int]]
+
+
+_PRIMITIVE_SIZES: Dict[str, Tuple[int, int]] = {
+    "bool": (1, 1), "char": (1, 1), "int8_t": (1, 1), "uint8_t": (1, 1),
+    "short": (2, 2), "int16_t": (2, 2), "uint16_t": (2, 2),
+    "int": (4, 4), "unsigned": (4, 4), "int32_t": (4, 4),
+    "uint32_t": (4, 4), "float": (4, 4),
+    "long": (8, 8), "int64_t": (8, 8), "uint64_t": (8, 8),
+    "double": (8, 8), "size_t": (8, 8), "uintptr_t": (8, 8),
+    "intptr_t": (8, 8), "ptrdiff_t": (8, 8),
+}
+
+
+class FileModel:
+    """Structure recovered from one LexedFile."""
+
+    def __init__(self, lf: LexedFile):
+        self.lf = lf
+        self.toks: List[Token] = lf.code_tokens
+        self.functions: List[FunctionDef] = []
+        self.classes: List[ClassDef] = []
+        self.structs: Dict[str, StructLayout] = {}
+        #: name -> container kind ("unordered_map"/"unordered_set") for
+        #: variables and members declared with an unordered type.
+        self.unordered_vars: Dict[str, str] = {}
+        #: names of locals/members declared float or double.
+        self.float_vars: Set[str] = set()
+        #: function names whose *declaration* (no body) carries PDP_HOT.
+        self.hot_declarations: Set[str] = set()
+        self._scan()
+
+    # ---- scanning -----------------------------------------------------
+
+    def _scan(self) -> None:
+        self._scan_functions()
+        self._scan_classes()
+        self._scan_declarations()
+        self._scan_structs()
+
+    def _match_brace(self, open_idx: int) -> int:
+        """Index just past the '}' matching code_tokens[open_idx]."""
+        depth = 0
+        for i in range(open_idx, len(self.toks)):
+            v = self.toks[i].value
+            if self.toks[i].kind == "punct":
+                if v == "{":
+                    depth += 1
+                elif v == "}":
+                    depth -= 1
+                    if depth == 0:
+                        return i + 1
+        return len(self.toks)
+
+    def _scan_functions(self) -> None:
+        """Find function definitions: `name ( params ) [trailers] {`.
+
+        Handles free functions, qualified out-of-class definitions and
+        inline member functions; constructor initializer lists are
+        skipped over.  Control-flow keywords and lambdas are excluded.
+        """
+        toks = self.toks
+        i = 0
+        n = len(toks)
+        while i < n:
+            t = toks[i]
+            if not (t.kind == "punct" and t.value == "("):
+                i += 1
+                continue
+            # Candidate name: nearest preceding identifier.
+            k = i - 1
+            if k < 0 or toks[k].kind != "id" or toks[k].value in _NOT_CALLS:
+                i += 1
+                continue
+            name = toks[k].value
+            qualified = name
+            if k >= 2 and toks[k - 1].value == "::" and toks[k - 2].kind == "id":
+                qualified = toks[k - 2].value + "::" + name
+            # Find matching ')'.
+            depth = 0
+            j = i
+            while j < n:
+                v = toks[j].value
+                if toks[j].kind == "punct":
+                    if v == "(":
+                        depth += 1
+                    elif v == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                j += 1
+            if j >= n:
+                break
+            # Skip trailers up to '{', ';', or an initializer list.
+            m = j + 1
+            saw_init_list = False
+            while m < n:
+                v = toks[m].value
+                if v == "{":
+                    break
+                if v == ";" or v == ",":
+                    break
+                if v == ":" and not saw_init_list:
+                    # Constructor initializer list: skip to the '{' at
+                    # paren depth 0.
+                    saw_init_list = True
+                    d = 0
+                    while m < n:
+                        w = toks[m].value
+                        if toks[m].kind == "punct":
+                            if w in "([":
+                                d += 1
+                            elif w in ")]":
+                                d -= 1
+                            elif w == "{" and d == 0:
+                                break
+                            elif w == ";" and d == 0:
+                                break
+                        m += 1
+                    break
+                if (toks[m].kind == "id" and v not in _FN_TRAILERS
+                        and not saw_init_list):
+                    # Trailing return type tokens ride behind '->'; any
+                    # other identifier (e.g. a variable name: this was a
+                    # declaration `int x(...)`... ) — accept anyway, the
+                    # '{' test below decides.
+                    pass
+                m += 1
+            if m >= n or toks[m].value != "{":
+                i += 1
+                continue
+            # Reject control statements that slipped through and calls
+            # followed by a block (`} else {` can't match: name check).
+            hot = self._is_hot_marked(k)
+            body_end = self._match_brace(m)
+            fn = FunctionDef(name=name, qualified=qualified, line=t.line,
+                             body_begin=m, body_end=body_end, hot=hot)
+            fn.calls = self._collect_calls(m, body_end)
+            self.functions.append(fn)
+            # Continue scanning *inside* the body too (local lambdas,
+            # nested classes) — cheap and harmless.
+            i = i + 1
+
+        # Hot-marked declarations without bodies (e.g. in-class
+        # declaration of a template member defined elsewhere).
+        for idx, tok in enumerate(toks):
+            if tok.kind == "id" and tok.value == "PDP_HOT":
+                fn_name = self._declared_name_after(idx)
+                if fn_name:
+                    self.hot_declarations.add(fn_name)
+
+    def _is_hot_marked(self, name_idx: int) -> bool:
+        """PDP_HOT anywhere between the previous statement boundary and
+        the function name marks the definition hot."""
+        k = name_idx
+        steps = 0
+        while k >= 0 and steps < 24:
+            v = self.toks[k].value
+            if self.toks[k].kind == "punct" and v in (";", "}", "{"):
+                return False
+            if self.toks[k].kind == "id" and v == "PDP_HOT":
+                return True
+            k -= 1
+            steps += 1
+        return False
+
+    def _declared_name_after(self, hot_idx: int) -> Optional[str]:
+        """Function name of the declaration a PDP_HOT token annotates:
+        the identifier immediately before the next '('."""
+        prev_id = None
+        for i in range(hot_idx + 1, min(hot_idx + 24, len(self.toks))):
+            t = self.toks[i]
+            if t.kind == "punct" and t.value == "(":
+                return prev_id
+            if t.kind == "punct" and t.value in (";", "{", "}"):
+                return None
+            if t.kind == "id" and t.value not in _NOT_CALLS:
+                prev_id = t.value
+        return None
+
+    def _collect_calls(self, begin: int, end: int) -> Set[str]:
+        calls: Set[str] = set()
+        for i in range(begin, end - 1):
+            t = self.toks[i]
+            if (t.kind == "id" and t.value not in _NOT_CALLS
+                    and self.toks[i + 1].kind == "punct"
+                    and self.toks[i + 1].value == "("):
+                calls.add(t.value)
+        return calls
+
+    def _scan_classes(self) -> None:
+        toks = self.toks
+        for i, t in enumerate(toks):
+            if not (t.kind == "id" and t.value in ("class", "struct")):
+                continue
+            if i + 1 >= len(toks) or toks[i + 1].kind != "id":
+                continue
+            name = toks[i + 1].value
+            bases: List[str] = []
+            j = i + 2
+            if j < len(toks) and toks[j].value == "final":
+                j += 1
+            if j < len(toks) and toks[j].value == ":":
+                j += 1
+                depth = 0
+                while j < len(toks):
+                    v = toks[j].value
+                    if toks[j].kind == "punct":
+                        if v == "<":
+                            depth += 1
+                        elif v == ">":
+                            depth -= 1
+                        elif v == "{" and depth <= 0:
+                            break
+                        elif v == ";":
+                            break
+                    elif (toks[j].kind == "id" and depth == 0
+                          and v not in ("public", "private", "protected",
+                                        "virtual", "std", "telemetry",
+                                        "pdp")):
+                        bases.append(v)
+                    j += 1
+            if j < len(toks) and toks[j].value == "{":
+                self.classes.append(ClassDef(name, t.line, bases))
+
+    def _scan_declarations(self) -> None:
+        """Record names declared with unordered or floating types."""
+        toks = self.toks
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            if t.value in ("unordered_map", "unordered_set",
+                           "unordered_multimap", "unordered_multiset"):
+                # Skip the template argument list, then expect the
+                # declared name.
+                j = i + 1
+                if j < len(toks) and toks[j].value == "<":
+                    depth = 0
+                    while j < len(toks):
+                        v = toks[j].value
+                        if v == "<":
+                            depth += 1
+                        elif v == ">":
+                            depth -= 1
+                            if depth == 0:
+                                j += 1
+                                break
+                        elif v == ">>":
+                            depth -= 2
+                            if depth <= 0:
+                                j += 1
+                                break
+                        j += 1
+                if j < len(toks) and toks[j].kind == "id":
+                    self.unordered_vars[toks[j].value] = t.value
+            elif t.value in ("double", "float"):
+                j = i + 1
+                if (j < len(toks) and toks[j].kind == "id"
+                        and j + 1 < len(toks)
+                        and toks[j + 1].value in ("=", ";", "{", ",")):
+                    self.float_vars.add(toks[j].value)
+
+    def _scan_structs(self) -> None:
+        """Compute conservative layouts of plain-field structs."""
+        toks = self.toks
+        for i, t in enumerate(toks):
+            if not (t.kind == "id" and t.value == "struct"):
+                continue
+            if i + 1 >= len(toks) or toks[i + 1].kind != "id":
+                continue
+            name = toks[i + 1].value
+            j = i + 2
+            # alignas(...) / final / base list make the layout
+            # unpredictable for this naive model: mark unknown.
+            simple = True
+            while j < len(toks) and toks[j].value != "{":
+                if toks[j].value == ";":
+                    break
+                simple = False
+                j += 1
+            if j >= len(toks) or toks[j].value != "{":
+                continue
+            end = self._match_brace(j)
+            size_align = self._struct_size(j + 1, end - 1) if simple else None
+            self.structs[name] = StructLayout(name, t.line, size_align)
+
+    def _struct_size(self, begin: int,
+                     end: int) -> Optional[Tuple[int, int]]:
+        toks = self.toks
+        size = 0
+        align = 1
+        i = begin
+        while i < end:
+            t = toks[i]
+            if t.kind != "id":
+                i += 1
+                continue
+            if t.value in ("struct", "class", "union", "enum"):
+                return None  # nested definition: give up
+            if t.value in ("static", "constexpr", "using", "typedef"):
+                # skip to ';'
+                while i < end and toks[i].value != ";":
+                    i += 1
+                i += 1
+                continue
+            type_size = _PRIMITIVE_SIZES.get(t.value)
+            if type_size is None:
+                if t.value == "std":
+                    i += 1
+                    continue
+                # Unknown type name: if it is followed by an identifier
+                # then ';' this is a field of unknown type.
+                if (i + 1 < end and toks[i + 1].kind == "id"
+                        and i + 2 < end and toks[i + 2].value in (";", "[")):
+                    return None
+                i += 1
+                continue
+            fsize, falign = type_size
+            # `unsigned long` etc: collapse adjacent primitive words.
+            j = i + 1
+            while j < end and toks[j].kind == "id" \
+                    and toks[j].value in _PRIMITIVE_SIZES:
+                fsize, falign = _PRIMITIVE_SIZES[toks[j].value]
+                j += 1
+            # Field name(s).
+            while j < end and toks[j].value != ";":
+                if toks[j].value == "[":
+                    count_tok = toks[j + 1] if j + 1 < end else None
+                    if (count_tok is None or count_tok.kind != "num"
+                            or count_tok.int_value is None):
+                        return None  # symbolic extent: give up
+                    fsize_total = fsize * count_tok.int_value
+                    size = _align_to(size, falign) + fsize_total
+                    align = max(align, falign)
+                    while j < end and toks[j].value != "]":
+                        j += 1
+                    j += 1
+                    fsize_total = 0
+                    fsize = 0  # consumed
+                elif toks[j].kind == "id" and fsize:
+                    size = _align_to(size, falign) + fsize
+                    align = max(align, falign)
+                    fsize_consumed = True
+                    # Peek: array suffix handled above on the next
+                    # iteration — but the size was already added.  Undo
+                    # if '[' follows.
+                    if j + 1 < end and toks[j + 1].value == "[":
+                        size -= fsize
+                    del fsize_consumed
+                    j += 1
+                    continue
+                j += 1
+            i = j + 1
+        return (_align_to(size, align) if size else max(size, 1), align)
+
+
+def _align_to(offset: int, align: int) -> int:
+    rem = offset % align
+    return offset if rem == 0 else offset + (align - rem)

@@ -1,0 +1,17 @@
+// pdplint fixture: an allow() with no reason is itself a bare-allow
+// finding, and the violation it tried to waive is still reported.
+#include <ctime>
+
+namespace fix
+{
+
+long
+unjustified()
+{
+    // EXPECT+1: bare-allow
+    // pdplint: allow(wall-clock)
+    long secs = time(nullptr);                      // EXPECT: wall-clock
+    return secs;
+}
+
+} // namespace fix

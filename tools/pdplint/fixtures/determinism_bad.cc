@@ -1,0 +1,64 @@
+// pdplint fixture: every determinism check has a positive case here.
+// `// EXPECT: <check>` marks the line a finding must land on.
+#include <unordered_map>
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace fix
+{
+
+struct Profile
+{
+    std::unordered_map<unsigned long, unsigned long> lastSeen;
+};
+
+unsigned long
+seedFromEntropy()
+{
+    std::random_device rd;              // EXPECT: rand
+    unsigned long base = rand();        // EXPECT: rand
+    srand(42);                          // EXPECT: rand
+    return base + rd();
+}
+
+double
+stampNow()
+{
+    auto t0 = std::chrono::steady_clock::now();     // EXPECT: wall-clock
+    long secs = time(nullptr);                      // EXPECT: wall-clock
+    long ticks = clock();                           // EXPECT: wall-clock
+    return static_cast<double>(secs + ticks) +
+           std::chrono::duration<double>(
+               std::chrono::system_clock::now()     // EXPECT: wall-clock
+                   .time_since_epoch())
+               .count();
+}
+
+double
+emitTable(const Profile &profile)
+{
+    double sum = 0;
+    for (const auto &kv : profile.lastSeen) {       // EXPECT: unordered-iter
+        sum += static_cast<double>(kv.second);      // EXPECT: float-order
+    }
+    for (auto it = profile.lastSeen.begin();        // EXPECT: unordered-iter
+         it != profile.lastSeen.end(); ++it)
+        sum += 1.0;
+    return sum;
+}
+
+bool
+orderByAddress(const int *a, const int *b)
+{
+    return reinterpret_cast<uintptr_t>(a) <         // EXPECT: pointer-order
+           reinterpret_cast<uintptr_t>(b);          // EXPECT: pointer-order
+}
+
+unsigned long
+hashPointer(const int *p)
+{
+    return std::hash<const int *>{}(p);             // EXPECT: pointer-order
+}
+
+} // namespace fix

@@ -1,0 +1,52 @@
+// pdplint fixture: constructs that must NOT be flagged — banned names
+// inside comments, strings and raw strings, deterministic alternatives,
+// and properly annotated waivers.  Expected findings: none.
+#include <map>
+#include <vector>
+
+namespace fix
+{
+
+// A comment mentioning std::rand(), random_device and time() is fine.
+/* So is steady_clock::now() inside a block comment. */
+
+const char *kDoc = "call rand() then time(nullptr) at runtime";
+const char *kRaw = R"(clock() and srand() and "quotes)";
+
+struct Rng
+{
+    unsigned long state;
+    // xoshiro-style deterministic generator: no banned sources.
+    unsigned long next() { return state = state * 6364136223846793005UL; }
+};
+
+double
+emitSorted(const std::map<unsigned long, unsigned long> &table)
+{
+    // std::map iterates in key order: deterministic, not flagged.
+    double sum = 0;
+    for (const auto &kv : table)
+        sum += static_cast<double>(kv.second);
+    return sum;
+}
+
+long
+memberNamedTime(Stopwatch &w, Rng &rng)
+{
+    // Member functions that happen to be named time()/clock() are not
+    // wall-clock reads (fixtures are lexed, never compiled, so the
+    // Stopwatch type needs no definition here).
+    return w.time() + w.clock() + static_cast<long>(rng.next());
+}
+
+long
+waived()
+{
+    // pdplint: allow(wall-clock) fixture: documented waiver applies to
+    // the next code line.
+    long secs = time(nullptr);
+    long ticks = clock(); // pdplint: allow(wall-clock) trailing waiver
+    return secs + ticks;
+}
+
+} // namespace fix

@@ -1,0 +1,76 @@
+// pdplint fixture: hot-path purity violations, including transitive
+// propagation to in-TU callees and PDP_HOT on a declaration marking
+// the out-of-line definition.
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fix
+{
+
+struct Table
+{
+    std::vector<int> rows;
+
+    PDP_HOT void touch(int row);
+    void refill();
+};
+
+PDP_HOT int
+lookup(Table &t, int key)
+{
+    int *shadow = new int[4];                       // EXPECT: hot-path
+    delete[] shadow;                                // EXPECT: hot-path
+    t.rows.push_back(key);                          // EXPECT: hot-path
+    std::string tag = std::to_string(key);          // EXPECT: hot-path
+    std::printf("%s\n", tag.c_str());               // EXPECT: hot-path
+    return key;
+}
+
+PDP_HOT int
+guarded(std::mutex &m, int key)
+{
+    std::lock_guard<std::mutex> g(m);               // EXPECT: hot-path
+    if (key < 0)
+        throw key;                                  // EXPECT: hot-path
+    return key;
+}
+
+// Transitive: helper() is cold by itself but reached from a hot root.
+static void
+helper(Table &t)
+{
+    std::vector<int> tmp(32);                       // EXPECT: hot-path
+    t.rows.swap(tmp);
+}
+
+PDP_HOT void
+hotRoot(Table &t)
+{
+    helper(t);
+}
+
+// PDP_HOT on the in-class declaration above marks this out-of-line
+// definition hot as well.
+void
+Table::touch(int row)
+{
+    rows.resize(static_cast<size_t>(row) + 1);      // EXPECT: hot-path
+}
+
+struct Base
+{
+    virtual ~Base() = default;
+};
+struct Derived : Base
+{
+};
+
+PDP_HOT Derived *
+downcast(Base *b)
+{
+    return dynamic_cast<Derived *>(b);              // EXPECT: hot-path
+}
+
+} // namespace fix

@@ -1,0 +1,60 @@
+// pdplint fixture: hot-path negatives — allocation in cold code is
+// fine, clean hot bodies are fine, and documented waivers are honored.
+// Expected findings: none.
+#include <cstdio>
+#include <vector>
+
+namespace fix
+{
+
+struct Table
+{
+    std::vector<int> rows;
+};
+
+// Cold function: allocation, growth and I/O are all permitted.
+void
+rebuild(Table &t)
+{
+    t.rows.clear();
+    t.rows.resize(1024);
+    int *p = new int[8];
+    delete[] p;
+    std::printf("rebuilt\n");
+}
+
+// Hot but pure: index arithmetic and in-place writes only.
+PDP_HOT int
+probe(Table &t, int key)
+{
+    const size_t mask = t.rows.size() - 1;
+    size_t slot = static_cast<size_t>(key) & mask;
+    t.rows[slot] = key;
+    return static_cast<int>(slot);
+}
+
+// refill() is called from cold code only, so its allocation is fine.
+void
+refill(Table &t)
+{
+    t.rows.assign(64, 0);
+}
+
+void
+coldCaller(Table &t)
+{
+    refill(t);
+}
+
+PDP_HOT int
+edgeCase(Table &t, int key)
+{
+    if (key < 0) {
+        // pdplint: allow(hot-path) cold error exit: unreachable when
+        // the caller validates key, kept for defense in depth.
+        throw key;
+    }
+    return probe(t, key);
+}
+
+} // namespace fix

@@ -1,0 +1,35 @@
+// pdplint fixture: scratch-row contract violations — a policy class
+// with no PDP_SCRATCH_LAYOUT, a declared layout that overflows the
+// 16-byte row, and raw offset arithmetic past the row end.
+#include <cstdint>
+
+namespace fix
+{
+
+class ReplacementPolicy
+{
+};
+
+class BadPolicy : public ReplacementPolicy          // EXPECT: scratch-layout
+{
+};
+
+struct FatScratch
+{
+    uint64_t lastHit;
+    uint64_t rank;
+    uint8_t dead;
+};
+
+PDP_SCRATCH_LAYOUT(CoveredPolicy, FatScratch);      // EXPECT: scratch-overflow
+
+void
+pokeRow(uint8_t *scratch)
+{
+    scratch[16] = 1;                                // EXPECT: scratch-offset
+    uint8_t *past = scratch + 24;                   // EXPECT: scratch-offset
+    past[0] = 0;
+    scratch[15] = 0;
+}
+
+} // namespace fix

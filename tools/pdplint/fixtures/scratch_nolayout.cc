@@ -1,0 +1,18 @@
+// pdplint fixture: using the cache's scratch row without declaring a
+// layout in this file's header/source pair is a scratch-layout
+// finding.
+#include <cstdint>
+
+namespace fix
+{
+
+struct Cache;
+
+void
+stealRow(Cache &cache)
+{
+    uint8_t *row = cache.policyScratchBase();       // EXPECT: scratch-layout
+    row[0] = 1;
+}
+
+} // namespace fix

@@ -1,0 +1,32 @@
+// pdplint fixture: scratch-row negatives — a policy with a fitting
+// layout declaration and in-bounds raw indexing.  Expected findings:
+// none.
+#include <cstdint>
+
+namespace fix
+{
+
+class ReplacementPolicy
+{
+};
+
+class GoodPolicy : public ReplacementPolicy
+{
+};
+
+struct RankRow
+{
+    uint8_t rank[16];
+};
+
+PDP_SCRATCH_LAYOUT(GoodPolicy, RankRow);
+
+void
+writeRow(uint8_t *scratch)
+{
+    for (int w = 0; w < 16; ++w)
+        scratch[w] = static_cast<uint8_t>(w);
+    scratch[15] = 0;
+}
+
+} // namespace fix

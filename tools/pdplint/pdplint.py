@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""pdplint — domain-specific static analysis for the PDP simulator.
+
+Enforces the three contract families the repo's regression story relies
+on (see DESIGN.md "Enforced contracts"): deterministic output,
+allocation-free PDP_HOT paths, and 16-byte scratch-row layouts declared
+via PDP_SCRATCH_LAYOUT.
+
+Usage:
+  tools/pdplint/pdplint.py [paths...] [--baseline FILE] [--json]
+                           [--write-baseline FILE] [--list-checks]
+
+Paths may be files or directories (default: src, relative to the repo
+root).  Exit status is 1 when any non-baselined, non-allowed finding
+remains, 0 otherwise.
+
+Two escape hatches:
+  * `// pdplint: allow(<check>[,<check>]) reason` waives a finding on
+    its own line (trailing comment) or the next line (standalone
+    comment).  The reason is mandatory.
+  * the baseline file grandfathers existing findings; entries are keyed
+    on (file, check, source-line text) so they survive line drift.
+    Regenerate with --write-baseline after auditing new entries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from cpplex import LexError, lex_file  # noqa: E402
+from cppmodel import FileModel  # noqa: E402
+import checks  # noqa: E402
+
+SOURCE_EXTENSIONS = (".h", ".hpp", ".hh", ".cc", ".cpp", ".cxx")
+
+
+def repo_root() -> str:
+    return os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+
+
+def discover(paths: List[str], root: str) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        full = path if os.path.isabs(path) else os.path.join(root, path)
+        if os.path.isfile(full):
+            files.append(full)
+        elif os.path.isdir(full):
+            for dirpath, _dirs, names in os.walk(full):
+                for name in names:
+                    if name.endswith(SOURCE_EXTENSIONS):
+                        files.append(os.path.join(dirpath, name))
+        else:
+            print(f"pdplint: no such path: {path}", file=sys.stderr)
+            sys.exit(2)
+    return sorted(set(files))
+
+
+def relativize(path: str, root: str) -> str:
+    try:
+        rel = os.path.relpath(path, root)
+    except ValueError:  # pragma: no cover - cross-drive on Windows
+        return path
+    return path if rel.startswith("..") else rel
+
+
+def run(files: List[str], root: str) -> List[checks.Finding]:
+    """Lex + model every file, then run per-file and project checks."""
+    project = checks.Project()
+    models = []
+    findings: List[checks.Finding] = []
+    for path in files:
+        rel = relativize(path, root)
+        try:
+            lf = lex_file(path)
+        except LexError as err:
+            findings.append(checks.Finding(rel, 0, "lex-error", str(err)))
+            continue
+        lf.path = rel
+        model = FileModel(lf)
+        models.append(model)
+        project.add(model)
+    for model in models:
+        for check_fn in checks.FILE_CHECKS:
+            findings.extend(check_fn(model, project))
+    findings.extend(checks.check_scratch_project(project))
+    findings.sort(key=lambda f: (f.file, f.line, f.check))
+    return findings
+
+
+def load_baseline(path: str) -> Dict[tuple, dict]:
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    entries = {}
+    for entry in data.get("findings", []):
+        key = (entry["file"], entry["check"], entry.get("context", ""))
+        entries[key] = entry
+    return entries
+
+
+def write_baseline(path: str, findings: List[checks.Finding]) -> None:
+    data = {
+        "comment": "pdplint baseline: grandfathered findings, keyed on "
+                   "(file, check, source-line context). Audit before "
+                   "regenerating with --write-baseline.",
+        "findings": [
+            {"file": f.file, "check": f.check, "context": f.context,
+             "message": f.message}
+            for f in findings
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pdplint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to lint "
+                             "(default: src)")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="JSON baseline of grandfathered findings")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="write current findings as the new baseline "
+                             "and exit 0")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSON on stdout")
+    parser.add_argument("--root", metavar="DIR", default=None,
+                        help="repo root for path resolution "
+                             "(default: two levels above this script)")
+    parser.add_argument("--list-checks", action="store_true",
+                        help="list check names and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for name in checks.ALL_CHECKS:
+            print(name)
+        return 0
+
+    root = os.path.abspath(args.root) if args.root else repo_root()
+    paths = args.paths or ["src"]
+    files = discover(paths, root)
+    if not files:
+        print("pdplint: no source files found", file=sys.stderr)
+        return 2
+
+    findings = run(files, root)
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(f"pdplint: wrote {len(findings)} baseline entries to "
+              f"{args.write_baseline}")
+        return 0
+
+    baseline: Dict[tuple, dict] = {}
+    if args.baseline:
+        baseline_path = args.baseline if os.path.isabs(args.baseline) \
+            else os.path.join(root, args.baseline)
+        baseline = load_baseline(baseline_path)
+
+    fresh = [f for f in findings if f.key() not in baseline]
+    grandfathered = len(findings) - len(fresh)
+
+    if args.json:
+        print(json.dumps({
+            "version": 1,
+            "files_scanned": len(files),
+            "grandfathered": grandfathered,
+            "findings": [
+                {"file": f.file, "line": f.line, "check": f.check,
+                 "message": f.message, "context": f.context}
+                for f in fresh
+            ],
+        }, indent=2))
+    else:
+        for f in fresh:
+            print(f"{f.file}:{f.line}: [{f.check}] {f.message}")
+            if f.context:
+                print(f"    {f.context}")
+        summary = (f"pdplint: {len(fresh)} finding(s) in {len(files)} "
+                   f"file(s)")
+        if grandfathered:
+            summary += f" ({grandfathered} baselined)"
+        print(summary)
+
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
