@@ -1,0 +1,82 @@
+#include "cache/shard_view.h"
+
+#include <bit>
+
+#include "check/check.h"
+
+namespace pdp
+{
+
+ShardPlan
+ShardPlan::make(const CacheConfig &llc, unsigned requested)
+{
+    PDP_CHECK(llc.valid(), "shard plan over invalid cache config \"",
+              llc.label, "\"");
+    const uint32_t sets = llc.numSets();
+    uint32_t shards = std::bit_floor(std::max(1u, requested));
+    shards = std::min(shards, sets);
+
+    ShardPlan plan;
+    plan.shards = shards;
+    const uint32_t localSets = sets / shards;
+    plan.localSetBits =
+        static_cast<uint32_t>(std::countr_zero(localSets));
+    plan.localSetMask = localSets - 1;
+    return plan;
+}
+
+CacheConfig
+ShardPlan::shardConfig(const CacheConfig &llc, uint32_t shard) const
+{
+    CacheConfig cfg = llc;
+    cfg.sizeBytes = llc.sizeBytes / shards;
+    cfg.label = llc.label + ".shard" + std::to_string(shard);
+    return cfg;
+}
+
+ShardedLlc::ShardedLlc(const CacheConfig &llc, unsigned shards,
+                       const PolicyFactory &makePolicy)
+    : plan_(ShardPlan::make(llc, shards))
+{
+    fullSetMask_ = llc.numSets() - 1;
+    shards_.reserve(plan_.shards);
+    for (uint32_t s = 0; s < plan_.shards; ++s) {
+        auto policy = makePolicy();
+        PDP_CHECK(policy != nullptr, "shard policy factory returned null");
+        PDP_CHECK(plan_.shards == 1 || policy->setLocal(),
+                  "policy \"", policy->name(),
+                  "\" is not set-local; the sharded view would break its "
+                  "global state (use the sequential driver)");
+        shards_.push_back(std::make_unique<Cache>(
+            plan_.shardConfig(llc, s), std::move(policy)));
+    }
+    PDP_CHECK(shards_[0]->numSets() == plan_.localSetMask + 1,
+              "shard geometry drifted from the plan");
+}
+
+AccessOutcome
+ShardedLlc::access(AccessContext ctx)
+{
+    const uint32_t set = fullSetIndex(ctx.lineAddr);
+    Cache &shard = *shards_[plan_.shardOf(set)];
+    ctx.set = plan_.localSet(set);
+    return shard.access(ctx);
+}
+
+CacheStats
+ShardedLlc::mergedStats() const
+{
+    CacheStats merged;
+    for (const auto &shard : shards_)
+        merged.merge(shard->stats());
+    return merged;
+}
+
+void
+ShardedLlc::resetStats()
+{
+    for (auto &shard : shards_)
+        shard->resetStats();
+}
+
+} // namespace pdp

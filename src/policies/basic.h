@@ -8,6 +8,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <typeinfo>
 #include <vector>
 
 #include "check/contracts.h"
@@ -55,6 +56,16 @@ class LruPolicy : public ReplacementPolicy
     void onInsert(const AccessContext &ctx, int way) override;
 
     void auditSet(uint32_t set, InvariantReporter &reporter) const override;
+
+    /** Exact LruPolicy only: the rank permutation is pure per-set
+     *  state, but subclasses (DIP, SDP, UCP, ...) add global state —
+     *  PSEL counters, BIP throttles, per-thread targets — on top of
+     *  the ranks and must not inherit the claim. */
+    bool
+    setLocal() const override
+    {
+        return typeid(*this) == typeid(LruPolicy);
+    }
 
     /** Make `way` the MRU line of its set (rank 0). */
     PDP_HOT void

@@ -35,6 +35,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "sim/multi_core_sim.h"
 #include "sim/single_core_sim.h"
@@ -81,6 +82,13 @@ struct JobOutcome
     std::map<std::string, double> metrics;
 };
 
+/** One keyed result out of a multi-result job (Job::runMany). */
+struct KeyedOutcome
+{
+    std::string key;
+    JobOutcome outcome;
+};
+
 /** Terminal state of one job. */
 enum class JobStatus
 {
@@ -120,6 +128,14 @@ struct Job
     double timeoutSeconds = 0.0;
     /** The work.  Must follow the one-hierarchy-per-job ownership rule. */
     std::function<JobOutcome(const JobContext &)> run;
+    /** Multi-result alternative to `run`: one schedulable unit producing
+     *  several keyed outcomes (e.g. a lockstep sweep amortizing one trace
+     *  decode over a whole policy grid, sim/lockstep_sweep.h).  Exactly
+     *  one of run/runMany may be set.  Each KeyedOutcome becomes its own
+     *  JobRecord — same seed, same group wall-clock — in returned order,
+     *  so downstream consumers (sinks, reports) can't tell a fanned-out
+     *  job from the equivalent independent jobs. */
+    std::function<std::vector<KeyedOutcome>(const JobContext &)> runMany;
 };
 
 /** Outcome + bookkeeping of one executed job. */

@@ -393,17 +393,26 @@ class Parser
             return std::nullopt;
         }
         if (integral) {
+            // An integer token that overflows its 64-bit type must NOT
+            // silently fall through to strtod: doubles only hold 53
+            // mantissa bits, so e.g. a seed near 2^64 would round to a
+            // different value and the corruption would go unnoticed.
             errno = 0;
             if (token[0] == '-') {
                 const long long v = std::strtoll(token.c_str(), nullptr, 10);
-                if (errno == 0)
-                    return Json(static_cast<int64_t>(v));
-            } else {
-                const unsigned long long v =
-                    std::strtoull(token.c_str(), nullptr, 10);
-                if (errno == 0)
-                    return Json(static_cast<uint64_t>(v));
+                if (errno == ERANGE) {
+                    fail("integer out of range");
+                    return std::nullopt;
+                }
+                return Json(static_cast<int64_t>(v));
             }
+            const unsigned long long v =
+                std::strtoull(token.c_str(), nullptr, 10);
+            if (errno == ERANGE) {
+                fail("integer out of range");
+                return std::nullopt;
+            }
+            return Json(static_cast<uint64_t>(v));
         }
         char *end = nullptr;
         const double d = std::strtod(token.c_str(), &end);

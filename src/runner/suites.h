@@ -23,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "policies/replacement_policy.h"
@@ -56,6 +57,15 @@ struct SuiteOptions
     /** Also derive structured events and write TRACE_<suite>.jsonl
      *  (--trace; implies telemetry). */
     bool trace = false;
+    /** LLC set-shards per single-core job (--shards; rounded down to a
+     *  power of two by the sim layer).  Semantics-preserving: policies
+     *  that cannot shard fall back to the sequential driver. */
+    unsigned shards = 1;
+    /** Group each benchmark's sweep cells into one lockstep job over a
+     *  single trace decode (--lockstep; sim/lockstep_sweep.h).  Records
+     *  are byte-identical to the independent grid.  Ignored when
+     *  telemetry/trace is on (those observe global order). */
+    bool lockstep = false;
 };
 
 /** Key-indexed view over executed records for the reduce step. */
@@ -121,6 +131,20 @@ Job singleCoreJob(
 /** A multi-core workload × policy job. */
 Job multiCoreJob(std::string key, WorkloadSpec workload,
                  std::string policySpec, const MultiCoreConfig &config);
+
+/**
+ * One schedulable lockstep sweep: every (key, policy factory) cell of
+ * `cells` simulated over ONE decode of `benchmark`
+ * (sim/lockstep_sweep.h), producing one keyed record per cell in cell
+ * order — byte-identical to the equivalent independent singleCoreJobs.
+ * `threads` caps the intra-job worker fan-out over cells.
+ */
+Job lockstepSweepJob(
+    std::string key, std::string benchmark,
+    std::vector<std::pair<
+        std::string, std::function<std::unique_ptr<ReplacementPolicy>()>>>
+        cells,
+    const SimConfig &config, unsigned threads = 1);
 
 } // namespace runner
 } // namespace pdp

@@ -24,34 +24,62 @@ ThreadPoolExecutor::ThreadPoolExecutor(ExecutorOptions options)
     }
 }
 
-JobRecord
+std::vector<JobRecord>
 ThreadPoolExecutor::execute(const Job &job, unsigned worker) const
 {
-    JobRecord record;
-    record.key = job.key;
-    record.seed = job.seed;
-
     JobContext ctx;
     ctx.seed = job.seed;
     ctx.worker = worker;
+
+    std::vector<JobRecord> group;
 
     // pdplint: allow(wall-clock) job duration feeds the soft-timeout
     // check and the volatile `seconds` field only; ResultsSink omits
     // it from deterministic dumps.
     const auto start = std::chrono::steady_clock::now();
     try {
-        PDP_CHECK(job.run != nullptr, "job \"", job.key,
-                  "\" has no run callable");
-        record.outcome = job.run(ctx);
-        record.status = JobStatus::Ok;
+        PDP_CHECK((job.run != nullptr) + (job.runMany != nullptr) == 1,
+                  "job \"", job.key,
+                  "\" must set exactly one of run / runMany");
+        if (job.run) {
+            JobRecord record;
+            record.key = job.key;
+            record.seed = job.seed;
+            record.outcome = job.run(ctx);
+            record.status = JobStatus::Ok;
+            group.push_back(std::move(record));
+        } else {
+            std::vector<KeyedOutcome> outcomes = job.runMany(ctx);
+            PDP_CHECK(!outcomes.empty(), "job \"", job.key,
+                      "\" returned no outcomes");
+            group.reserve(outcomes.size());
+            for (KeyedOutcome &keyed : outcomes) {
+                JobRecord record;
+                record.key = std::move(keyed.key);
+                record.seed = job.seed;
+                record.outcome = std::move(keyed.outcome);
+                record.status = JobStatus::Ok;
+                group.push_back(std::move(record));
+            }
+        }
     } catch (const std::exception &e) {
+        group.clear();
+        JobRecord record;
+        record.key = job.key;
+        record.seed = job.seed;
         record.status = JobStatus::Failed;
         record.error = e.what();
+        group.push_back(std::move(record));
     } catch (...) {
+        group.clear();
+        JobRecord record;
+        record.key = job.key;
+        record.seed = job.seed;
         record.status = JobStatus::Failed;
         record.error = "non-standard exception";
+        group.push_back(std::move(record));
     }
-    record.seconds =
+    const double seconds =
         // pdplint: allow(wall-clock) see above: volatile timing only.
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -60,24 +88,29 @@ ThreadPoolExecutor::execute(const Job &job, unsigned worker) const
     const double timeout = job.timeoutSeconds > 0
         ? job.timeoutSeconds
         : options_.defaultTimeoutSeconds;
-    if (record.status == JobStatus::Ok && timeout > 0 &&
-        record.seconds > timeout) {
-        record.status = JobStatus::TimedOut;
-        std::ostringstream os;
-        os << "soft timeout: ran " << record.seconds << "s, budget "
-           << timeout << "s";
-        record.error = os.str();
+    for (JobRecord &record : group) {
+        record.seconds = seconds;
+        if (record.status == JobStatus::Ok && timeout > 0 &&
+            seconds > timeout) {
+            record.status = JobStatus::TimedOut;
+            std::ostringstream os;
+            os << "soft timeout: ran " << seconds << "s, budget " << timeout
+               << "s";
+            record.error = os.str();
+        }
     }
-    return record;
+    return group;
 }
 
 std::vector<JobRecord>
 ThreadPoolExecutor::run(const std::vector<Job> &jobs)
 {
-    std::vector<JobRecord> records(jobs.size());
     if (jobs.empty())
-        return records;
+        return {};
 
+    // Per-input-index record groups, flattened in input order below so a
+    // runMany job's expansion lands exactly where its jobs-list slot is.
+    std::vector<std::vector<JobRecord>> groups(jobs.size());
     std::atomic<size_t> next{0};
     std::atomic<unsigned> busy{0};
 
@@ -87,12 +120,15 @@ ThreadPoolExecutor::run(const std::vector<Job> &jobs)
             if (index >= jobs.size())
                 return;
             busy.fetch_add(1);
-            records[index] = execute(jobs[index], id);
+            groups[index] = execute(jobs[index], id);
             const unsigned stillBusy = busy.fetch_sub(1) - 1;
             if (options_.reporter)
-                options_.reporter->jobFinished(records[index], stillBusy);
-            if (options_.onComplete)
-                options_.onComplete(records[index]);
+                options_.reporter->jobFinished(groups[index].front(),
+                                               stillBusy);
+            if (options_.onComplete) {
+                for (const JobRecord &record : groups[index])
+                    options_.onComplete(record);
+            }
         }
     };
 
@@ -100,15 +136,20 @@ ThreadPoolExecutor::run(const std::vector<Job> &jobs)
         std::min<size_t>(workers_, jobs.size()));
     if (fanOut <= 1) {
         worker(0);
-        return records;
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(fanOut);
+        for (unsigned id = 0; id < fanOut; ++id)
+            threads.emplace_back(worker, id);
+        for (std::thread &t : threads)
+            t.join();
     }
 
-    std::vector<std::thread> threads;
-    threads.reserve(fanOut);
-    for (unsigned id = 0; id < fanOut; ++id)
-        threads.emplace_back(worker, id);
-    for (std::thread &t : threads)
-        t.join();
+    std::vector<JobRecord> records;
+    records.reserve(jobs.size());
+    for (std::vector<JobRecord> &group : groups)
+        for (JobRecord &record : group)
+            records.push_back(std::move(record));
     return records;
 }
 

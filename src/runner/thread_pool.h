@@ -60,15 +60,19 @@ class ThreadPoolExecutor
     unsigned workers() const { return workers_; }
 
     /**
-     * Run every job and return one record per job, in input order.
-     * With workers() == 1 (or a single job) execution is inline on the
+     * Run every job and return its records in the jobs' input order.
+     * Plain jobs contribute one record; runMany jobs contribute one per
+     * KeyedOutcome (in the order the job returned them), so the flat
+     * sequence is still a pure function of the job list.  With
+     * workers() == 1 (or a single job) execution is inline on the
      * calling thread — handy under a debugger and the baseline for the
      * determinism tests.
      */
     std::vector<JobRecord> run(const std::vector<Job> &jobs);
 
   private:
-    JobRecord execute(const Job &job, unsigned worker) const;
+    /** Execute one job; always returns at least one record. */
+    std::vector<JobRecord> execute(const Job &job, unsigned worker) const;
 
     ExecutorOptions options_;
     unsigned workers_ = 1;

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Shared front-end of the parallel single-core drivers: the sequential
+ * generator + L2 walk, captured chunk by chunk as a replayable LLC op
+ * stream.
+ *
+ * The load-bearing observation (DESIGN.md "Set-sharded execution &
+ * lockstep sweeps"): with no prefetcher attached, the LLC's input
+ * stream is fully determined by the generator and the L2 walk — the L2
+ * is always plain LRU, so nothing the LLC decides ever feeds back into
+ * which ops reach it.  That lets one sequential front-end decode the
+ * trace and fill the L2 once, emit the LLC ops (demand accesses plus
+ * dirty-L2-victim writebacks, in hierarchy order) into a bounded chunk
+ * buffer, and hand the chunk to workers:
+ *
+ *  - the set-sharded driver routes each op to the shard cache owning
+ *    its set (sharded_sim.cc);
+ *  - the lockstep sweep replays the same chunk against N per-config
+ *    LLCs (lockstep_sweep.cc).
+ *
+ * The per-access level slots double as the timing-model input: the
+ * front-end stamps L2 hits, the LLC walk stamps hit/miss for demand
+ * ops, and the coordinator replays TimingModel sequentially over the
+ * (instr gap, level) pairs — the exact per-access sequence the
+ * sequential driver would have fed it.
+ */
+
+#ifndef PDP_SIM_LLC_STREAM_H
+#define PDP_SIM_LLC_STREAM_H
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "cache/shard_view.h"
+#include "trace/generator.h"
+
+namespace pdp
+{
+namespace detail
+{
+
+/** Per-access hierarchy level, stored as a byte in the chunk's level
+ *  slots (kLevelLlc/kLevelMemory are written by the LLC walk). */
+constexpr uint8_t kLevelL2 = 0;
+constexpr uint8_t kLevelLlc = 1;
+constexpr uint8_t kLevelMemory = 2;
+
+inline HitLevel
+toHitLevel(uint8_t level)
+{
+    return level == kLevelL2 ? HitLevel::L2
+        : level == kLevelLlc ? HitLevel::Llc
+                             : HitLevel::Memory;
+}
+
+/** One captured LLC access (demand or L2-victim writeback). */
+struct LlcOp
+{
+    uint64_t lineAddr = 0;
+    uint64_t pc = 0;
+    /** Chunk-local index of the demand access this op answers; -1 for
+     *  writebacks (which have no timing-level slot). */
+    int32_t accessIdx = -1;
+    /** Set index under the consumer's plan: the shard-local set for the
+     *  sharded driver, the full set for the 1-shard (lockstep) plan. */
+    uint32_t set = 0;
+    /** Owning shard under the plan (always 0 for the 1-shard plan). */
+    uint8_t shard = 0;
+    uint8_t threadId = 0;
+    bool isWrite = false;
+    bool isWriteback = false;
+};
+
+/** Accesses captured per chunk.  Big enough to amortize the per-chunk
+ *  thread fan-out, small enough that the chunk's gap/level/op arrays
+ *  stay resident in the host's caches. */
+constexpr size_t kStreamChunk = size_t{1} << 15;
+
+/** One run of consecutive L2 hits preceding a demand op: summed
+ *  instruction gaps plus the hit count.  L2 hits are lane-invariant
+ *  (every sweep config sees the same L2), so per-lane timing replay
+ *  folds each run into one TimingModel::onL2Hits call instead of
+ *  walking every access — O(LLC ops) per lane, not O(accesses). */
+struct TimingSegment
+{
+    uint64_t gapSum = 0;
+    uint32_t count = 0;
+};
+
+/**
+ * The sequential front-end: generator + per-thread L2s, emitting chunk
+ * buffers of LLC ops.  Owns all mutable front-end state; the consumer
+ * owns the LLC(s).
+ */
+class LlcStreamFrontEnd
+{
+  public:
+    LlcStreamFrontEnd(const HierarchyConfig &config, const ShardPlan &plan)
+        : plan_(plan),
+          fullSetMask_(config.llc.numSets() - 1)
+    {
+        for (unsigned t = 0; t < config.numThreads; ++t) {
+            CacheConfig l2cfg = config.l2;
+            l2cfg.label = "L2." + std::to_string(t);
+            l2s_.push_back(std::make_unique<Cache>(
+                l2cfg, std::make_unique<LruPolicy>()));
+        }
+        gaps_.resize(kStreamChunk);
+        levels_.resize(kStreamChunk);
+        // Worst case two ops per access (demand + dirty L2 victim).
+        ops_.reserve(2 * kStreamChunk);
+        segments_.reserve(kStreamChunk);
+    }
+
+    /**
+     * Decode and L2-filter the next min(budget, kStreamChunk) accesses
+     * into the chunk buffers; returns how many were consumed.  Level
+     * slots of L2 misses are pre-stamped kLevelMemory and overwritten
+     * by whichever consumer processes the matching demand op.
+     */
+    size_t
+    fill(AccessGenerator &gen, uint64_t budget)
+    {
+        const size_t n = static_cast<size_t>(
+            std::min<uint64_t>(budget, kStreamChunk));
+        ops_.clear();
+        segments_.clear();
+        TimingSegment run;
+        AccessContext ctx;
+        for (size_t i = 0; i < n; ++i) {
+            const Access access = gen.next();
+            gaps_[i] = access.instrGap;
+
+            Cache &l2 = *l2s_[access.threadId < l2s_.size()
+                                  ? access.threadId
+                                  : 0];
+            ctx.lineAddr = access.lineAddr;
+            ctx.pc = access.pc;
+            ctx.threadId = access.threadId;
+            ctx.isWrite = access.isWrite;
+            ctx.isWriteback = false;
+            ctx.set = l2.setIndex(ctx.lineAddr);
+            const AccessOutcome l2_out = l2.access(ctx);
+            if (l2_out.hit) {
+                levels_[i] = kLevelL2;
+                run.gapSum += gaps_[i];
+                ++run.count;
+                continue;
+            }
+            levels_[i] = kLevelMemory;
+
+            LlcOp op;
+            op.lineAddr = access.lineAddr;
+            op.pc = access.pc;
+            op.accessIdx = static_cast<int32_t>(i);
+            const uint32_t set =
+                static_cast<uint32_t>(access.lineAddr & fullSetMask_);
+            op.set = plan_.localSet(set);
+            op.shard = static_cast<uint8_t>(plan_.shardOf(set));
+            op.threadId = access.threadId;
+            op.isWrite = access.isWrite;
+            ops_.push_back(op);
+            // The op's own gap is replayed through onAccess; the run
+            // of L2 hits before it is this op's timing segment.
+            segments_.push_back(run);
+            run = TimingSegment{};
+
+            // Dirty L2 victim writes back into the LLC, in order.
+            if (l2_out.evictedValid && l2_out.evictedDirty) {
+                LlcOp wb;
+                wb.lineAddr = l2_out.evictedAddr;
+                const uint32_t wset = static_cast<uint32_t>(
+                    l2_out.evictedAddr & fullSetMask_);
+                wb.set = plan_.localSet(wset);
+                wb.shard = static_cast<uint8_t>(plan_.shardOf(wset));
+                wb.threadId = l2_out.evictedThread;
+                wb.isWrite = true;
+                wb.isWriteback = true;
+                ops_.push_back(wb);
+            }
+        }
+        tail_ = run;
+        return n;
+    }
+
+    const std::vector<uint32_t> &gaps() const { return gaps_; }
+    std::vector<uint8_t> &levels() { return levels_; }
+    const std::vector<LlcOp> &ops() const { return ops_; }
+
+    /** One TimingSegment per demand op, in op order. */
+    const std::vector<TimingSegment> &segments() const { return segments_; }
+    /** L2 hits after the chunk's last demand op. */
+    const TimingSegment &tailSegment() const { return tail_; }
+
+    void
+    resetL2Stats()
+    {
+        for (auto &l2 : l2s_)
+            l2->resetStats();
+    }
+
+  private:
+    ShardPlan plan_;
+    uint64_t fullSetMask_;
+    std::vector<std::unique_ptr<Cache>> l2s_;
+    std::vector<uint32_t> gaps_;
+    std::vector<uint8_t> levels_;
+    std::vector<LlcOp> ops_;
+    std::vector<TimingSegment> segments_;
+    TimingSegment tail_;
+};
+
+/**
+ * Replay one chunk's ops belonging to `shard` against `cache`,
+ * stamping demand levels into `levels` (slots are disjoint per op, so
+ * concurrent workers of different shards never write the same byte).
+ */
+inline void
+replayShardOps(Cache &cache, const std::vector<LlcOp> &ops, uint8_t shard,
+               uint8_t *levels)
+{
+    AccessContext ctx;
+    for (const LlcOp &op : ops) {
+        if (op.shard != shard)
+            continue;
+        ctx.lineAddr = op.lineAddr;
+        ctx.pc = op.pc;
+        ctx.set = op.set;
+        ctx.threadId = op.threadId;
+        ctx.isWrite = op.isWrite;
+        ctx.isWriteback = op.isWriteback;
+        const AccessOutcome out = cache.access(ctx);
+        if (op.accessIdx >= 0)
+            levels[op.accessIdx] = out.hit ? kLevelLlc : kLevelMemory;
+    }
+}
+
+} // namespace detail
+} // namespace pdp
+
+#endif // PDP_SIM_LLC_STREAM_H

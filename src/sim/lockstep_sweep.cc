@@ -1,0 +1,158 @@
+#include "sim/lockstep_sweep.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "cache/shard_view.h"
+#include "check/check.h"
+#include "sim/llc_stream.h"
+
+namespace pdp
+{
+
+namespace
+{
+
+/** One sweep config's private simulation state: LLC + policy, its own
+ *  per-access level buffer and (in the measured phase) timing model.
+ *  A lane is only ever touched by one worker at a time; the per-chunk
+ *  join barrier orders chunk N's walk before chunk N+1's. */
+struct Lane
+{
+    std::unique_ptr<Cache> llc;
+    std::unique_ptr<TimingModel> timing;
+    std::vector<uint8_t> levels;
+};
+
+/** Walk one chunk through one lane: replay the LLC ops (stamping each
+ *  demand op's level into the lane's slots), then (measured phase)
+ *  replay timing.  Lanes only diverge at demand-op slots — the L2-hit
+ *  runs between them are lane-invariant, so each run is folded into
+ *  one O(1) onL2Hits call via the front-end's precomputed segments
+ *  instead of walking every access per lane. */
+void
+walkLane(Lane &lane, const std::vector<detail::LlcOp> &ops,
+         const std::vector<detail::TimingSegment> &segments,
+         const detail::TimingSegment &tail, const uint32_t *gaps)
+{
+    detail::replayShardOps(*lane.llc, ops, 0, lane.levels.data());
+    if (!lane.timing)
+        return;
+    size_t seg = 0;
+    for (const detail::LlcOp &op : ops) {
+        if (op.accessIdx < 0)
+            continue;
+        const detail::TimingSegment &run = segments[seg++];
+        lane.timing->onL2Hits(run.gapSum, run.count);
+        lane.timing->onAccess(
+            gaps[op.accessIdx],
+            detail::toHitLevel(lane.levels[op.accessIdx]));
+    }
+    lane.timing->onL2Hits(tail.gapSum, tail.count);
+}
+
+void
+runPhase(AccessGenerator &gen, detail::LlcStreamFrontEnd &frontEnd,
+         std::vector<Lane> &lanes, uint64_t total, unsigned threads)
+{
+    const unsigned fanOut = std::min<unsigned>(
+        std::max(1u, threads), static_cast<unsigned>(lanes.size()));
+    uint64_t remaining = total;
+    while (remaining > 0) {
+        const size_t n = frontEnd.fill(gen, remaining);
+        if (n == 0)
+            break;
+        remaining -= n;
+
+        const auto &ops = frontEnd.ops();
+        const auto &segments = frontEnd.segments();
+        const detail::TimingSegment tail = frontEnd.tailSegment();
+        const uint32_t *gaps = frontEnd.gaps().data();
+
+        // Worker w owns lanes w, w+fanOut, w+2*fanOut, ... — a static
+        // partition, so no two workers ever touch the same lane.
+        auto walkSlice = [&](unsigned w) {
+            for (size_t c = w; c < lanes.size(); c += fanOut)
+                walkLane(lanes[c], ops, segments, tail, gaps);
+        };
+        if (fanOut <= 1) {
+            walkSlice(0);
+        } else {
+            std::vector<std::thread> workers;
+            workers.reserve(fanOut - 1);
+            for (unsigned w = 1; w < fanOut; ++w)
+                workers.emplace_back(walkSlice, w);
+            walkSlice(0);
+            for (std::thread &worker : workers)
+                worker.join();
+        }
+    }
+}
+
+} // namespace
+
+std::vector<SimResult>
+runSingleCoreLockstep(
+    AccessGenerator &gen, const SimConfig &config,
+    const std::vector<
+        std::function<std::unique_ptr<ReplacementPolicy>()>> &makePolicies,
+    unsigned threads)
+{
+    PDP_CHECK(!config.telemetry.enabled && config.auditEvery == 0 &&
+                  !config.withPrefetcher,
+              "lockstep sweeps observe no global order: run telemetry/"
+              "audit/prefetcher configs on the sequential driver");
+    if (makePolicies.empty())
+        return {};
+
+    // 1-shard plan: ops carry the full LLC set index, shard 0.
+    const ShardPlan plan = ShardPlan::make(config.hierarchy.llc, 1);
+    detail::LlcStreamFrontEnd frontEnd(config.hierarchy, plan);
+
+    std::vector<Lane> lanes(makePolicies.size());
+    for (size_t c = 0; c < lanes.size(); ++c) {
+        auto policy = makePolicies[c]();
+        PDP_CHECK(policy != nullptr, "policy factory returned null");
+        lanes[c].llc = std::make_unique<Cache>(config.hierarchy.llc,
+                                               std::move(policy));
+        lanes[c].levels.resize(detail::kStreamChunk);
+    }
+
+    runPhase(gen, frontEnd, lanes, config.warmup, threads);
+    frontEnd.resetL2Stats();
+    for (Lane &lane : lanes) {
+        lane.llc->resetStats();
+        lane.timing = std::make_unique<TimingModel>(config.timing);
+    }
+
+    runPhase(gen, frontEnd, lanes, config.accesses, threads);
+
+    std::vector<SimResult> results;
+    results.reserve(lanes.size());
+    for (Lane &lane : lanes) {
+        const CacheStats &llc = lane.llc->stats();
+        const TimingModel &timing = *lane.timing;
+        SimResult result;
+        result.benchmark = gen.name();
+        result.policy = lane.llc->policy().name();
+        result.instructions = timing.instructions();
+        result.cycles = timing.cycles();
+        result.ipc = timing.ipc();
+        result.llcAccesses = llc.accesses;
+        result.llcHits = llc.hits;
+        result.llcMisses = llc.misses;
+        result.llcBypasses = llc.bypasses;
+        result.mpki = result.instructions
+            ? 1000.0 * static_cast<double>(llc.misses) /
+                  static_cast<double>(result.instructions)
+            : 0.0;
+        result.bypassFraction = llc.accesses
+            ? static_cast<double>(llc.bypasses) /
+                  static_cast<double>(llc.accesses)
+            : 0.0;
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+} // namespace pdp

@@ -1,0 +1,145 @@
+#include "sim/sharded_sim.h"
+
+#include <thread>
+#include <vector>
+
+#include "cache/shard_view.h"
+#include "check/check.h"
+#include "sim/llc_stream.h"
+
+namespace pdp
+{
+
+namespace
+{
+
+/** Assemble a SimResult from merged LLC stats + the replayed timing
+ *  model, mirroring runSingleCore's formulas field for field. */
+SimResult
+assembleResult(const std::string &benchmark, const std::string &policy,
+               const CacheStats &llc, const TimingModel &timing)
+{
+    SimResult result;
+    result.benchmark = benchmark;
+    result.policy = policy;
+    result.instructions = timing.instructions();
+    result.cycles = timing.cycles();
+    result.ipc = timing.ipc();
+    result.llcAccesses = llc.accesses;
+    result.llcHits = llc.hits;
+    result.llcMisses = llc.misses;
+    result.llcBypasses = llc.bypasses;
+    result.mpki = result.instructions
+        ? 1000.0 * static_cast<double>(llc.misses) /
+              static_cast<double>(result.instructions)
+        : 0.0;
+    result.bypassFraction = llc.accesses
+        ? static_cast<double>(llc.bypasses) /
+              static_cast<double>(llc.accesses)
+        : 0.0;
+    return result;
+}
+
+/**
+ * Drive `total` accesses through front-end + sharded LLC.  When
+ * `timing` is non-null (the measured phase) the coordinator replays the
+ * per-access levels into it after each chunk's workers joined.
+ *
+ * Thread discipline: the chunk buffers are written by the coordinator
+ * before the workers start and read back after join(), and each worker
+ * touches only its own shard's Cache plus disjoint level slots — the
+ * spawn/join pair is the only synchronization needed (and gives the
+ * happens-before TSan wants).
+ */
+void
+runPhase(AccessGenerator &gen, detail::LlcStreamFrontEnd &frontEnd,
+         ShardedLlc &llc, uint64_t total, TimingModel *timing)
+{
+    const uint32_t shards = llc.numShards();
+    uint64_t remaining = total;
+    while (remaining > 0) {
+        const size_t n = frontEnd.fill(gen, remaining);
+        if (n == 0)
+            break;
+        remaining -= n;
+
+        const auto &ops = frontEnd.ops();
+        uint8_t *levels = frontEnd.levels().data();
+        if (shards <= 1) {
+            detail::replayShardOps(llc.shard(0), ops, 0, levels);
+        } else {
+            std::vector<std::thread> workers;
+            workers.reserve(shards - 1);
+            for (uint32_t s = 1; s < shards; ++s)
+                workers.emplace_back([&llc, &ops, s, levels] {
+                    detail::replayShardOps(llc.shard(s), ops,
+                                           static_cast<uint8_t>(s), levels);
+                });
+            detail::replayShardOps(llc.shard(0), ops, 0, levels);
+            for (std::thread &worker : workers)
+                worker.join();
+        }
+
+        if (timing) {
+            const auto &gaps = frontEnd.gaps();
+            for (size_t i = 0; i < n; ++i)
+                timing->onAccess(gaps[i], detail::toHitLevel(levels[i]));
+        }
+    }
+}
+
+} // namespace
+
+bool
+canRunSharded(const SimConfig &config, const ReplacementPolicy &probe)
+{
+    const ShardPlan plan =
+        ShardPlan::make(config.hierarchy.llc, config.llcShards);
+    return plan.shards > 1 && probe.setLocal() &&
+           !config.telemetry.enabled && config.auditEvery == 0 &&
+           !config.withPrefetcher;
+}
+
+SimResult
+runSingleCoreSharded(AccessGenerator &gen, const SimConfig &config,
+                     const PolicyFactory &makePolicy)
+{
+    auto probe = makePolicy();
+    PDP_CHECK(probe != nullptr, "policy factory returned null");
+    if (!canRunSharded(config, *probe)) {
+        Hierarchy hierarchy(config.hierarchy, std::move(probe));
+        if (config.withPrefetcher)
+            hierarchy.attachPrefetcher(
+                std::make_unique<StreamPrefetcher>());
+        return runSingleCore(gen, hierarchy, config);
+    }
+
+    const ShardPlan plan =
+        ShardPlan::make(config.hierarchy.llc, config.llcShards);
+    detail::LlcStreamFrontEnd frontEnd(config.hierarchy, plan);
+    ShardedLlc llc(config.hierarchy.llc, plan.shards, makePolicy);
+
+    runPhase(gen, frontEnd, llc, config.warmup, nullptr);
+    frontEnd.resetL2Stats();
+    llc.resetStats();
+
+    TimingModel timing(config.timing);
+    runPhase(gen, frontEnd, llc, config.accesses, &timing);
+
+    return assembleResult(gen.name(), llc.shard(0).policy().name(),
+                          llc.mergedStats(), timing);
+}
+
+SimResult
+runSingleCoreAuto(AccessGenerator &gen, const SimConfig &config,
+                  const PolicyFactory &makePolicy)
+{
+    if (config.llcShards > 1)
+        return runSingleCoreSharded(gen, config, makePolicy);
+    Hierarchy hierarchy(config.hierarchy, makePolicy());
+    if (config.withPrefetcher)
+        hierarchy.attachPrefetcher(std::make_unique<StreamPrefetcher>());
+    return runSingleCore(gen, hierarchy, config);
+}
+
+} // namespace pdp

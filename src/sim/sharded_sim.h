@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Set-sharded intra-job parallelism for the single-core simulator.
+ *
+ * One big job is split *inside* the job: a sequential front-end decodes
+ * the trace and walks the L2, and the LLC's sets are sharded across
+ * worker threads (cache/shard_view.h), each owning its shard's Cache +
+ * policy instance outright.  The per-shard stats are merged in shard
+ * order and the timing model is replayed sequentially, so for set-local
+ * policies the SimResult is byte-identical to the sequential driver's —
+ * the same 1-vs-N discipline the runner proved for whole jobs.
+ *
+ * Policies with global state (dueling, samplers, RNGs) cannot be
+ * sharded; they fall back to the sequential driver, as do configs with
+ * telemetry, auditing or a prefetcher attached (all three observe
+ * global order).  The fallback keeps `--shards N` semantics-preserving
+ * for every policy: sharding is a go-faster knob, never a different
+ * experiment.
+ */
+
+#ifndef PDP_SIM_SHARDED_SIM_H
+#define PDP_SIM_SHARDED_SIM_H
+
+#include <functional>
+#include <memory>
+
+#include "policies/replacement_policy.h"
+#include "sim/single_core_sim.h"
+#include "trace/generator.h"
+
+namespace pdp
+{
+
+/** Policy factory: one instance per shard (each shard's policy is
+ *  private to its worker thread). */
+using PolicyFactory = std::function<std::unique_ptr<ReplacementPolicy>()>;
+
+/**
+ * True when `config` + `probe` can take the sharded path: more than
+ * one effective shard, a set-local policy, and none of the sequential
+ * observers (telemetry, auditor, prefetcher) requested.
+ */
+bool canRunSharded(const SimConfig &config, const ReplacementPolicy &probe);
+
+/**
+ * Run the single-core simulation with the LLC sharded
+ * config.llcShards ways.  Falls back to the sequential driver whenever
+ * canRunSharded says no, so the result is always well-defined — and
+ * byte-identical to the sequential driver's either way.
+ */
+SimResult runSingleCoreSharded(AccessGenerator &gen, const SimConfig &config,
+                               const PolicyFactory &makePolicy);
+
+/**
+ * Dispatch: sharded when config.llcShards > 1 (with its own internal
+ * fallback), the plain sequential driver otherwise.  This is what the
+ * runner's singleCoreJob calls.
+ */
+SimResult runSingleCoreAuto(AccessGenerator &gen, const SimConfig &config,
+                            const PolicyFactory &makePolicy);
+
+} // namespace pdp
+
+#endif // PDP_SIM_SHARDED_SIM_H

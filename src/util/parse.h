@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Strict whole-string numeric parsing for CLI and environment values.
+ *
+ * The bare strtoul/strtod idiom (null endptr) silently accepts garbage:
+ * "abc" parses as 0, "5x" as 5 — and a typo'd --jobs abc then means
+ * "hardware concurrency" instead of an error.  These helpers return
+ * nullopt unless the ENTIRE string is a finite, in-range number, so
+ * callers can fail loudly.
+ */
+
+#ifndef PDP_UTIL_PARSE_H
+#define PDP_UTIL_PARSE_H
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+
+namespace pdp
+{
+
+/** Parse a whole string as a non-negative decimal integer; nullopt on
+ *  empty input, trailing junk, a leading '-', or overflow. */
+inline std::optional<unsigned long>
+parseUnsigned(const char *text)
+{
+    // strto* skip leading whitespace; a strict parse must not.
+    if (!text || !std::isdigit(static_cast<unsigned char>(*text)))
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long value = std::strtoul(text, &end, 10);
+    if (errno == ERANGE || end == text || *end != '\0')
+        return std::nullopt;
+    return value;
+}
+
+/** Parse a whole string as a finite double; nullopt on empty input,
+ *  trailing junk, inf/nan or overflow. */
+inline std::optional<double>
+parseDouble(const char *text)
+{
+    if (!text || !*text ||
+        std::isspace(static_cast<unsigned char>(*text)))
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (errno == ERANGE || end == text || *end != '\0' ||
+        !std::isfinite(value))
+        return std::nullopt;
+    return value;
+}
+
+} // namespace pdp
+
+#endif // PDP_UTIL_PARSE_H

@@ -146,7 +146,8 @@ TEST(ThreadPoolExecutor, MissingRunCallableIsACapturedFailure)
     const auto records = ThreadPoolExecutor().run({job});
     ASSERT_EQ(records.size(), 1u);
     EXPECT_EQ(records[0].status, JobStatus::Failed);
-    EXPECT_NE(records[0].error.find("no run callable"), std::string::npos);
+    EXPECT_NE(records[0].error.find("exactly one of run / runMany"),
+              std::string::npos);
 }
 
 TEST(ThreadPoolExecutor, SoftTimeoutMarksOverrunningJob)
@@ -235,6 +236,55 @@ TEST(Json, UnicodeEscapeParses)
     const auto parsed = Json::parse("\"A\\u0042\\u00e9\"");
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(parsed->asString(), "AB\xc3\xa9");
+}
+
+TEST(Json, IntegerBoundariesRoundTripExactly)
+{
+    // Seeds are full-width uint64s; a parse that detoured through a
+    // double would corrupt anything above 2^53.
+    const struct
+    {
+        const char *text;
+        uint64_t expected;
+    } unsignedCases[] = {
+        {"9007199254740993", 9007199254740993ull},         // 2^53 + 1
+        {"9223372036854775807", 9223372036854775807ull},   // 2^63 - 1
+        {"9223372036854775808", 9223372036854775808ull},   // 2^63
+        {"18446744073709551615", 18446744073709551615ull}, // 2^64 - 1
+    };
+    for (const auto &c : unsignedCases) {
+        std::string error;
+        const auto parsed = Json::parse(c.text, &error);
+        ASSERT_TRUE(parsed.has_value()) << c.text << ": " << error;
+        EXPECT_EQ(parsed->asUint(), c.expected);
+        EXPECT_EQ(parsed->dump(), c.text);
+    }
+
+    std::string error;
+    const auto min64 = Json::parse("-9223372036854775808", &error);
+    ASSERT_TRUE(min64.has_value()) << error;
+    EXPECT_EQ(min64->dump(), "-9223372036854775808");
+    const auto neg = Json::parse("-9007199254740993", &error);
+    ASSERT_TRUE(neg.has_value()) << error;
+    EXPECT_EQ(neg->dump(), "-9007199254740993");
+}
+
+TEST(Json, OverflowingIntegerIsAParseError)
+{
+    // One past either 64-bit boundary must fail loudly, not silently
+    // round through strtod.
+    for (const char *bad : {"18446744073709551616",  // 2^64
+                            "-9223372036854775809",  // -2^63 - 1
+                            "99999999999999999999999999"}) {
+        std::string error;
+        EXPECT_FALSE(Json::parse(bad, &error).has_value())
+            << "accepted: " << bad;
+        EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+    }
+    // Huge magnitudes with an exponent are REAL tokens, still fine.
+    const auto real = Json::parse("1e300");
+    ASSERT_TRUE(real.has_value());
+    EXPECT_EQ(real->asNumber(), 1e300);
 }
 
 TEST(ResultsSink, DocumentMatchesSchema)

@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Tests for intra-job parallelism: the set-sharded LLC driver
+ * (cache/shard_view.h + sim/sharded_sim.h), the multi-config lockstep
+ * sweep driver (sim/lockstep_sweep.h), and the runner's multi-record
+ * job fan-out (Job::runMany).  The load-bearing property throughout is
+ * byte-identity: sharded and lockstep execution must be invisible in
+ * the results — the same SimResult fields, the same deterministic
+ * dumps — no matter how many threads did the work.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "cache/shard_view.h"
+#include "core/pdp_policy.h"
+#include "runner/results_sink.h"
+#include "runner/suites.h"
+#include "runner/thread_pool.h"
+#include "sim/lockstep_sweep.h"
+#include "sim/policy_factory.h"
+#include "sim/sharded_sim.h"
+#include "trace/spec_suite.h"
+
+using namespace pdp;
+using namespace pdp::runner;
+
+namespace
+{
+
+SimConfig
+quickConfig(unsigned shards = 1)
+{
+    SimConfig config;
+    config.accesses = 120'000;
+    config.warmup = 30'000;
+    config.llcShards = shards;
+    return config;
+}
+
+/** Every SimResult field the deterministic dump carries.  Doubles are
+ *  compared exactly: both sides must run the identical arithmetic. */
+void
+expectSameResult(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.mpki, b.mpki);
+    EXPECT_EQ(a.llcAccesses, b.llcAccesses);
+    EXPECT_EQ(a.llcHits, b.llcHits);
+    EXPECT_EQ(a.llcMisses, b.llcMisses);
+    EXPECT_EQ(a.llcBypasses, b.llcBypasses);
+    EXPECT_EQ(a.bypassFraction, b.bypassFraction);
+    EXPECT_EQ(a.auditsRun, b.auditsRun);
+    EXPECT_EQ(a.auditViolations, b.auditViolations);
+}
+
+SimResult
+sequentialRun(const std::string &bench, const PolicyFactory &makePol,
+              const SimConfig &config)
+{
+    auto gen = SpecSuite::make(bench, seedFor(bench));
+    Hierarchy hierarchy(config.hierarchy, makePol());
+    return runSingleCore(*gen, hierarchy, config);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// ShardPlan routing.
+
+TEST(ShardPlanTest, RoutingIsABijectionOverSets)
+{
+    const CacheConfig llc = CacheConfig::paperLlc();
+    for (unsigned requested : {1u, 2u, 4u, 8u}) {
+        const ShardPlan plan = ShardPlan::make(llc, requested);
+        EXPECT_EQ(plan.shards, requested);
+        std::vector<unsigned> seen(llc.numSets(), 0);
+        for (uint32_t set = 0; set < llc.numSets(); ++set) {
+            const uint32_t shard = plan.shardOf(set);
+            const uint32_t local = plan.localSet(set);
+            ASSERT_LT(shard, plan.shards);
+            ASSERT_LT(local, llc.numSets() / plan.shards);
+            // (shard, local) -> set is the inverse mapping.
+            EXPECT_EQ((shard << plan.localSetBits) | local, set);
+            ++seen[set];
+        }
+        for (unsigned count : seen)
+            EXPECT_EQ(count, 1u);
+    }
+}
+
+TEST(ShardPlanTest, NonPowerOfTwoRequestRoundsDown)
+{
+    const CacheConfig llc = CacheConfig::paperLlc();
+    EXPECT_EQ(ShardPlan::make(llc, 3).shards, 2u);
+    EXPECT_EQ(ShardPlan::make(llc, 7).shards, 4u);
+    EXPECT_EQ(ShardPlan::make(llc, 0).shards, 1u);
+}
+
+TEST(ShardPlanTest, ShardConfigSplitsTheGeometry)
+{
+    const CacheConfig llc = CacheConfig::paperLlc();
+    const ShardPlan plan = ShardPlan::make(llc, 4);
+    const CacheConfig shard = plan.shardConfig(llc, 1);
+    EXPECT_EQ(shard.numSets(), llc.numSets() / 4);
+    EXPECT_EQ(shard.ways, llc.ways);
+    EXPECT_EQ(shard.lineBytes, llc.lineBytes);
+    EXPECT_TRUE(shard.valid());
+}
+
+// ---------------------------------------------------------------------------
+// Set-locality declarations.
+
+TEST(SetLocalTest, OnlyShardablePoliciesDeclareIt)
+{
+    EXPECT_TRUE(makePolicy("LRU")->setLocal());
+    EXPECT_TRUE(makeSpdpB(64)->setLocal());
+    EXPECT_TRUE(makeSpdpNb(32)->setLocal());
+    // Global state (dueling sets, samplers, RNGs) forbids sharding.
+    EXPECT_FALSE(makePolicy("DIP")->setLocal());
+    EXPECT_FALSE(makePolicy("DRRIP")->setLocal());
+    EXPECT_FALSE(makePolicy("PDP-3")->setLocal());
+    EXPECT_FALSE(makePolicy("SDP")->setLocal());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded driver byte-identity.
+
+TEST(ShardedSimTest, ByteIdenticalLru)
+{
+    const auto makePol = [] { return makePolicy("LRU"); };
+    const SimResult plain =
+        sequentialRun("450.soplex", makePol, quickConfig());
+    auto gen = SpecSuite::make("450.soplex", seedFor("450.soplex"));
+    const SimResult sharded =
+        runSingleCoreSharded(*gen, quickConfig(4), makePol);
+    expectSameResult(sharded, plain);
+    EXPECT_GT(plain.llcAccesses, 0u);
+}
+
+TEST(ShardedSimTest, ByteIdenticalStaticPdp)
+{
+    const auto makePol = [] { return makeSpdpB(64); };
+    const SimResult plain =
+        sequentialRun("436.cactusADM", makePol, quickConfig());
+    auto gen = SpecSuite::make("436.cactusADM", seedFor("436.cactusADM"));
+    const SimResult sharded =
+        runSingleCoreSharded(*gen, quickConfig(4), makePol);
+    expectSameResult(sharded, plain);
+    EXPECT_GT(plain.llcBypasses, 0u);
+}
+
+TEST(ShardedSimTest, DynamicPolicyFallsBackToSequential)
+{
+    // PDP-3 samples reuse distances globally, so canRunSharded must say
+    // no — and the fallback must still produce the sequential result.
+    const auto makePol = [] { return makePolicy("PDP-3"); };
+    EXPECT_FALSE(canRunSharded(quickConfig(4), *makePol()));
+
+    const SimResult plain =
+        sequentialRun("450.soplex", makePol, quickConfig());
+    auto gen = SpecSuite::make("450.soplex", seedFor("450.soplex"));
+    const SimResult sharded =
+        runSingleCoreSharded(*gen, quickConfig(4), makePol);
+    expectSameResult(sharded, plain);
+}
+
+TEST(ShardedSimTest, AutoDispatchHonorsShardCount)
+{
+    const auto makePol = [] { return makePolicy("LRU"); };
+    const SimResult plain =
+        sequentialRun("429.mcf", makePol, quickConfig());
+    for (unsigned shards : {1u, 2u, 8u}) {
+        auto gen = SpecSuite::make("429.mcf", seedFor("429.mcf"));
+        const SimResult result =
+            runSingleCoreAuto(*gen, quickConfig(shards), makePol);
+        expectSameResult(result, plain);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lockstep sweep driver.
+
+TEST(LockstepSweepTest, MatchesIndependentRuns)
+{
+    const std::vector<std::pair<std::string, PolicyFactory>> cells = {
+        {"DIP", [] { return makePolicy("DIP"); }},
+        {"DRRIP", [] { return makePolicy("DRRIP"); }},
+        {"SPDP-B:32", [] { return makeSpdpB(32); }},
+        {"SPDP-B:64", [] { return makeSpdpB(64); }},
+        {"PDP-3", [] { return makePolicy("PDP-3"); }},
+    };
+    const SimConfig config = quickConfig();
+
+    std::vector<PolicyFactory> factories;
+    for (const auto &cell : cells)
+        factories.push_back(cell.second);
+    auto gen = SpecSuite::make("450.soplex", seedFor("450.soplex"));
+    const std::vector<SimResult> lockstep =
+        runSingleCoreLockstep(*gen, config, factories, /*threads=*/3);
+
+    ASSERT_EQ(lockstep.size(), cells.size());
+    for (size_t c = 0; c < cells.size(); ++c) {
+        const SimResult plain =
+            sequentialRun("450.soplex", cells[c].second, config);
+        expectSameResult(lockstep[c], plain);
+    }
+}
+
+TEST(LockstepSweepTest, ThreadCountDoesNotChangeResults)
+{
+    std::vector<PolicyFactory> factories;
+    for (uint32_t pd : {16u, 64u, 256u})
+        factories.push_back([pd] { return makeSpdpB(pd); });
+    const SimConfig config = quickConfig();
+
+    auto genOne = SpecSuite::make("429.mcf", seedFor("429.mcf"));
+    const auto one = runSingleCoreLockstep(*genOne, config, factories, 1);
+    auto genFour = SpecSuite::make("429.mcf", seedFor("429.mcf"));
+    const auto four = runSingleCoreLockstep(*genFour, config, factories, 4);
+
+    ASSERT_EQ(one.size(), four.size());
+    for (size_t c = 0; c < one.size(); ++c)
+        expectSameResult(one[c], four[c]);
+}
+
+TEST(LockstepSweepTest, RejectsGlobalOrderObservers)
+{
+    std::vector<PolicyFactory> factories = {[] { return makePolicy("LRU"); }};
+    SimConfig config = quickConfig();
+    config.telemetry.enabled = true;
+    auto gen = SpecSuite::make("429.mcf", seedFor("429.mcf"));
+    EXPECT_THROW(runSingleCoreLockstep(*gen, config, factories),
+                 std::exception);
+}
+
+// ---------------------------------------------------------------------------
+// Runner fan-out: Job::runMany.
+
+TEST(ThreadPoolExecutorMany, FlattensGroupsInInputOrder)
+{
+    std::vector<Job> jobs;
+    Job before;
+    before.key = "a/before";
+    before.seed = seedFor(before.key);
+    before.run = [](const JobContext &) { return JobOutcome{}; };
+    jobs.push_back(std::move(before));
+
+    Job group;
+    group.key = "b/group";
+    group.seed = seedFor(group.key);
+    group.runMany = [](const JobContext &) {
+        std::vector<KeyedOutcome> outcomes(3);
+        for (int c = 0; c < 3; ++c) {
+            outcomes[c].key = "b/cell" + std::to_string(c);
+            outcomes[c].outcome.metrics["cell"] = c;
+        }
+        return outcomes;
+    };
+    jobs.push_back(std::move(group));
+
+    Job after;
+    after.key = "c/after";
+    after.seed = seedFor(after.key);
+    after.run = [](const JobContext &) { return JobOutcome{}; };
+    jobs.push_back(std::move(after));
+
+    const auto records = ThreadPoolExecutor().run(jobs);
+    ASSERT_EQ(records.size(), 5u);
+    EXPECT_EQ(records[0].key, "a/before");
+    EXPECT_EQ(records[1].key, "b/cell0");
+    EXPECT_EQ(records[2].key, "b/cell1");
+    EXPECT_EQ(records[3].key, "b/cell2");
+    EXPECT_EQ(records[4].key, "c/after");
+    for (const JobRecord &record : records)
+        EXPECT_EQ(record.status, JobStatus::Ok);
+    // Expanded records inherit the group's seed.
+    EXPECT_EQ(records[1].seed, seedFor("b/group"));
+    EXPECT_EQ(records[1].outcome.metrics.at("cell"), 0.0);
+    EXPECT_EQ(records[3].outcome.metrics.at("cell"), 2.0);
+}
+
+TEST(ThreadPoolExecutorMany, ThrowingGroupBecomesOneFailedRecord)
+{
+    Job job;
+    job.key = "boom";
+    job.seed = seedFor(job.key);
+    job.runMany = [](const JobContext &) -> std::vector<KeyedOutcome> {
+        throw std::runtime_error("injected group failure");
+    };
+    const auto records = ThreadPoolExecutor().run({job});
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].key, "boom");
+    EXPECT_EQ(records[0].status, JobStatus::Failed);
+    EXPECT_NE(records[0].error.find("injected group failure"),
+              std::string::npos);
+}
+
+TEST(ThreadPoolExecutorMany, SettingBothCallablesIsAFailure)
+{
+    Job job;
+    job.key = "both";
+    job.run = [](const JobContext &) { return JobOutcome{}; };
+    job.runMany = [](const JobContext &) {
+        return std::vector<KeyedOutcome>(1);
+    };
+    const auto records = ThreadPoolExecutor().run({job});
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].status, JobStatus::Failed);
+}
+
+TEST(ThreadPoolExecutorMany, EmptyGroupIsAFailure)
+{
+    Job job;
+    job.key = "empty";
+    job.runMany = [](const JobContext &) {
+        return std::vector<KeyedOutcome>();
+    };
+    const auto records = ThreadPoolExecutor().run({job});
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].status, JobStatus::Failed);
+}
+
+// ---------------------------------------------------------------------------
+// Suite-level byte-identity: lockstep grids dump the same documents.
+
+namespace
+{
+
+std::string
+suiteDump(const std::string &suiteName, const SuiteOptions &options)
+{
+    const Suite *suite = findSuite(suiteName);
+    EXPECT_NE(suite, nullptr);
+    std::vector<Job> jobs = suite->buildJobs(options);
+    std::erase_if(jobs, [&](const Job &job) {
+        return job.key.find(options.filter) == std::string::npos;
+    });
+    EXPECT_FALSE(jobs.empty());
+    ResultsSink sink(suiteName);
+    ExecutorOptions eopts;
+    eopts.workers = 2;
+    eopts.onComplete = [&sink](const JobRecord &r) { sink.add(r); };
+    ThreadPoolExecutor(eopts).run(jobs);
+    return sink.toJson(/*includeVolatile=*/false).dump(2);
+}
+
+} // namespace
+
+TEST(SuiteLockstepTest, Fig4LockstepDumpMatchesIndependent)
+{
+    SuiteOptions independent;
+    independent.scale = 0.02;
+    independent.filter = "fig4/429.mcf/";
+    SuiteOptions lockstep = independent;
+    lockstep.lockstep = true;
+
+    const std::string a = suiteDump("fig4_static_pdp", independent);
+    const std::string b = suiteDump("fig4_static_pdp", lockstep);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a.find("\"llc_misses\""), std::string::npos);
+}
+
+TEST(SuiteLockstepTest, Fig10ShardedDumpMatchesPlain)
+{
+    SuiteOptions plain;
+    plain.scale = 0.02;
+    plain.filter = "fig10/429.mcf/SPDP-B:";
+    SuiteOptions sharded = plain;
+    sharded.shards = 4;
+
+    const std::string a = suiteDump("fig10_single_core", plain);
+    const std::string b = suiteDump("fig10_single_core", sharded);
+    EXPECT_EQ(a, b);
+}

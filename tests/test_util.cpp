@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "util/bitutil.h"
+#include "util/parse.h"
 #include "util/rng.h"
 #include "util/sat_counter.h"
 #include "util/stats.h"
@@ -175,4 +176,42 @@ TEST(Table, PercentFormatting)
     EXPECT_EQ(Table::pct(0.042), "+4.2%");
     EXPECT_EQ(Table::pct(-0.01), "-1.0%");
     EXPECT_EQ(Table::upct(0.5), "50.0%");
+}
+
+// ---------------------------------------------------------------------------
+// Strict whole-string numeric parsing (util/parse.h).
+
+TEST(Parse, UnsignedAcceptsOnlyWholeDecimalStrings)
+{
+    EXPECT_EQ(parseUnsigned("0"), 0ul);
+    EXPECT_EQ(parseUnsigned("42"), 42ul);
+    EXPECT_EQ(parseUnsigned("4096"), 4096ul);
+
+    // The null-endptr strtoul idiom accepted all of these silently.
+    EXPECT_FALSE(parseUnsigned("abc").has_value());
+    EXPECT_FALSE(parseUnsigned("5x").has_value());
+    EXPECT_FALSE(parseUnsigned("").has_value());
+    EXPECT_FALSE(parseUnsigned(nullptr).has_value());
+    EXPECT_FALSE(parseUnsigned("-1").has_value());
+    EXPECT_FALSE(parseUnsigned("+1").has_value());
+    EXPECT_FALSE(parseUnsigned(" 1").has_value());
+    EXPECT_FALSE(parseUnsigned("1 ").has_value());
+    EXPECT_FALSE(parseUnsigned("99999999999999999999999").has_value());
+}
+
+TEST(Parse, DoubleAcceptsOnlyWholeFiniteStrings)
+{
+    EXPECT_EQ(parseDouble("0.5"), 0.5);
+    EXPECT_EQ(parseDouble("10"), 10.0);
+    EXPECT_EQ(parseDouble("1e3"), 1000.0);
+    EXPECT_EQ(parseDouble("-2.5"), -2.5);
+
+    EXPECT_FALSE(parseDouble("5x").has_value());
+    EXPECT_FALSE(parseDouble("abc").has_value());
+    EXPECT_FALSE(parseDouble("").has_value());
+    EXPECT_FALSE(parseDouble(nullptr).has_value());
+    EXPECT_FALSE(parseDouble("1.0.0").has_value());
+    EXPECT_FALSE(parseDouble("nan").has_value());
+    EXPECT_FALSE(parseDouble("inf").has_value());
+    EXPECT_FALSE(parseDouble("1e999").has_value());
 }

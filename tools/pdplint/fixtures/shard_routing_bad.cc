@@ -1,0 +1,47 @@
+// pdplint fixture: impure set-shard routing — allocation, locking or
+// I/O inside the hot routing/replay functions must be flagged, both
+// directly and through in-TU callees reached from a hot root.
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace fix
+{
+
+struct Plan
+{
+    uint32_t localSetBits = 0;
+    uint32_t localSetMask = 0;
+};
+
+// A routing helper that builds a scratch vector per lookup: cold by
+// itself, but reached from the hot replay root below.
+static uint32_t
+routeThroughScratch(const Plan &plan, uint32_t set)
+{
+    std::vector<uint32_t> scratch(2);                // EXPECT: hot-path
+    scratch[0] = set >> plan.localSetBits;
+    scratch[1] = set & plan.localSetMask;
+    return scratch[0] ^ scratch[1];
+}
+
+PDP_HOT uint32_t
+shardOfLogged(const Plan &plan, uint32_t set)
+{
+    std::printf("route %u\n", set);                  // EXPECT: hot-path
+    return set >> plan.localSetBits;
+}
+
+PDP_HOT uint64_t
+replayLocked(const Plan &plan, std::mutex &m, const uint32_t *sets,
+             size_t n)
+{
+    std::lock_guard<std::mutex> g(m);                // EXPECT: hot-path
+    uint64_t acc = 0;
+    for (size_t i = 0; i < n; ++i)
+        acc += routeThroughScratch(plan, sets[i]);
+    return acc;
+}
+
+} // namespace fix

@@ -1,0 +1,68 @@
+// pdplint fixture: set-shard routing in the style of
+// src/cache/shard_view.h — hot routing arithmetic (shift/mask fan-out
+// of a full set index into shard + local set) is pure and must lint
+// clean, including the hot replay loop that calls it transitively.
+// Expected findings: none.
+#include <cstdint>
+#include <vector>
+
+namespace fix
+{
+
+struct Plan
+{
+    uint32_t shards = 1;
+    uint32_t localSetBits = 0;
+    uint32_t localSetMask = 0;
+
+    PDP_HOT uint32_t
+    shardOf(uint32_t set) const
+    {
+        return set >> localSetBits;
+    }
+
+    PDP_HOT uint32_t
+    localSet(uint32_t set) const
+    {
+        return set & localSetMask;
+    }
+};
+
+struct Op
+{
+    uint64_t lineAddr = 0;
+    uint32_t set = 0;
+    uint8_t shard = 0;
+};
+
+// Cold: building the op buffer may allocate.
+void
+fill(std::vector<Op> &ops, const Plan &plan, const uint64_t *addrs,
+     size_t n, uint32_t setMask)
+{
+    ops.clear();
+    for (size_t i = 0; i < n; ++i) {
+        Op op;
+        op.lineAddr = addrs[i];
+        op.set = static_cast<uint32_t>(addrs[i]) & setMask;
+        op.shard = static_cast<uint8_t>(plan.shardOf(op.set));
+        ops.push_back(op);
+    }
+}
+
+// Hot replay: routing + in-place writes only, no allocation.
+PDP_HOT uint64_t
+replayShard(const std::vector<Op> &ops, const Plan &plan, uint8_t shard,
+            uint64_t *slots)
+{
+    uint64_t replayed = 0;
+    for (const Op &op : ops) {
+        if (op.shard != shard)
+            continue;
+        slots[plan.localSet(op.set)] = op.lineAddr;
+        ++replayed;
+    }
+    return replayed;
+}
+
+} // namespace fix

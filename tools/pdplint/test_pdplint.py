@@ -145,6 +145,12 @@ class FixtureTest(unittest.TestCase):
     def test_hotpath_ok(self):
         self.assert_fixture("hotpath_ok.cc")
 
+    def test_shard_routing_bad(self):
+        self.assert_fixture("shard_routing_bad.cc")
+
+    def test_shard_routing_ok(self):
+        self.assert_fixture("shard_routing_ok.cc")
+
     def test_scratch_bad(self):
         self.assert_fixture("scratch_bad.cc")
 
@@ -166,7 +172,7 @@ class FixtureTest(unittest.TestCase):
                    for _line, check in marks}
         self.assertEqual(set(checks.ALL_CHECKS), covered)
         for name in ("determinism_ok.cc", "hotpath_ok.cc",
-                     "scratch_ok.cc"):
+                     "scratch_ok.cc", "shard_routing_ok.cc"):
             self.assertEqual(self.by_file.get(name, set()), set(), name)
 
 

@@ -9,6 +9,13 @@
  *                   [--filter <substring>] [--jobs N] [--scale X]
  *                   [--json DIR|none] [--timeout SECONDS] [--verbose]
  *                   [--telemetry[=DIR]] [--trace]
+ *                   [--shards N] [--lockstep]
+ *
+ * --shards N set-shards each single-core job's LLC across N worker
+ * threads (semantics-preserving; policies that cannot shard fall back
+ * to the sequential driver).  --lockstep groups each benchmark's sweep
+ * cells into one job over a single trace decode.  Both produce records
+ * byte-identical to the default independent grid.
  *
  * --telemetry records per-epoch policy snapshots (PD, RDD, PSEL,
  * partition allocations, interval hit rates) into each job's results;
@@ -31,6 +38,7 @@
 
 #include "bench_common.h"
 #include "runner/suites.h"
+#include "util/parse.h"
 
 namespace
 {
@@ -45,6 +53,12 @@ printUsage(std::FILE *to)
                  "                       [--scale X] [--json DIR|none]\n"
                  "                       [--timeout SECONDS] [--verbose]\n"
                  "                       [--telemetry[=DIR]] [--trace]\n"
+                 "                       [--shards N] [--lockstep]\n"
+                 "\n"
+                 "--shards N set-shards each job's LLC across N threads;\n"
+                 "--lockstep runs each benchmark's sweep cells over one\n"
+                 "trace decode.  Both keep records byte-identical to the\n"
+                 "independent grid.\n"
                  "\n"
                  "--telemetry samples per-epoch policy state into the\n"
                  "BENCH json (optional =DIR overrides --json); --trace\n"
@@ -93,19 +107,48 @@ main(int argc, char **argv)
         } else if (arg == "--filter" || arg == "-f") {
             options.filter = needValue(i);
         } else if (arg == "--jobs" || arg == "-j") {
-            options.workers =
-                static_cast<unsigned>(std::strtoul(needValue(i), nullptr, 10));
-        } else if (arg == "--scale") {
-            const double scale = std::strtod(needValue(i), nullptr);
-            if (!(scale > 0)) {
-                std::fprintf(stderr, "--scale wants a positive number\n");
+            const auto jobs = pdp::parseUnsigned(needValue(i));
+            if (!jobs || *jobs == 0 || *jobs > 4096) {
+                std::fprintf(stderr,
+                             "--jobs wants an integer in [1, 4096], got "
+                             "\"%s\"\n",
+                             argv[i]);
                 return 2;
             }
-            options.scale = scale;
+            options.workers = static_cast<unsigned>(*jobs);
+        } else if (arg == "--shards") {
+            const auto shards = pdp::parseUnsigned(needValue(i));
+            if (!shards || *shards == 0 || *shards > 1024) {
+                std::fprintf(stderr,
+                             "--shards wants an integer in [1, 1024], got "
+                             "\"%s\" (rounded down to a power of two)\n",
+                             argv[i]);
+                return 2;
+            }
+            options.shards = static_cast<unsigned>(*shards);
+        } else if (arg == "--lockstep") {
+            options.lockstep = true;
+        } else if (arg == "--scale") {
+            const auto scale = pdp::parseDouble(needValue(i));
+            if (!scale || !(*scale > 0)) {
+                std::fprintf(stderr,
+                             "--scale wants a positive number, got \"%s\"\n",
+                             argv[i]);
+                return 2;
+            }
+            options.scale = *scale;
         } else if (arg == "--json") {
             options.jsonDir = needValue(i);
         } else if (arg == "--timeout") {
-            options.timeoutSeconds = std::strtod(needValue(i), nullptr);
+            const auto timeout = pdp::parseDouble(needValue(i));
+            if (!timeout || *timeout < 0) {
+                std::fprintf(stderr,
+                             "--timeout wants a non-negative number of "
+                             "seconds, got \"%s\"\n",
+                             argv[i]);
+                return 2;
+            }
+            options.timeoutSeconds = *timeout;
         } else if (arg == "--telemetry") {
             options.telemetry = true;
         } else if (arg.rfind("--telemetry=", 0) == 0) {
