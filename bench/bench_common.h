@@ -25,14 +25,17 @@
 #include "runner/progress.h"
 #include "runner/suites.h"
 #include "sim/single_core_sim.h"
+#include "util/parse.h"
 
 namespace pdpbench
 {
 
 /**
- * Run-length scale factor from PDP_BENCH_SCALE.  Parses once with
- * strtod; garbage, non-positive or non-finite values fall back to 1.0
- * with a warning on stderr instead of being silently ignored.
+ * Run-length scale factor from PDP_BENCH_SCALE.  Strict whole-string
+ * parse (util/parse.h): a malformed, non-positive or absurd value
+ * terminates the harness instead of silently running at scale 1.0 —
+ * a typo'd scale would otherwise burn minutes producing the wrong
+ * experiment.
  */
 inline double
 benchScale()
@@ -40,38 +43,37 @@ benchScale()
     const char *env = std::getenv("PDP_BENCH_SCALE");
     if (!env || env[0] == '\0')
         return 1.0;
-    char *end = nullptr;
-    const double value = std::strtod(env, &end);
-    // !(value > 0) also rejects NaN; the upper bound rejects +inf and
-    // scales that could only be typos.
-    if (end == env || *end != '\0' || !(value > 0.0) || value > 1e9) {
+    const std::optional<double> value = pdp::parseDouble(env);
+    // !(value > 0) also rejects NaN; the upper bound rejects scales
+    // that could only be typos.
+    if (!value || !(*value > 0.0) || *value > 1e9) {
         std::fprintf(stderr,
-                     "[bench] warning: ignoring invalid PDP_BENCH_SCALE"
-                     "=\"%s\" (want a positive number); using 1.0\n",
+                     "[bench] error: invalid PDP_BENCH_SCALE=\"%s\" "
+                     "(want a positive number)\n",
                      env);
-        return 1.0;
+        std::exit(2);
     }
-    return value;
+    return *value;
 }
 
-/** Worker threads from PDP_BENCH_JOBS (0/unset/garbage = hardware
- *  concurrency, resolved by the executor). */
+/** Worker threads from PDP_BENCH_JOBS (0/unset = hardware concurrency,
+ *  resolved by the executor).  Strict whole-string parse: garbage
+ *  terminates the harness instead of silently meaning "all cores". */
 inline unsigned
 benchJobs()
 {
     const char *env = std::getenv("PDP_BENCH_JOBS");
     if (!env || env[0] == '\0')
         return 0;
-    char *end = nullptr;
-    const unsigned long value = std::strtoul(env, &end, 10);
-    if (end == env || *end != '\0' || value > 4096) {
+    const std::optional<unsigned long> value = pdp::parseUnsigned(env);
+    if (!value || *value > 4096) {
         std::fprintf(stderr,
-                     "[bench] warning: ignoring invalid PDP_BENCH_JOBS"
-                     "=\"%s\"; using hardware concurrency\n",
+                     "[bench] error: invalid PDP_BENCH_JOBS=\"%s\" "
+                     "(want an integer in [0, 4096])\n",
                      env);
-        return 0;
+        std::exit(2);
     }
-    return static_cast<unsigned>(value);
+    return static_cast<unsigned>(*value);
 }
 
 inline bool

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Multi-tenant cache-service mode: one scripted open-loop tenant
+ * population (16 tenants, 4 churn swap steps by default) multiplexed
+ * onto a shared LLC, replayed identically under LRU / TA-DRRIP / UCP /
+ * PDP-2 / PDP-3.
+ *
+ * The figure is per-tenant SLO attainment: hit rate over the tenant's
+ * residency, occupancy-vs-quota drift, and p99 charged miss latency
+ * from the timing model's log2 histogram.  Tenant-aware policies (UCP,
+ * PDP-x) repartition deterministically at every join/leave; the rest
+ * run as unmanaged baselines measured against an equal share.
+ *
+ * Each policy is an independent runner job (PDP_BENCH_JOBS workers,
+ * deterministic results, BENCH_service.json output).  Tenant-count and
+ * churn knobs live on tools/run_experiments (--tenants, --churn).
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    return pdpbench::runSuiteMain("service");
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.h"
 #include "check/invariant_auditor.h"
 
 namespace pdp
@@ -45,6 +46,80 @@ PdpPartitionPolicy::attach(Cache &cache, uint32_t num_sets,
     for (unsigned t = 0; t < numThreads_; ++t)
         perThreadRdd_.emplace_back(params_.dMax, params_.counterStep);
     pds_.assign(numThreads_, params_.initialPd);
+    active_.assign(numThreads_, 1);
+}
+
+void
+PdpPartitionPolicy::beginTenantMode()
+{
+    active_.assign(numThreads_, 0);
+    // Unowned slots keep minimal protection: any line a future tenant
+    // inherits from the warmup mix ages out at the streaming rate.
+    pds_.assign(numThreads_, params_.counterStep);
+}
+
+int
+PdpPartitionPolicy::tenantJoin()
+{
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        if (active_[t])
+            continue;
+        active_[t] = 1;
+        perThreadRdd_[t] = RdCounterArray(params_.dMax, params_.counterStep);
+        pds_[t] = params_.initialPd;
+        solvePartition();
+        return static_cast<int>(t);
+    }
+    return -1;
+}
+
+void
+PdpPartitionPolicy::tenantLeave(unsigned slot)
+{
+    PDP_CHECK(slot < numThreads_ && active_[slot],
+              name(), ": tenantLeave on inactive slot ", slot);
+    active_[slot] = 0;
+    perThreadRdd_[slot] =
+        RdCounterArray(params_.dMax, params_.counterStep);
+    // Minimal protection evicts the leaver's residue at streaming speed.
+    pds_[slot] = params_.counterStep;
+    solvePartition();
+}
+
+unsigned
+PdpPartitionPolicy::activeTenants() const
+{
+    unsigned n = 0;
+    for (uint8_t a : active_)
+        n += a;
+    return n;
+}
+
+std::vector<double>
+PdpPartitionPolicy::tenantQuotas() const
+{
+    // The PD partition is soft: the policy's target share of the cache
+    // is each thread's model occupancy at its current PD, normalized
+    // over active slots.
+    std::vector<double> quotas(numThreads_, 0.0);
+    double total = 0.0;
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        if (!active_[t])
+            continue;
+        quotas[t] = static_cast<double>(
+            model_.occupancy(perThreadRdd_[t], pds_[t]));
+        total += quotas[t];
+    }
+    const unsigned live = activeTenants();
+    if (live == 0)
+        return quotas;
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        if (!active_[t])
+            continue;
+        // No signal yet (fresh windows): fall back to equal shares.
+        quotas[t] = total > 0.0 ? quotas[t] / total : 1.0 / live;
+    }
+    return quotas;
 }
 
 uint32_t
@@ -81,7 +156,7 @@ PdpPartitionPolicy::evaluateEm(const std::vector<uint32_t> &pds,
 }
 
 void
-PdpPartitionPolicy::recompute()
+PdpPartitionPolicy::solvePartition()
 {
     // Per-thread peak candidates and their best single-thread E.
     struct ThreadPeaks
@@ -92,6 +167,8 @@ PdpPartitionPolicy::recompute()
     };
     std::vector<ThreadPeaks> candidates;
     for (unsigned t = 0; t < numThreads_; ++t) {
+        if (!active_[t])
+            continue;
         if (perThreadRdd_[t].total() < params_.minSamples) {
             // Not enough signal this interval; keep the thread's PD.
             continue;
@@ -159,6 +236,12 @@ PdpPartitionPolicy::recompute()
     for (uint32_t pd : pds_)
         max_pd = std::max(max_pd, pd);
     pd_ = max_pd;
+}
+
+void
+PdpPartitionPolicy::recompute()
+{
+    solvePartition();
     history_.push_back({accessCount_, pd_});
     for (auto &rdd : perThreadRdd_)
         rdd.decay();
@@ -170,10 +253,16 @@ PdpPartitionPolicy::auditGlobal(InvariantReporter &reporter) const
 {
     PdpPolicy::auditGlobal(reporter);
 
-    for (unsigned t = 0; t < numThreads_; ++t)
+    for (unsigned t = 0; t < numThreads_; ++t) {
         reporter.check(pds_[t] >= 1 && pds_[t] <= params_.dMax,
                        "part.pd_range", name(), ": thread ", t, " PD ",
                        pds_[t], " outside [1, ", params_.dMax, "]");
+        // Vacated slots must stay at minimal protection so a leaver's
+        // residue keeps aging out (service-mode churn invariant).
+        reporter.check(active_[t] || pds_[t] == params_.counterStep,
+                       "part.inactive_pd", name(), ": inactive slot ", t,
+                       " holds PD ", pds_[t], " != ", params_.counterStep);
+    }
 
     // Greedy partial ordering: within each step of the last E_m search,
     // the chosen peak's (re-evaluated) E_m dominates every candidate this

@@ -24,12 +24,13 @@
 
 #include "check/contracts.h"
 #include "core/pdp_policy.h"
+#include "partition/tenant_aware.h"
 
 namespace pdp
 {
 
 /** The multi-core PD-based partitioning policy. */
-class PdpPartitionPolicy : public PdpPolicy
+class PdpPartitionPolicy : public PdpPolicy, public TenantAwarePartition
 {
   public:
     /**
@@ -64,14 +65,33 @@ class PdpPartitionPolicy : public PdpPolicy
 
     void auditGlobal(InvariantReporter &reporter) const override;
 
+    // TenantAwarePartition: slots join/leave dynamically (service mode).
+    // Joining resets the slot's RDD and PD and re-runs the greedy E_m
+    // search over the active set; leaving additionally drops the slot to
+    // minimal protection so its residual lines age out of the cache.
+    void beginTenantMode() override;
+    int tenantJoin() override;
+    void tenantLeave(unsigned slot) override;
+    unsigned tenantCapacity() const override { return numThreads_; }
+    unsigned activeTenants() const override;
+    bool
+    tenantActive(unsigned slot) const override
+    {
+        return slot < active_.size() && active_[slot] != 0;
+    }
+    std::vector<double> tenantQuotas() const override;
+
     /** Epoch telemetry: the base PDP snapshot (shared RDD view) plus the
-     *  per-thread PD vector and per-thread RDD masses. */
+     *  per-thread PD vector and per-thread RDD masses.  Inactive tenant
+     *  slots export PD 0, so join/leave shows up as a series change. */
     void
     telemetrySnapshot(telemetry::Snapshot &out) const override
     {
         PdpPolicy::telemetrySnapshot(out);
-        out.setSeries("thread_pds",
-                      std::vector<double>(pds_.begin(), pds_.end()));
+        std::vector<double> pds(pds_.size());
+        for (size_t t = 0; t < pds_.size(); ++t)
+            pds[t] = active_[t] ? static_cast<double>(pds_[t]) : 0.0;
+        out.setSeries("thread_pds", std::move(pds));
         std::vector<double> totals(perThreadRdd_.size());
         for (size_t t = 0; t < perThreadRdd_.size(); ++t)
             totals[t] = static_cast<double>(perThreadRdd_[t].total());
@@ -96,10 +116,17 @@ class PdpPartitionPolicy : public PdpPolicy
     double evaluateEm(const std::vector<uint32_t> &pds,
                       const std::vector<unsigned> &threads) const;
 
+    /** The greedy E_m vector search over active slots (the body of
+     *  recompute(), minus the window decay/reset — tenant churn re-runs
+     *  the search without consuming the sampling window). */
+    void solvePartition();
+
     unsigned numThreads_;
     unsigned peaksPerThread_;
     std::vector<RdCounterArray> perThreadRdd_;
     std::vector<uint32_t> pds_;
+    /** Slot liveness; all 1 outside tenant mode (fixed-core runs). */
+    std::vector<uint8_t> active_;
     std::vector<GreedyStep> lastGreedy_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cache/cache.h"
+#include "check/check.h"
 #include "check/invariant_auditor.h"
 
 namespace pdp
@@ -22,6 +23,65 @@ UcpPolicy::attach(Cache &cache, uint32_t num_sets, uint32_t num_ways)
                                    std::max<uint32_t>(32, num_sets / 64));
     alloc_.assign(numThreads_,
                   std::max<uint32_t>(1, num_ways / numThreads_));
+    active_.assign(numThreads_, 1);
+}
+
+void
+UcpPolicy::beginTenantMode()
+{
+    active_.assign(numThreads_, 0);
+    for (unsigned t = 0; t < numThreads_; ++t)
+        umon_->setActive(t, false);
+    // No tenants: no budgets.  Enforcement degrades to plain LRU until
+    // the first join, so warmup residue is reclaimable by anyone.
+    alloc_.assign(numThreads_, 0);
+}
+
+int
+UcpPolicy::tenantJoin()
+{
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        if (active_[t])
+            continue;
+        active_[t] = 1;
+        umon_->resetThread(t);
+        umon_->setActive(t, true);
+        alloc_ = umon_->lookaheadPartition();
+        return static_cast<int>(t);
+    }
+    return -1;
+}
+
+void
+UcpPolicy::tenantLeave(unsigned slot)
+{
+    PDP_CHECK(slot < numThreads_ && active_[slot],
+              "UCP: tenantLeave on inactive slot ", slot);
+    active_[slot] = 0;
+    umon_->setActive(slot, false);
+    umon_->resetThread(slot);
+    alloc_ = umon_->lookaheadPartition();
+}
+
+unsigned
+UcpPolicy::activeTenants() const
+{
+    unsigned n = 0;
+    for (uint8_t a : active_)
+        n += a;
+    return n;
+}
+
+std::vector<double>
+UcpPolicy::tenantQuotas() const
+{
+    // Way quotas are uniform across sets, so a slot's capacity share is
+    // its way fraction.
+    std::vector<double> quotas(numThreads_, 0.0);
+    for (unsigned t = 0; t < numThreads_; ++t)
+        if (active_[t])
+            quotas[t] = static_cast<double>(alloc_[t]) / numWays_;
+    return quotas;
 }
 
 void
@@ -103,11 +163,17 @@ UcpPolicy::auditGlobal(InvariantReporter &reporter) const
     reporter.check(alloc_.size() == numThreads_, "ucp.alloc_range",
                    name(), ": allocation vector covers ", alloc_.size(),
                    " of ", numThreads_, " threads");
-    for (size_t t = 0; t < alloc_.size(); ++t)
-        reporter.check(alloc_[t] >= 1 && alloc_[t] <= numWays_,
-                       "ucp.alloc_range", name(), ": thread ", t,
-                       " allocation ", alloc_[t], " outside [1, ",
-                       numWays_, "]");
+    for (size_t t = 0; t < alloc_.size(); ++t) {
+        if (active_[t])
+            reporter.check(alloc_[t] >= 1 && alloc_[t] <= numWays_,
+                           "ucp.alloc_range", name(), ": thread ", t,
+                           " allocation ", alloc_[t], " outside [1, ",
+                           numWays_, "]");
+        else
+            reporter.check(alloc_[t] == 0, "ucp.alloc_range", name(),
+                           ": inactive slot ", t, " holds ", alloc_[t],
+                           " ways");
+    }
 }
 
 } // namespace pdp

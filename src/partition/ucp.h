@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "check/contracts.h"
+#include "partition/tenant_aware.h"
 #include "partition/umon.h"
 #include "policies/basic.h"
 #include "telemetry/source.h"
@@ -22,7 +23,9 @@ namespace pdp
 {
 
 /** UCP replacement with way-partition enforcement. */
-class UcpPolicy : public LruPolicy, public telemetry::Source
+class UcpPolicy : public LruPolicy,
+                  public telemetry::Source,
+                  public TenantAwarePartition
 {
   public:
     /**
@@ -49,6 +52,21 @@ class UcpPolicy : public LruPolicy, public telemetry::Source
     const std::vector<uint32_t> &allocation() const { return alloc_; }
     const Umon &umon() const { return *umon_; }
 
+    // TenantAwarePartition: a joining tenant takes the lowest free slot
+    // with a cleared UMON and the lookahead runs immediately, so way
+    // quotas reallocate deterministically at every churn step.
+    void beginTenantMode() override;
+    int tenantJoin() override;
+    void tenantLeave(unsigned slot) override;
+    unsigned tenantCapacity() const override { return numThreads_; }
+    unsigned activeTenants() const override;
+    bool
+    tenantActive(unsigned slot) const override
+    {
+        return slot < active_.size() && active_[slot] != 0;
+    }
+    std::vector<double> tenantQuotas() const override;
+
     /** Epoch telemetry: the current per-thread way allocation. */
     void
     telemetrySnapshot(telemetry::Snapshot &out) const override
@@ -72,6 +90,8 @@ class UcpPolicy : public LruPolicy, public telemetry::Source
     uint64_t accesses_ = 0;
     std::unique_ptr<Umon> umon_;
     std::vector<uint32_t> alloc_;
+    /** Slot liveness; all 1 outside tenant mode (fixed-core runs). */
+    std::vector<uint8_t> active_;
 };
 
 // UCP replaces within partitions using the inherited LRU ranks in the

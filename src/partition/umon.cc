@@ -12,8 +12,27 @@ Umon::Umon(unsigned num_threads, uint32_t num_cache_sets, uint32_t assoc,
       sampledSets_(std::min(sampled_sets, num_cache_sets)),
       stride_(std::max<uint32_t>(1, num_cache_sets / sampledSets_)),
       shadow_(static_cast<size_t>(num_threads) * sampledSets_ * assoc),
-      wayHits_(num_threads, std::vector<uint64_t>(assoc, 0))
+      wayHits_(num_threads, std::vector<uint64_t>(assoc, 0)),
+      active_(num_threads, 1)
 {
+}
+
+void
+Umon::setActive(unsigned thread, bool active)
+{
+    if (thread < numThreads_)
+        active_[thread] = active ? 1 : 0;
+}
+
+void
+Umon::resetThread(unsigned thread)
+{
+    if (thread >= numThreads_)
+        return;
+    for (uint32_t sset = 0; sset < sampledSets_; ++sset)
+        for (uint32_t way = 0; way < assoc_; ++way)
+            entry(thread, sset, way) = Entry{};
+    std::fill(wayHits_[thread].begin(), wayHits_[thread].end(), 0);
 }
 
 Umon::Entry &
@@ -92,17 +111,28 @@ Umon::hitsWithWays(unsigned thread, uint32_t ways) const
 std::vector<uint32_t>
 Umon::lookaheadPartition() const
 {
-    // Everyone starts with one way; the rest go to whoever has the best
-    // marginal utility per way, looking ahead past plateaus (Qureshi's
-    // get_max_mu).
-    std::vector<uint32_t> alloc(numThreads_, 1);
-    uint32_t remaining = assoc_ >= numThreads_ ? assoc_ - numThreads_ : 0;
+    // Every ACTIVE thread starts with one way; the rest go to whoever
+    // has the best marginal utility per way, looking ahead past plateaus
+    // (Qureshi's get_max_mu).  Inactive slots take no part.
+    std::vector<uint32_t> alloc(numThreads_, 0);
+    uint32_t live = 0;
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        if (active_[t]) {
+            alloc[t] = 1;
+            ++live;
+        }
+    }
+    if (live == 0)
+        return alloc;
+    uint32_t remaining = assoc_ >= live ? assoc_ - live : 0;
 
     while (remaining > 0) {
         double best_mu = -1.0;
         unsigned best_thread = 0;
         uint32_t best_span = 1;
         for (unsigned t = 0; t < numThreads_; ++t) {
+            if (!active_[t])
+                continue;
             const uint32_t have = alloc[t];
             if (have >= assoc_)
                 continue;
@@ -126,9 +156,10 @@ Umon::lookaheadPartition() const
         remaining -= best_span;
     }
 
-    // Distribute any leftover ways round-robin so they are not wasted.
+    // Distribute any leftover ways round-robin over the active threads
+    // so they are not wasted.
     for (unsigned t = 0; remaining > 0; t = (t + 1) % numThreads_) {
-        if (alloc[t] < assoc_) {
+        if (active_[t] && alloc[t] < assoc_) {
             ++alloc[t];
             --remaining;
         }

@@ -39,10 +39,25 @@ class Umon
     uint64_t hitsWithWays(unsigned thread, uint32_t ways) const;
 
     /**
-     * The UCP lookahead algorithm: partition `assoc` ways among threads,
-     * at least one way each, maximizing expected total utility.
+     * The UCP lookahead algorithm: partition `assoc` ways among the
+     * ACTIVE threads, at least one way each, maximizing expected total
+     * utility.  Inactive threads get 0 ways.  All threads are active by
+     * default; service mode toggles slots via setActive().
      */
     std::vector<uint32_t> lookaheadPartition() const;
+
+    /** Include/exclude a thread slot from partitioning (tenant churn). */
+    void setActive(unsigned thread, bool active);
+
+    bool
+    isActive(unsigned thread) const
+    {
+        return thread < numThreads_ && active_[thread] != 0;
+    }
+
+    /** Forget a slot's shadow tags and utility curve (slot recycling:
+     *  a new tenant must not inherit the previous occupant's curve). */
+    void resetThread(unsigned thread);
 
     /** Halve all counters (epoch decay). */
     void decay();
@@ -68,6 +83,8 @@ class Umon
     std::vector<Entry> shadow_;
     /** wayHits_[t][i]: hits at LRU stack position i (0 = MRU). */
     std::vector<std::vector<uint64_t>> wayHits_;
+    /** Slot liveness; all 1 outside tenant mode. */
+    std::vector<uint8_t> active_;
     uint64_t clock_ = 0;
 };
 

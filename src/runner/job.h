@@ -37,6 +37,7 @@
 #include <string_view>
 #include <vector>
 
+#include "service/service_sim.h"
 #include "sim/multi_core_sim.h"
 #include "sim/single_core_sim.h"
 #include "util/rng.h"
@@ -78,6 +79,7 @@ struct JobOutcome
 {
     std::optional<SimResult> single;
     std::optional<MultiCoreResult> multi;
+    std::optional<ServiceResult> service;
     /** Extra scalar metrics (sorted map => deterministic JSON order). */
     std::map<std::string, double> metrics;
 };

@@ -44,6 +44,8 @@ ProgressReporter::beginBatch(const std::string &name, size_t total,
     total_ = total;
     done_ = 0;
     workers_ = workers;
+    // pdplint: allow(wall-clock) batch timer feeds the verbose-mode ETA
+    // display only, never a result.
     start_ = std::chrono::steady_clock::now();
     if (verbose_)
         std::fprintf(stderr, "[runner] %s: %zu job(s) on %u worker(s)\n",
@@ -58,6 +60,8 @@ ProgressReporter::jobFinished(const JobRecord &record, unsigned busyWorkers)
     if (!verbose_)
         return;
 
+    // pdplint: allow(wall-clock) progress/ETA stderr line only; job
+    // results never see this value.
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)

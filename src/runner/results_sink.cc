@@ -62,6 +62,45 @@ toJson(const MultiCoreResult &result)
     return j;
 }
 
+Json
+toJson(const ServiceResult &result)
+{
+    Json j = Json::object();
+    j.set("policy", result.policy);
+    j.set("tenant_aware", result.tenantAware);
+    j.set("joins", result.joins);
+    j.set("leaves", result.leaves);
+    j.set("reallocs", result.reallocs);
+    j.set("aggregate_hit_rate", result.aggregateHitRate);
+    Json tenants = Json::array();
+    for (const TenantOutcome &tenant : result.tenants) {
+        Json t = Json::object();
+        t.set("name", tenant.name);
+        t.set("slot", static_cast<uint64_t>(tenant.slot));
+        t.set("joined_at", tenant.joinedAt);
+        t.set("left_at", tenant.leftAt);
+        t.set("requests", tenant.requests);
+        t.set("llc_accesses", tenant.llcAccesses);
+        t.set("llc_hits", tenant.llcHits);
+        t.set("llc_misses", tenant.llcMisses);
+        t.set("hit_rate", tenant.hitRate);
+        t.set("ipc", tenant.ipc);
+        t.set("p99_miss_cycles", tenant.p99MissCycles);
+        t.set("mean_quota", tenant.meanQuota);
+        t.set("mean_occupancy", tenant.meanOccupancy);
+        t.set("occupancy_drift", tenant.occupancyDrift);
+        t.set("slo_hit_rate_met", tenant.hitRateSloMet);
+        t.set("slo_latency_met", tenant.latencySloMet);
+        tenants.push(std::move(t));
+    }
+    j.set("tenants", std::move(tenants));
+    if (result.auditsRun) {
+        j.set("audits_run", result.auditsRun);
+        j.set("audit_violations", result.auditViolations);
+    }
+    return j;
+}
+
 namespace
 {
 
@@ -167,11 +206,15 @@ toJson(const JobRecord &record, bool includeVolatile)
         j.set("single", toJson(*record.outcome.single));
     if (record.outcome.multi)
         j.set("multi", toJson(*record.outcome.multi));
+    if (record.outcome.service)
+        j.set("service", toJson(*record.outcome.service));
     const telemetry::RunTelemetry *run = nullptr;
     if (record.outcome.single && record.outcome.single->telemetry)
         run = record.outcome.single->telemetry.get();
     else if (record.outcome.multi && record.outcome.multi->telemetry)
         run = record.outcome.multi->telemetry.get();
+    else if (record.outcome.service && record.outcome.service->telemetry)
+        run = record.outcome.service->telemetry.get();
     if (run)
         j.set("telemetry", toJson(*run, includeVolatile));
     return j;
@@ -216,6 +259,24 @@ validateResultsDocument(const Json &doc, std::string *error)
             return fail(where + ": missing key");
         if (!job.find("seed") || !job.find("status"))
             return fail(where + ": missing seed/status");
+        if (const Json *service = job.find("service")) {
+            if (version < 2)
+                return fail(where + ": service section in a v1 document");
+            if (!service->isObject() || !service->find("policy"))
+                return fail(where + ": service section without a policy");
+            const Json *tenants = service->find("tenants");
+            if (!tenants || !tenants->isArray())
+                return fail(where + ": service without a tenants array");
+            for (size_t t = 0; t < tenants->size(); ++t) {
+                const Json &tenant = tenants->at(t);
+                if (!tenant.isObject() || !tenant.find("name") ||
+                    !tenant.find("hit_rate") ||
+                    !tenant.find("occupancy_drift") ||
+                    !tenant.find("p99_miss_cycles"))
+                    return fail(where + ": malformed tenant " +
+                                std::to_string(t));
+            }
+        }
         const Json *run = job.find("telemetry");
         if (!run)
             continue;
@@ -261,6 +322,13 @@ ResultsSink::setRegistrySnapshot(std::vector<telemetry::MetricSnapshot> snap)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     registry_ = std::move(snap);
+}
+
+void
+ResultsSink::setDeterministicFile(bool on)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    deterministicFile_ = on;
 }
 
 void
@@ -366,11 +434,16 @@ ResultsSink::writeFile(const std::string &directory,
         return false;
     if (dir.back() != '/')
         dir += '/';
+    bool deterministic = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        deterministic = deterministicFile_;
+    }
     const std::string path = dir + fileName();
     std::ofstream out(path);
     if (!out)
         return false;
-    out << toJson().dump(2) << '\n';
+    out << toJson(/*includeVolatile=*/!deterministic).dump(2) << '\n';
     if (!out)
         return false;
     if (pathOut)
@@ -404,6 +477,8 @@ ResultsSink::writeTraceFile(const std::string &directory,
             run = record.outcome.single->telemetry.get();
         else if (record.outcome.multi && record.outcome.multi->telemetry)
             run = record.outcome.multi->telemetry.get();
+        else if (record.outcome.service && record.outcome.service->telemetry)
+            run = record.outcome.service->telemetry.get();
         if (!run)
             continue;
         for (const telemetry::TraceEvent &event : run->events) {

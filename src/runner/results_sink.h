@@ -29,6 +29,9 @@
  *         "metrics": {"best_pd": 72, ...},          // optional scalars
  *         "single": { ... SimResult fields ... },   // when present
  *         "multi": { ... MultiCoreResult fields ... },
+ *         "service": { ... ServiceResult fields: policy, tenant_aware,
+ *                      joins/leaves/reallocs, aggregate_hit_rate and a
+ *                      per-tenant SLO array ... },
  *         "telemetry": {          // only when the run sampled epochs
  *           "interval": 262144,
  *           "epochs_dropped": 0,  // only when nonzero
@@ -85,6 +88,9 @@ Json toJson(const SimResult &result);
 /** MultiCoreResult as a JSON object (schema above). */
 Json toJson(const MultiCoreResult &result);
 
+/** ServiceResult as a JSON object (schema above). */
+Json toJson(const ServiceResult &result);
+
 /** One run's telemetry as a JSON object (schema above); volatile events
  *  (phase timers) are dropped when includeVolatile is false. */
 Json toJson(const telemetry::RunTelemetry &run, bool includeVolatile = true);
@@ -116,6 +122,11 @@ class ResultsSink
     /** Attach a metrics-registry dump (emitted only in volatile form:
      *  registry totals are process-global, not per-grid). */
     void setRegistrySnapshot(std::vector<telemetry::MetricSnapshot> snap);
+
+    /** Make writeFile() emit the deterministic (volatile-free) form, so
+     *  on-disk documents can be byte-compared across worker counts
+     *  (CI's service-smoke identity check). */
+    void setDeterministicFile(bool on);
 
     /** Append one record.  Thread-safe; callable from worker threads. */
     void add(JobRecord record);
@@ -166,6 +177,7 @@ class ResultsSink
     std::string experiment_;
     double scale_ = 1.0;
     unsigned workers_ = 0;
+    bool deterministicFile_ = false;
     std::vector<telemetry::MetricSnapshot> registry_;
     mutable std::mutex mutex_;
     std::vector<JobRecord> records_;

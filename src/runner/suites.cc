@@ -11,6 +11,7 @@
 #include "core/pdp_policy.h"
 #include "policies/rrip.h"
 #include "runner/thread_pool.h"
+#include "service/scenario.h"
 #include "sim/lockstep_sweep.h"
 #include "sim/policy_factory.h"
 #include "sim/sharded_sim.h"
@@ -59,6 +60,26 @@ RecordLookup::multi(const std::string &key) const
     return &*record->outcome.multi;
 }
 
+const ServiceResult *
+RecordLookup::service(const std::string &key) const
+{
+    const JobRecord *record = find(key);
+    if (!record || record->status == JobStatus::Failed ||
+        !record->outcome.service)
+        return nullptr;
+    return &*record->outcome.service;
+}
+
+std::vector<std::string>
+RecordLookup::keys() const
+{
+    std::vector<std::string> keys;
+    keys.reserve(byKey_.size());
+    for (const auto &[key, record] : byKey_)
+        keys.push_back(key);
+    return keys;
+}
+
 Job
 singleCoreJob(std::string key, std::string benchmark,
               std::function<std::unique_ptr<ReplacementPolicy>()> makePol,
@@ -102,6 +123,24 @@ multiCoreJob(std::string key, WorkloadSpec workload, std::string policySpec,
                config](const JobContext &) {
         JobOutcome outcome;
         outcome.multi = runMultiCore(workload, policySpec, config);
+        return outcome;
+    };
+    return job;
+}
+
+Job
+serviceJob(std::string key, std::vector<TenantSpec> tenants,
+           std::string policySpec, const ServiceConfig &config,
+           uint64_t seed)
+{
+    Job job;
+    job.key = std::move(key);
+    job.seed = seed;
+    job.run = [tenants = std::move(tenants),
+               policySpec = std::move(policySpec),
+               config](const JobContext &ctx) {
+        JobOutcome outcome;
+        outcome.service = runService(tenants, policySpec, config, ctx.seed);
         return outcome;
     };
     return job;
@@ -649,6 +688,8 @@ timedSegment(const std::vector<uint64_t> &trace, size_t *cursor,
 {
     const size_t n = trace.size();
     size_t i = *cursor;
+    // pdplint: allow(wall-clock) hotpath suite measures throughput; the
+    // rate lands only in the volatile metrics section.
     const auto t0 = std::chrono::steady_clock::now();
     for (uint64_t k = 0; k < count; ++k) {
         const uint64_t addr = trace[i];
@@ -656,6 +697,7 @@ timedSegment(const std::vector<uint64_t> &trace, size_t *cursor,
         access(addr, trace[i]);
     }
     *cursor = i;
+    // pdplint: allow(wall-clock) end of the same timed segment.
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          t0)
         .count();
@@ -1200,6 +1242,130 @@ reportHotpath(std::ostream &out, const RecordLookup &records)
            "the committed-baseline regression bar in CI.\n";
 }
 
+// ---------------------------------------------------------------------------
+// service — the multi-tenant cache-service mode (service/service_sim.h):
+// one scripted open-loop tenant population, replayed identically under
+// each shared policy, with per-tenant SLO attainment as the figure.
+
+/** Policies the service scenario is replayed under.  LRU and TA-DRRIP
+ *  run as unmanaged baselines; UCP and PDP-x implement
+ *  TenantAwarePartition and repartition on every churn step. */
+const std::vector<std::string> &
+servicePolicies()
+{
+    static const std::vector<std::string> policies = {
+        "LRU", "TA-DRRIP", "UCP", "PDP-2", "PDP-3"};
+    return policies;
+}
+
+/** "service/t<tenants>c<churn>" — the scenario identity all policies of
+ *  one run share (and seed from). */
+std::string
+serviceTag(const SuiteOptions &options)
+{
+    return "service/t" + std::to_string(options.serviceTenants) + "c" +
+        std::to_string(options.serviceChurn);
+}
+
+std::vector<Job>
+buildService(const SuiteOptions &options)
+{
+    ServiceConfig config;
+    config.slots = options.serviceTenants;
+    // One paper LLC per 4 tenants' worth of capacity: tenants contend
+    // hard enough that partitioning matters, but the footprints fit.
+    config.hierarchy.llc = CacheConfig::paperLlc(4);
+    config.accesses = 6'000'000;
+    config.warmup = 1'000'000;
+    config.telemetry = telemetryConfig(options);
+    config = config.scaled(options.scale);
+
+    ServiceScenarioParams params;
+    params.tenants = options.serviceTenants;
+    params.churn = options.serviceChurn;
+    params.accesses = config.accesses;
+
+    const std::string tag = serviceTag(options);
+    // The scenario (footprints, skews, SLOs, churn script) and every
+    // tenant's stream derive from the same seed, so each policy sees
+    // the identical open-loop traffic.
+    const uint64_t seed = seedFor(tag);
+    const std::vector<TenantSpec> tenants =
+        buildServiceScenario(params, seed);
+
+    std::vector<Job> jobs;
+    for (const std::string &policy : servicePolicies())
+        jobs.push_back(
+            serviceJob(tag + "/" + policy, tenants, policy, config, seed));
+    return jobs;
+}
+
+void
+reportService(std::ostream &out, const RecordLookup &lookup)
+{
+    // The grid is option-parameterized ("service/t<N>c<M>/<policy>"), so
+    // recover the scenario tag from the executed keys.
+    const std::vector<std::string> keys = lookup.keys();
+    if (keys.empty()) {
+        out << "==== service: no records ====\n";
+        return;
+    }
+    const std::string tag = keys.front().substr(0, keys.front().rfind('/'));
+
+    out << "==== service: per-tenant SLO attainment (" << tag << ") ====\n";
+
+    Table summary({"policy", "agg hit", "joins", "leaves", "reallocs",
+                   "hitSLO", "latSLO", "mean drift"});
+    for (const std::string &policy : servicePolicies()) {
+        const ServiceResult *r = lookup.service(tag + "/" + policy);
+        if (!r) {
+            summary.addRow({policy, "-", "-", "-", "-", "-", "-", "-"});
+            continue;
+        }
+        unsigned hitMet = 0, latMet = 0;
+        Accumulator drift;
+        for (const TenantOutcome &t : r->tenants) {
+            hitMet += t.hitRateSloMet ? 1 : 0;
+            latMet += t.latencySloMet ? 1 : 0;
+            drift.add(t.occupancyDrift);
+        }
+        const std::string n = std::to_string(r->tenants.size());
+        summary.addRow({policy + (r->tenantAware ? " *" : ""),
+                        Table::num(r->aggregateHitRate, 3),
+                        std::to_string(r->joins), std::to_string(r->leaves),
+                        std::to_string(r->reallocs),
+                        std::to_string(hitMet) + "/" + n,
+                        std::to_string(latMet) + "/" + n,
+                        Table::num(drift.mean(), 4)});
+    }
+    summary.print(out);
+    out << "* = tenant-aware partition (quota tracks the policy's "
+           "allocation; others measure drift vs an equal share)\n";
+
+    // Per-tenant detail under the strongest tenant-aware policy.
+    const std::string detailPolicy = "PDP-3";
+    if (const ServiceResult *r = lookup.service(tag + "/" + detailPolicy)) {
+        out << "\n---- " << detailPolicy << " per-tenant detail ----\n";
+        Table detail({"tenant", "slot", "resident", "requests", "hit rate",
+                      "p99 miss", "quota", "occ", "drift", "SLO"});
+        for (const TenantOutcome &t : r->tenants) {
+            const std::string slo =
+                std::string(t.hitRateSloMet ? "h" : "-") +
+                (t.latencySloMet ? "l" : "-");
+            detail.addRow(
+                {t.name, std::to_string(t.slot),
+                 std::to_string(t.joinedAt) + ".." + std::to_string(t.leftAt),
+                 std::to_string(t.requests), Table::num(t.hitRate, 3),
+                 Table::num(t.p99MissCycles, 0), Table::num(t.meanQuota, 3),
+                 Table::num(t.meanOccupancy, 3),
+                 Table::num(t.occupancyDrift, 4), slo});
+        }
+        detail.print(out);
+        out << "SLO column: h = hit-rate bound met, l = p99-latency "
+               "bound met\n";
+    }
+}
+
 } // namespace
 
 const std::vector<Suite> &
@@ -1222,6 +1388,10 @@ allSuites()
         // is the whole story for a sanity grid.
         {"smoke", "small single-/multi-core grid for CI smoke runs",
          buildSmoke, nullptr},
+        {"service",
+         "multi-tenant cache-service mode: open-loop tenants, churn, "
+         "per-tenant SLOs",
+         buildService, reportService},
     };
     return suites;
 }
@@ -1241,9 +1411,10 @@ namespace
 void
 genericReport(std::ostream &out, const std::vector<JobRecord> &records)
 {
-    Table table({"job", "status", "seconds", "ipc", "mpki", "W/T/H"});
+    Table table({"job", "status", "seconds", "ipc", "mpki", "W/T/H",
+                 "svc hit/slo"});
     for (const JobRecord &record : records) {
-        std::string ipc = "-", mpki = "-", wth = "-";
+        std::string ipc = "-", mpki = "-", wth = "-", svc = "-";
         if (record.outcome.single) {
             ipc = Table::num(record.outcome.single->ipc);
             mpki = Table::num(record.outcome.single->mpki);
@@ -1254,8 +1425,17 @@ genericReport(std::ostream &out, const std::vector<JobRecord> &records)
                 Table::num(m.throughput) + "/" +
                 Table::num(m.harmonicFairness);
         }
+        if (record.outcome.service) {
+            const ServiceResult &s = *record.outcome.service;
+            unsigned met = 0;
+            for (const TenantOutcome &t : s.tenants)
+                met += (t.hitRateSloMet && t.latencySloMet) ? 1 : 0;
+            svc = Table::num(s.aggregateHitRate, 3) + "/" +
+                std::to_string(met) + "of" +
+                std::to_string(s.tenants.size());
+        }
         table.addRow({record.key, toString(record.status),
-                      Table::num(record.seconds, 2), ipc, mpki, wth});
+                      Table::num(record.seconds, 2), ipc, mpki, wth, svc});
     }
     table.print(out);
 }
@@ -1278,6 +1458,7 @@ runSuite(const Suite &suite, const SuiteOptions &options, std::ostream &out)
 
     ResultsSink sink(suite.name);
     sink.setScale(options.scale);
+    sink.setDeterministicFile(options.deterministicJson);
 
     ExecutorOptions eopts;
     eopts.workers = options.workers;

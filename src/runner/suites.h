@@ -66,6 +66,16 @@ struct SuiteOptions
      *  are byte-identical to the independent grid.  Ignored when
      *  telemetry/trace is on (those observe global order). */
     bool lockstep = false;
+    /** Service suite: initial (and max concurrent) tenant count
+     *  (--tenants; bounded by CacheStats::kMaxThreads). */
+    unsigned serviceTenants = 16;
+    /** Service suite: scripted leave+join swap steps (--churn; must stay
+     *  below the tenant count). */
+    unsigned serviceChurn = 4;
+    /** Write BENCH_<suite>.json in the deterministic (volatile-free)
+     *  form so files byte-compare across worker counts
+     *  (--deterministic-json). */
+    bool deterministicJson = false;
 };
 
 /** Key-indexed view over executed records for the reduce step. */
@@ -84,6 +94,13 @@ class RecordLookup
     /** The multi-core result for `key` under the same rules. */
     const MultiCoreResult *multi(const std::string &key) const;
 
+    /** The service-mode result for `key` under the same rules. */
+    const ServiceResult *service(const std::string &key) const;
+
+    /** All record keys, sorted (reports that derive their grid from the
+     *  executed keys, e.g. the option-parameterized service suite). */
+    std::vector<std::string> keys() const;
+
   private:
     std::map<std::string, const JobRecord *> byKey_;
 };
@@ -98,7 +115,7 @@ struct Suite
 };
 
 /** Registry of all suites (fig10_single_core, fig4_static_pdp,
- *  fig12_partitioning, hotpath, smoke). */
+ *  fig12_partitioning, hotpath, smoke, service). */
 const std::vector<Suite> &allSuites();
 
 /** Lookup by name; nullptr when unknown. */
@@ -131,6 +148,13 @@ Job singleCoreJob(
 /** A multi-core workload × policy job. */
 Job multiCoreJob(std::string key, WorkloadSpec workload,
                  std::string policySpec, const MultiCoreConfig &config);
+
+/** A service-mode job: one scripted tenant population under one shared
+ *  policy.  All policies of one scenario share `seed` so they see the
+ *  identical open-loop traffic (pass seedFor(scenario tag)). */
+Job serviceJob(std::string key, std::vector<TenantSpec> tenants,
+               std::string policySpec, const ServiceConfig &config,
+               uint64_t seed);
 
 /**
  * One schedulable lockstep sweep: every (key, policy factory) cell of

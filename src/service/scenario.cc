@@ -1,0 +1,72 @@
+#include "service/scenario.h"
+
+#include "check/check.h"
+#include "util/rng.h"
+
+namespace pdp
+{
+
+namespace
+{
+
+/** Draw one tenant's traffic shape and SLOs. */
+TenantSpec
+drawTenant(unsigned index, Rng &rng)
+{
+    static const double kRates[] = {1.0, 2.0, 4.0, 8.0};
+    static const uint64_t kFootprints[] = {1u << 14, 1u << 15, 1u << 16,
+                                           1u << 17};
+    static const double kAlphas[] = {0.6, 0.8, 0.9, 1.0, 1.1};
+    static const uint32_t kGaps[] = {4, 6, 8, 12};
+    static const double kWriteFracs[] = {0.05, 0.15, 0.25};
+
+    TenantSpec t;
+    t.name = "svc" + std::string(index < 10 ? "0" : "") +
+        std::to_string(index);
+    t.arrivalRate = kRates[rng.below(4)];
+    t.footprintLines = kFootprints[rng.below(4)];
+    t.zipfAlpha = kAlphas[rng.below(5)];
+    t.meanGap = kGaps[rng.below(4)];
+    t.writeFrac = kWriteFracs[rng.below(3)];
+    // SLOs: every tenant wants some reuse captured; half additionally
+    // demand their p99 miss stall stay in the MLP-overlapped band
+    // (charged cost < 64 cycles at the default timing parameters).
+    t.slo.minHitRate = 0.2;
+    t.slo.maxP99MissCycles = rng.chance(0.5) ? 64.0 : 256.0;
+    return t;
+}
+
+} // namespace
+
+std::vector<TenantSpec>
+buildServiceScenario(const ServiceScenarioParams &params, uint64_t seed)
+{
+    PDP_CHECK(params.tenants >= 1, "scenario needs at least one tenant");
+    PDP_CHECK(params.churn < params.tenants,
+              "churn steps ", params.churn, " must stay below the ",
+              params.tenants, "-tenant population so some tenants span ",
+              "the whole run");
+    PDP_CHECK(params.accesses > params.churn,
+              "accesses ", params.accesses, " too small for ",
+              params.churn, " churn steps");
+
+    Rng rng(seed);
+    std::vector<TenantSpec> tenants;
+    for (unsigned i = 0; i < params.tenants; ++i)
+        tenants.push_back(drawTenant(i, rng));
+
+    // Swap steps at even fractions of the run: veteran i leaves, a
+    // fresh tenant joins at the same index (leaves are processed first,
+    // so the swap reuses the vacated slot).
+    for (unsigned j = 0; j < params.churn; ++j) {
+        const uint64_t at = params.accesses *
+            static_cast<uint64_t>(j + 1) / (params.churn + 1);
+        tenants[j].leaveAt = at;
+        TenantSpec fresh = drawTenant(params.tenants + j, rng);
+        fresh.joinAt = at;
+        tenants.push_back(std::move(fresh));
+    }
+    return tenants;
+}
+
+} // namespace pdp

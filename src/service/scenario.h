@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Deterministic scripted tenant populations for the service suite.
+ *
+ * A scenario is a pure function of (knobs, seed): an initial population
+ * of `tenants` streams with Rng-drawn footprints / skews / rates /
+ * SLOs, plus `churn` scripted swap steps spread evenly across the
+ * measured run — at each step one veteran tenant leaves and one fresh
+ * tenant joins (leaves processed first, so concurrency never exceeds
+ * the initial population).  The lifetime tenant count is therefore
+ * tenants + churn, exercising slot recycling once churn > 0.
+ */
+
+#ifndef PDP_SERVICE_SCENARIO_H
+#define PDP_SERVICE_SCENARIO_H
+
+#include <cstdint>
+#include <vector>
+
+#include "service/service_sim.h"
+
+namespace pdp
+{
+
+/** Knobs of a generated service scenario. */
+struct ServiceScenarioParams
+{
+    /** Initial (and maximum concurrent) tenant count. */
+    unsigned tenants = 16;
+    /** Scripted swap steps (one leave + one join each). */
+    unsigned churn = 4;
+    /** Measured accesses the lifecycle is scripted against (the join /
+     *  leave indices are fractions of this). */
+    uint64_t accesses = 4'000'000;
+};
+
+/** Build the scripted population (see file comment). */
+std::vector<TenantSpec> buildServiceScenario(
+    const ServiceScenarioParams &params, uint64_t seed);
+
+} // namespace pdp
+
+#endif // PDP_SERVICE_SCENARIO_H

@@ -1,0 +1,399 @@
+#include "service/service_sim.h"
+
+#include <algorithm>
+
+#include "cache/cache_stats.h"
+#include "check/check.h"
+#include "check/invariant_auditor.h"
+#include "partition/tenant_aware.h"
+#include "sim/multi_core_sim.h"
+#include "telemetry/metrics.h"
+#include "trace/tenant_stream.h"
+#include "util/stats.h"
+
+namespace pdp
+{
+
+namespace
+{
+
+/** One scripted lifecycle edge. */
+struct LifecycleEvent
+{
+    uint64_t at = 0;
+    bool isJoin = false; //!< leaves sort before joins at equal `at`
+    unsigned spec = 0;
+};
+
+/** Mutable per-tenant run state (slot binding, stream, SLO samples). */
+struct TenantState
+{
+    enum class Phase { Pending, Live, Left };
+    Phase phase = Phase::Pending;
+    int slot = -1;
+    std::unique_ptr<TenantStreamGenerator> gen;
+    std::unique_ptr<PoissonProcess> clock;
+    TimingModel timer;
+    /** LLC per-thread stats at join (delta baseline). */
+    uint64_t baseAccesses = 0;
+    uint64_t baseHits = 0;
+    uint64_t baseMisses = 0;
+    uint64_t requests = 0;
+    uint64_t joinedAt = 0;
+    Accumulator quota;
+    Accumulator occupancy;
+    Accumulator drift;
+};
+
+double
+eventField(unsigned v)
+{
+    return static_cast<double>(v);
+}
+
+} // namespace
+
+ServiceResult
+runService(const std::vector<TenantSpec> &tenants,
+           const std::string &policy_spec, const ServiceConfig &config,
+           uint64_t seed)
+{
+    PDP_CHECK(!tenants.empty(), "service run with no tenants");
+    PDP_CHECK(config.slots >= 1 &&
+                  config.slots <= CacheStats::kMaxThreads,
+              "service slots ", config.slots, " outside [1, ",
+              CacheStats::kMaxThreads, "]");
+
+    HierarchyConfig hcfg = config.hierarchy;
+    hcfg.numThreads = config.slots;
+    auto policy = makeSharedPolicy(policy_spec, config.slots);
+    auto *ta = dynamic_cast<TenantAwarePartition *>(policy.get());
+    Hierarchy hierarchy(hcfg, std::move(policy));
+    Cache &llc = hierarchy.llc();
+    const uint64_t totalLines =
+        static_cast<uint64_t>(llc.numSets()) * llc.numWays();
+
+    std::unique_ptr<InvariantAuditor> auditor;
+    if (config.auditEvery > 0) {
+        InvariantAuditor::Options opts;
+        opts.cadence = config.auditEvery;
+        opts.failFast = config.auditFailFast;
+        auditor = std::make_unique<InvariantAuditor>(opts);
+        auditor->watchCache(llc);
+    }
+
+    std::unique_ptr<telemetry::EpochSampler> sampler;
+    if (config.telemetry.enabled)
+        sampler = std::make_unique<telemetry::EpochSampler>(
+            config.telemetry, llc, config.accesses, config.slots);
+    telemetry::EventTrace *trace =
+        sampler ? sampler->trace() : nullptr;
+
+    ServiceResult result;
+    result.policy = policy_spec;
+    result.tenantAware = ta != nullptr;
+    result.tenants.resize(tenants.size());
+
+    if (ta)
+        ta->beginTenantMode();
+
+    // Scripted lifecycle, sorted by (access index, leaves-first, spec).
+    std::vector<LifecycleEvent> lifecycle;
+    for (unsigned i = 0; i < tenants.size(); ++i) {
+        lifecycle.push_back({tenants[i].joinAt, true, i});
+        if (tenants[i].leaveAt > 0) {
+            PDP_CHECK(tenants[i].leaveAt > tenants[i].joinAt,
+                      "tenant ", tenants[i].name, " leaves at ",
+                      tenants[i].leaveAt, " before joining at ",
+                      tenants[i].joinAt);
+            lifecycle.push_back({tenants[i].leaveAt, false, i});
+        }
+    }
+    std::sort(lifecycle.begin(), lifecycle.end(),
+              [](const LifecycleEvent &a, const LifecycleEvent &b) {
+                  if (a.at != b.at)
+                      return a.at < b.at;
+                  if (a.isJoin != b.isJoin)
+                      return !a.isJoin; // leaves first
+                  return a.spec < b.spec;
+              });
+
+    std::vector<TenantState> state(tenants.size());
+    /** slotOwner[s] = spec index of the live tenant on slot s, or -1. */
+    std::vector<int> slotOwner(config.slots, -1);
+    unsigned live = 0;
+    uint64_t measured = 0;
+    bool measuring = false;
+    std::vector<double> lastQuotas;
+
+    auto currentQuotas = [&]() {
+        if (ta)
+            return ta->tenantQuotas();
+        // Unmanaged baseline: fairness target is an equal share.
+        std::vector<double> q(config.slots, 0.0);
+        if (live > 0)
+            for (unsigned s = 0; s < config.slots; ++s)
+                if (slotOwner[s] >= 0)
+                    q[s] = 1.0 / live;
+        return q;
+    };
+
+    auto snapshotBase = [&](TenantState &ts) {
+        const CacheStats &stats = llc.stats();
+        ts.baseAccesses = stats.threadAccesses[ts.slot];
+        ts.baseHits = stats.threadHits[ts.slot];
+        ts.baseMisses = stats.threadMisses[ts.slot];
+    };
+
+    auto doJoin = [&](unsigned spec) {
+        TenantState &ts = state[spec];
+        PDP_CHECK(ts.phase == TenantState::Phase::Pending,
+                  "tenant ", tenants[spec].name, " joined twice");
+        int slot = -1;
+        if (ta) {
+            slot = ta->tenantJoin();
+        } else {
+            for (unsigned s = 0; s < config.slots; ++s)
+                if (slotOwner[s] < 0) {
+                    slot = static_cast<int>(s);
+                    break;
+                }
+        }
+        PDP_CHECK(slot >= 0, "no free tenant slot for ",
+                  tenants[spec].name, " (", live, " live of ",
+                  config.slots, ")");
+        PDP_CHECK(slotOwner[slot] < 0, "slot ", slot,
+                  " double-booked joining ", tenants[spec].name);
+        ts.phase = TenantState::Phase::Live;
+        ts.slot = slot;
+        slotOwner[slot] = static_cast<int>(spec);
+        ++live;
+
+        const TenantSpec &t = tenants[spec];
+        // Disjoint per-tenant address windows: spec index in the high
+        // bits, footprints far below 2^32 lines.
+        const uint64_t addrBase = (static_cast<uint64_t>(spec) + 1) << 32;
+        const uint64_t streamSeed =
+            hashMix64(seed ^ (0x7e4a7c15u + 2u * spec));
+        ts.gen = std::make_unique<TenantStreamGenerator>(
+            t.name, streamSeed, t.footprintLines, t.zipfAlpha, addrBase,
+            t.meanGap, t.writeFrac);
+        ts.gen->setThreadId(static_cast<uint8_t>(slot));
+        ts.clock = std::make_unique<PoissonProcess>(
+            hashMix64(streamSeed ^ 0xc10cc10cu), t.arrivalRate);
+        ts.timer = TimingModel(config.timing);
+        ts.requests = 0;
+        ts.joinedAt = measured;
+        snapshotBase(ts);
+
+        ++result.joins;
+        ++result.reallocs;
+        telemetry::MetricsRegistry::global()
+            .counter("service.joins").add();
+        if (trace && measuring) {
+            trace->record({"tenant_join", measured, false,
+                           {{"tenant", eventField(spec)},
+                            {"slot", eventField(slot)},
+                            {"active", eventField(live)}}});
+            trace->record({"partition_realloc", measured, false,
+                           {{"cause", 0.0},
+                            {"active", eventField(live)}}});
+        }
+        lastQuotas = currentQuotas();
+    };
+
+    auto finalizeTenant = [&](unsigned spec, uint64_t leftAt) {
+        const TenantState &ts = state[spec];
+        const TenantSpec &t = tenants[spec];
+        const CacheStats &stats = llc.stats();
+        TenantOutcome &out = result.tenants[spec];
+        out.name = t.name;
+        out.slot = static_cast<unsigned>(ts.slot);
+        out.joinedAt = ts.joinedAt;
+        out.leftAt = leftAt;
+        out.requests = ts.requests;
+        out.llcAccesses = stats.threadAccesses[ts.slot] - ts.baseAccesses;
+        out.llcHits = stats.threadHits[ts.slot] - ts.baseHits;
+        out.llcMisses = stats.threadMisses[ts.slot] - ts.baseMisses;
+        out.hitRate = out.llcAccesses
+            ? static_cast<double>(out.llcHits) / out.llcAccesses
+            : 0.0;
+        out.ipc = ts.timer.ipc();
+        out.p99MissCycles =
+            static_cast<double>(ts.timer.missLatency().quantile(0.99));
+        out.meanQuota = ts.quota.mean();
+        out.meanOccupancy = ts.occupancy.mean();
+        out.occupancyDrift = ts.drift.mean();
+        out.hitRateSloMet = t.slo.minHitRate <= 0.0 ||
+            out.hitRate >= t.slo.minHitRate;
+        out.latencySloMet = t.slo.maxP99MissCycles <= 0.0 ||
+            out.p99MissCycles <= t.slo.maxP99MissCycles;
+    };
+
+    auto doLeave = [&](unsigned spec) {
+        TenantState &ts = state[spec];
+        PDP_CHECK(ts.phase == TenantState::Phase::Live,
+                  "tenant ", tenants[spec].name, " left while not live");
+        finalizeTenant(spec, measured);
+        if (ta)
+            ta->tenantLeave(static_cast<unsigned>(ts.slot));
+        slotOwner[ts.slot] = -1;
+        ts.phase = TenantState::Phase::Left;
+        ts.gen.reset();
+        ts.clock.reset();
+        --live;
+
+        ++result.leaves;
+        ++result.reallocs;
+        telemetry::MetricsRegistry::global()
+            .counter("service.leaves").add();
+        if (trace) {
+            trace->record({"tenant_leave", measured, false,
+                           {{"tenant", eventField(spec)},
+                            {"slot", eventField(ts.slot)},
+                            {"active", eventField(live)}}});
+            trace->record({"partition_realloc", measured, false,
+                           {{"cause", 1.0},
+                            {"active", eventField(live)}}});
+        }
+        lastQuotas = currentQuotas();
+    };
+
+    /** Serve the earliest pending arrival (ties: lowest spec). */
+    auto step = [&]() {
+        int pick = -1;
+        double earliest = 0.0;
+        for (unsigned i = 0; i < tenants.size(); ++i) {
+            const TenantState &ts = state[i];
+            if (ts.phase != TenantState::Phase::Live)
+                continue;
+            const double when = ts.clock->nextArrival();
+            if (pick < 0 || when < earliest) {
+                pick = static_cast<int>(i);
+                earliest = when;
+            }
+        }
+        PDP_CHECK(pick >= 0, "open-loop step with no live tenant");
+        TenantState &ts = state[pick];
+        const Access access = ts.gen->next();
+        const HierarchyResult res = hierarchy.access(access);
+        if (sampler && measuring)
+            sampler->onAccess();
+        ts.timer.onAccess(access.instrGap, res.level);
+        ++ts.requests;
+        ts.clock->advance();
+    };
+
+    const uint64_t sloInterval = config.sloInterval > 0
+        ? config.sloInterval
+        : std::max<uint64_t>(16384, config.accesses / 64);
+
+    auto sampleSlo = [&]() {
+        if (live == 0)
+            return;
+        const std::vector<double> quotas = currentQuotas();
+        std::vector<uint64_t> owned(config.slots, 0);
+        for (uint32_t set = 0; set < llc.numSets(); ++set)
+            for (uint32_t way = 0; way < llc.numWays(); ++way)
+                if (llc.isValid(set, way)) {
+                    const unsigned t = llc.lineThread(set, way);
+                    if (t < config.slots)
+                        ++owned[t];
+                }
+        for (unsigned s = 0; s < config.slots; ++s) {
+            if (slotOwner[s] < 0)
+                continue;
+            TenantState &ts = state[slotOwner[s]];
+            const double occ = static_cast<double>(owned[s]) /
+                static_cast<double>(totalLines);
+            const double q = quotas[s];
+            ts.quota.add(q);
+            ts.occupancy.add(occ);
+            ts.drift.add(occ > q ? occ - q : q - occ);
+        }
+        // A quota vector that moved since the last look is a periodic
+        // reallocation (the PD-recompute / UMON clock fired).
+        if (quotas != lastQuotas) {
+            ++result.reallocs;
+            telemetry::MetricsRegistry::global()
+                .counter("service.reallocs").add();
+            if (trace)
+                trace->record({"partition_realloc", measured, false,
+                               {{"cause", 2.0},
+                                {"active", eventField(live)}}});
+            lastQuotas = quotas;
+        }
+    };
+
+    // --- Initial population + warmup (stats discarded) ----------------
+    size_t nextEvent = 0;
+    while (nextEvent < lifecycle.size() &&
+           lifecycle[nextEvent].at == 0 && lifecycle[nextEvent].isJoin) {
+        doJoin(lifecycle[nextEvent].spec);
+        ++nextEvent;
+    }
+    PDP_CHECK(live > 0, "no tenant joins at access 0");
+    {
+        telemetry::ScopedPhaseTimer phase(trace, "warmup");
+        for (uint64_t i = 0; i < config.warmup; ++i)
+            step();
+    }
+    hierarchy.resetStats();
+    for (TenantState &ts : state) {
+        if (ts.phase != TenantState::Phase::Live)
+            continue;
+        ts.timer = TimingModel(config.timing);
+        ts.requests = 0;
+        snapshotBase(ts);
+    }
+    if (auditor)
+        llc.setAuditor(auditor.get());
+    if (sampler)
+        sampler->beginMeasurement();
+    measuring = true;
+    lastQuotas = currentQuotas();
+
+    // --- Measured open-loop phase -------------------------------------
+    {
+        telemetry::ScopedPhaseTimer phase(trace, "measure");
+        while (measured < config.accesses) {
+            while (nextEvent < lifecycle.size() &&
+                   lifecycle[nextEvent].at <= measured) {
+                const LifecycleEvent &ev = lifecycle[nextEvent];
+                if (ev.isJoin)
+                    doJoin(ev.spec);
+                else
+                    doLeave(ev.spec);
+                ++nextEvent;
+            }
+            if (live == 0)
+                break; // script drained the population early
+            step();
+            ++measured;
+            if (measured % sloInterval == 0)
+                sampleSlo();
+        }
+    }
+
+    // Tenants still resident at the end: close their residency window.
+    for (unsigned i = 0; i < tenants.size(); ++i)
+        if (state[i].phase == TenantState::Phase::Live)
+            finalizeTenant(i, measured);
+
+    const CacheStats &stats = llc.stats();
+    result.aggregateHitRate = stats.hitRate();
+    if (auditor) {
+        llc.setAuditor(nullptr);
+        auditor->auditNow();
+        result.auditsRun = auditor->auditsRun();
+        result.auditViolations = auditor->totalViolations();
+    }
+    if (sampler) {
+        sampler->finish();
+        result.telemetry = std::make_shared<telemetry::RunTelemetry>(
+            sampler->take());
+    }
+    return result;
+}
+
+} // namespace pdp

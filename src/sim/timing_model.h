@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "cache/hierarchy.h"
+#include "util/stats.h"
 
 namespace pdp
 {
@@ -67,8 +68,10 @@ class TimingModel
                     params_.instrWindow / params_.width
                 ? params_.memLatency - params_.instrWindow / params_.width
                 : 0;
-            stallCycles_ += instrSinceMiss_ < params_.mlpWindow
+            const uint32_t charged = instrSinceMiss_ < params_.mlpWindow
                 ? params_.memLatency / params_.mlp : exposed;
+            stallCycles_ += charged;
+            missLatency_.add(charged);
             instrSinceMiss_ = 0;
             break;
           }
@@ -102,12 +105,18 @@ class TimingModel
         return c ? static_cast<double>(instructions_) / c : 0.0;
     }
 
+    /** Log2 histogram of the per-miss stall cycles actually charged
+     *  (overlapped or exposed); quantile() gives the p99-miss-latency
+     *  bound the service-mode SLO accounting reports. */
+    const Log2Histogram &missLatency() const { return missLatency_; }
+
     void
     reset()
     {
         instructions_ = 0;
         stallCycles_ = 0;
         instrSinceMiss_ = 0;
+        missLatency_.reset();
     }
 
   private:
@@ -115,6 +124,7 @@ class TimingModel
     uint64_t instructions_ = 0;
     uint64_t stallCycles_ = 0;
     uint64_t instrSinceMiss_ = 0;
+    Log2Histogram missLatency_;
 };
 
 } // namespace pdp

@@ -1,0 +1,46 @@
+#include "trace/tenant_stream.h"
+
+#include "check/check.h"
+
+namespace pdp
+{
+
+TenantStreamGenerator::TenantStreamGenerator(std::string name, uint64_t seed,
+                                             uint64_t footprint_lines,
+                                             double zipf_alpha,
+                                             uint64_t addr_base,
+                                             uint32_t mean_gap,
+                                             double write_frac)
+    : name_(std::move(name)), seed_(seed),
+      zipf_(footprint_lines, zipf_alpha), addrBase_(addr_base),
+      meanGap_(mean_gap), writeFrac_(write_frac), rng_(seed)
+{
+    PDP_CHECK(meanGap_ >= 1, "tenant \"", name_, "\" mean gap ", meanGap_);
+}
+
+Access
+TenantStreamGenerator::next()
+{
+    const uint64_t rank = zipf_.sample(rng_);
+    Access access;
+    // Rank r maps to line addr_base + r: the hot head of the Zipf
+    // distribution is a contiguous region, so it spreads across sets via
+    // the low index bits like any dense working set.
+    access.lineAddr = addrBase_ + rank;
+    // A small per-tenant PC pool keyed off the rank's locality class, so
+    // PC-indexed predictors see stable signatures per popularity band.
+    access.pc = hashMix64(seed_ ^ (rank >> 6) % 61);
+    access.instrGap = 1 + static_cast<uint32_t>(
+        rng_.below(meanGap_ > 1 ? 2 * meanGap_ - 1 : 1));
+    access.threadId = threadId_;
+    access.isWrite = rng_.chance(writeFrac_);
+    return access;
+}
+
+void
+TenantStreamGenerator::reset()
+{
+    rng_.reseed(seed_);
+}
+
+} // namespace pdp

@@ -1,0 +1,38 @@
+#include "trace/zipf.h"
+
+#include <algorithm>
+
+#include "check/check.h"
+
+namespace pdp
+{
+
+ZipfSampler::ZipfSampler(uint64_t n, double alpha) : alpha_(alpha)
+{
+    PDP_CHECK(n >= 1, "ZipfSampler: footprint must be >= 1, got ", n);
+    // Bound the CDF table: service footprints are line counts of cache-
+    // sized working sets, far below this.
+    PDP_CHECK(n <= (1ull << 26),
+              "ZipfSampler: footprint ", n, " exceeds 2^26 lines");
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (uint64_t r = 0; r < n; ++r) {
+        sum += __builtin_pow(static_cast<double>(r + 1), -alpha);
+        cdf_[r] = sum;
+    }
+    const double inv = 1.0 / sum;
+    for (double &c : cdf_)
+        c *= inv;
+    cdf_.back() = 1.0;
+}
+
+uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end() ? cdf_.size() - 1
+                            : static_cast<uint64_t>(it - cdf_.begin());
+}
+
+} // namespace pdp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Zipf(alpha) rank sampler over a bounded footprint.
+ *
+ * Service-mode tenants (src/service/) model cache-service key
+ * popularity: request streams against N distinct lines where line r's
+ * probability is proportional to 1 / (r+1)^alpha.  The sampler
+ * precomputes the normalized CDF once (O(N) doubles) and draws by
+ * binary search (O(log N) per sample), so the per-access cost is flat
+ * regardless of skew.  All randomness flows through the caller's Rng,
+ * keeping streams bit-reproducible.
+ */
+
+#ifndef PDP_TRACE_ZIPF_H
+#define PDP_TRACE_ZIPF_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace pdp
+{
+
+/** Precomputed-CDF Zipf sampler: ranks 0..n-1, P(r) ~ 1/(r+1)^alpha. */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n footprint size (distinct ranks); must be >= 1
+     * @param alpha skew exponent; 0 degenerates to uniform
+     */
+    ZipfSampler(uint64_t n, double alpha);
+
+    /** Draw one rank in [0, n). */
+    uint64_t sample(Rng &rng) const;
+
+    uint64_t footprint() const { return cdf_.size(); }
+    double alpha() const { return alpha_; }
+
+  private:
+    double alpha_;
+    /** cdf_[r] = P(rank <= r); last element is exactly 1.0. */
+    std::vector<double> cdf_;
+};
+
+} // namespace pdp
+
+#endif // PDP_TRACE_ZIPF_H

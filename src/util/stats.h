@@ -8,6 +8,7 @@
 #define PDP_UTIL_STATS_H
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -102,6 +103,84 @@ class Histogram
   private:
     std::vector<uint64_t> buckets_;
     uint64_t overflow_ = 0;
+};
+
+/**
+ * Log2-bucketed histogram of non-negative integer observations.
+ *
+ * Bucket 0 holds the value 0; bucket k >= 1 holds values in
+ * [2^(k-1), 2^k).  65 buckets cover the full uint64_t range, so there is
+ * no overflow case.  Quantile queries return the inclusive upper edge of
+ * the bucket containing the requested rank — a deterministic,
+ * resolution-honest bound (p99 of miss latencies is "at most 2^k - 1
+ * cycles"), which is all the SLO accounting needs from a 65-counter
+ * structure.
+ */
+class Log2Histogram
+{
+  public:
+    void
+    add(uint64_t value)
+    {
+        ++buckets_[bucketOf(value)];
+        ++count_;
+    }
+
+    uint64_t count() const { return count_; }
+
+    /** Upper edge of the bucket holding the q-quantile observation
+     *  (0 < q <= 1); 0 when the histogram is empty. */
+    uint64_t
+    quantile(double q) const
+    {
+        if (count_ == 0)
+            return 0;
+        // rank = ceil(q * count), clamped into [1, count]
+        uint64_t rank =
+            static_cast<uint64_t>(q * static_cast<double>(count_));
+        if (static_cast<double>(rank) < q * static_cast<double>(count_))
+            ++rank;
+        rank = std::max<uint64_t>(1, std::min(rank, count_));
+        uint64_t seen = 0;
+        for (unsigned k = 0; k < kBuckets; ++k) {
+            seen += buckets_[k];
+            if (seen >= rank)
+                return upperEdge(k);
+        }
+        return upperEdge(kBuckets - 1);
+    }
+
+    uint64_t at(unsigned bucket) const { return buckets_[bucket]; }
+    static constexpr unsigned kBuckets = 65;
+
+    /** Bucket index for a value (0 -> 0; otherwise 64 - clz). */
+    static unsigned
+    bucketOf(uint64_t v)
+    {
+        return v ? 64 - static_cast<unsigned>(__builtin_clzll(v)) : 0;
+    }
+
+    /** Largest value bucket k can hold. */
+    static uint64_t
+    upperEdge(unsigned k)
+    {
+        if (k == 0)
+            return 0;
+        if (k >= 64)
+            return ~0ull;
+        return (1ull << k) - 1;
+    }
+
+    void
+    reset()
+    {
+        buckets_.fill(0);
+        count_ = 0;
+    }
+
+  private:
+    std::array<uint64_t, kBuckets> buckets_{};
+    uint64_t count_ = 0;
 };
 
 /** Harmonic mean of a vector of positive values (0 if empty). */

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "cache/cache.h"
+#include "check/invariant_auditor.h"
 #include "partition/pdp_partition.h"
 #include "partition/pipp.h"
 #include "partition/ta_drrip.h"
@@ -187,4 +188,203 @@ TEST(SharedPolicyFactory, BuildsAll)
         ASSERT_NE(policy, nullptr);
     }
     EXPECT_THROW(makeSharedPolicy("nope", 4), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic tenants (TenantAwarePartition, service mode)
+// ---------------------------------------------------------------------------
+
+TEST(Umon, InactiveThreadsGetNoWays)
+{
+    Umon umon(4, 64, 8, 1);
+    umon.setActive(2, false);
+    umon.setActive(3, false);
+    // Thread 0 shows reuse at 6 ways; thread 1 streams.
+    for (int lap = 0; lap < 50; ++lap)
+        for (uint64_t line = 0; line < 6; ++line)
+            umon.observe(0, line, 0);
+    for (uint64_t i = 0; i < 300; ++i)
+        umon.observe(0, 1000 + i, 1);
+    const auto alloc = umon.lookaheadPartition();
+    ASSERT_EQ(alloc.size(), 4u);
+    EXPECT_EQ(alloc[2], 0u);
+    EXPECT_EQ(alloc[3], 0u);
+    // The whole cache splits over the two active threads only.
+    EXPECT_EQ(alloc[0] + alloc[1], 8u);
+    EXPECT_GE(alloc[0], 6u);
+    EXPECT_GE(alloc[1], 1u);
+}
+
+TEST(Umon, ResetThreadClearsTheCurveForTheNextOccupant)
+{
+    Umon umon(2, 64, 8, 1);
+    for (int lap = 0; lap < 50; ++lap)
+        for (uint64_t line = 0; line < 4; ++line)
+            umon.observe(0, line, 0);
+    ASSERT_GT(umon.hitsWithWays(0, 8), 0u);
+    umon.resetThread(0);
+    // The recycled slot starts with a blank utility curve: the previous
+    // occupant's reuse must not shape the next tenant's allocation.
+    for (uint32_t w = 1; w <= 8; ++w)
+        EXPECT_EQ(umon.hitsWithWays(0, w), 0u);
+}
+
+namespace
+{
+
+/** One scripted UCP churn sequence; returns the allocation after each
+ *  lifecycle step (for determinism comparison across runs). */
+std::vector<std::vector<uint32_t>>
+ucpChurnSequence()
+{
+    auto policy = std::make_unique<UcpPolicy>(4, /*interval=*/1'000'000);
+    UcpPolicy *ucp = policy.get();
+    Cache cache(tinyConfig(64, 8), std::move(policy));
+    ucp->beginTenantMode();
+    EXPECT_EQ(ucp->activeTenants(), 0u);
+
+    std::vector<std::vector<uint32_t>> history;
+    EXPECT_EQ(ucp->tenantJoin(), 0);
+    EXPECT_EQ(ucp->tenantJoin(), 1);
+    history.push_back(ucp->allocation());
+
+    // Thread 0 reuses 6 lines, thread 1 streams.
+    for (int lap = 0; lap < 300; ++lap) {
+        for (uint64_t line = 0; line < 6; ++line)
+            cache.access(at(line * 64, 0));
+        for (int s = 0; s < 6; ++s)
+            cache.access(at((100000 + lap * 8 + s) * 64, 1));
+    }
+
+    EXPECT_EQ(ucp->tenantJoin(), 2);
+    history.push_back(ucp->allocation());
+    ucp->tenantLeave(1);
+    history.push_back(ucp->allocation());
+    // The vacated slot is the lowest free one, so it is recycled next.
+    EXPECT_EQ(ucp->tenantJoin(), 1);
+    history.push_back(ucp->allocation());
+
+    for (int lap = 0; lap < 50; ++lap)
+        for (uint64_t line = 0; line < 4; ++line)
+            cache.access(at((5000 + line) * 64, 2));
+    history.push_back(ucp->allocation());
+
+    // The cache itself stays invariant-clean through the churn.
+    InvariantAuditor auditor;
+    auditor.watchCache(cache);
+    auditor.auditNow();
+    EXPECT_EQ(auditor.totalViolations(), 0u)
+        << auditor.lastReport().report();
+    return history;
+}
+
+} // namespace
+
+TEST(Ucp, TenantChurnReallocatesDeterministically)
+{
+    const auto first = ucpChurnSequence();
+    const auto second = ucpChurnSequence();
+    EXPECT_EQ(first, second);
+
+    // Inactive slots hold zero ways at every step; active slots cover
+    // the whole cache.
+    for (const auto &alloc : first) {
+        uint32_t total = 0;
+        for (uint32_t ways : alloc)
+            total += ways;
+        EXPECT_EQ(total, 8u);
+    }
+}
+
+TEST(Ucp, TenantQuotasTrackActiveSlots)
+{
+    auto policy = std::make_unique<UcpPolicy>(4, 1'000'000);
+    UcpPolicy *ucp = policy.get();
+    Cache cache(tinyConfig(64, 8), std::move(policy));
+    ucp->beginTenantMode();
+    ucp->tenantJoin();
+    ucp->tenantJoin();
+    ucp->tenantJoin();
+    ucp->tenantLeave(1);
+    EXPECT_EQ(ucp->activeTenants(), 2u);
+    EXPECT_TRUE(ucp->tenantActive(0));
+    EXPECT_FALSE(ucp->tenantActive(1));
+    const std::vector<double> quotas = ucp->tenantQuotas();
+    ASSERT_EQ(quotas.size(), 4u);
+    EXPECT_EQ(quotas[1], 0.0);
+    EXPECT_EQ(quotas[3], 0.0);
+    double sum = 0.0;
+    for (double q : quotas)
+        sum += q;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Ucp, TenantJoinReturnsMinusOneWhenFull)
+{
+    auto policy = std::make_unique<UcpPolicy>(2, 1'000'000);
+    UcpPolicy *ucp = policy.get();
+    Cache cache(tinyConfig(64, 8), std::move(policy));
+    ucp->beginTenantMode();
+    EXPECT_EQ(ucp->tenantJoin(), 0);
+    EXPECT_EQ(ucp->tenantJoin(), 1);
+    EXPECT_EQ(ucp->tenantJoin(), -1);
+}
+
+TEST(PdpPartition, TenantChurnKeepsInvariantsAndRecyclesSlots)
+{
+    auto policy = std::make_unique<PdpPartitionPolicy>(4, 3);
+    PdpPartitionPolicy *pdp = policy.get();
+    Cache cache(tinyConfig(256, 16, /*bypass=*/true), std::move(policy));
+    pdp->beginTenantMode();
+
+    EXPECT_EQ(pdp->tenantJoin(), 0);
+    EXPECT_EQ(pdp->tenantJoin(), 1);
+    uint64_t scan = 1ull << 40;
+    for (uint64_t i = 0; i < 50'000; ++i) {
+        cache.access(at(i % 2048, 0));
+        cache.access(at(scan++, 1));
+    }
+    pdp->tenantLeave(0);
+    // A vacated slot drops to minimal protection (counterStep) so its
+    // residual lines age out — auditGlobal's part.inactive_pd invariant.
+    EXPECT_FALSE(pdp->tenantActive(0));
+    EXPECT_EQ(pdp->tenantJoin(), 0); // lowest slot recycled
+    EXPECT_EQ(pdp->tenantJoin(), 2);
+    EXPECT_EQ(pdp->activeTenants(), 3u);
+    for (uint64_t i = 0; i < 20'000; ++i)
+        cache.access(at(i % 1024, 2));
+
+    InvariantAuditor auditor;
+    auditor.watchCache(cache);
+    auditor.auditNow();
+    EXPECT_EQ(auditor.totalViolations(), 0u)
+        << auditor.lastReport().report();
+
+    const std::vector<double> quotas = pdp->tenantQuotas();
+    ASSERT_EQ(quotas.size(), 4u);
+    EXPECT_EQ(quotas[3], 0.0);
+    double sum = 0.0;
+    for (double q : quotas)
+        sum += q;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PdpPartition, InactiveSlotHoldsMinimalPdAfterLeave)
+{
+    auto policy = std::make_unique<PdpPartitionPolicy>(2, 3);
+    PdpPartitionPolicy *pdp = policy.get();
+    Cache cache(tinyConfig(256, 16, true), std::move(policy));
+    pdp->beginTenantMode();
+    ASSERT_EQ(pdp->tenantJoin(), 0);
+    ASSERT_EQ(pdp->tenantJoin(), 1);
+    for (uint64_t i = 0; i < 30'000; ++i)
+        cache.access(at(i % 512, static_cast<uint8_t>(i & 1)));
+    pdp->tenantLeave(1);
+    // counterStep is the minimum PD the model admits (S_c = 16 here via
+    // makePdpPartition defaults is 16; the direct ctor uses Params'
+    // default step).
+    InvariantReporter reporter;
+    pdp->auditGlobal(reporter);
+    EXPECT_TRUE(reporter.clean()) << reporter.report();
+    EXPECT_LE(pdp->threadPds()[1], pdp->threadPds()[0]);
 }

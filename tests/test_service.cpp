@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the multi-tenant cache-service mode (src/service/): scenario
+ * scripting, open-loop determinism, invariant cleanliness through tenant
+ * churn at maximum audit cadence, lifecycle/realloc event emission, and
+ * per-tenant SLO metric plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/check.h"
+#include "runner/results_sink.h"
+#include "service/scenario.h"
+#include "service/service_sim.h"
+
+using namespace pdp;
+
+namespace
+{
+
+/** A seconds-long population: 3 initial tenants, one scripted swap. */
+std::vector<TenantSpec>
+smallTenants()
+{
+    std::vector<TenantSpec> tenants(4);
+    tenants[0].name = "alpha";
+    tenants[0].arrivalRate = 2.0;
+    tenants[0].footprintLines = 1 << 10;
+    tenants[1].name = "beta";
+    tenants[1].arrivalRate = 1.0;
+    tenants[1].footprintLines = 1 << 12;
+    tenants[1].zipfAlpha = 0.6;
+    tenants[1].leaveAt = 20'000;
+    tenants[2].name = "gamma";
+    tenants[2].arrivalRate = 4.0;
+    tenants[2].footprintLines = 1 << 11;
+    tenants[3].name = "delta";
+    tenants[3].footprintLines = 1 << 10;
+    tenants[3].joinAt = 20'000; // swaps into beta's slot
+    return tenants;
+}
+
+ServiceConfig
+smallConfig()
+{
+    ServiceConfig config;
+    config.slots = 4;
+    config.accesses = 60'000;
+    config.warmup = 10'000;
+    config.sloInterval = 4'000;
+    return config;
+}
+
+} // namespace
+
+TEST(ServiceScenario, LifetimePopulationAndChurnScript)
+{
+    ServiceScenarioParams params;
+    params.tenants = 8;
+    params.churn = 3;
+    params.accesses = 400'000;
+    const auto tenants = buildServiceScenario(params, 42);
+    ASSERT_EQ(tenants.size(), 11u); // 8 initial + 3 churn joiners
+    unsigned leavers = 0, lateJoiners = 0;
+    for (const TenantSpec &t : tenants) {
+        leavers += t.leaveAt > 0 ? 1 : 0;
+        lateJoiners += t.joinAt > 0 ? 1 : 0;
+        if (t.leaveAt > 0) {
+            EXPECT_GT(t.leaveAt, t.joinAt);
+        }
+    }
+    EXPECT_EQ(leavers, 3u);
+    EXPECT_EQ(lateJoiners, 3u);
+    // Identical (params, seed) => identical script.
+    const auto again = buildServiceScenario(params, 42);
+    for (size_t i = 0; i < tenants.size(); ++i) {
+        EXPECT_EQ(tenants[i].name, again[i].name);
+        EXPECT_EQ(tenants[i].footprintLines, again[i].footprintLines);
+        EXPECT_EQ(tenants[i].joinAt, again[i].joinAt);
+        EXPECT_EQ(tenants[i].leaveAt, again[i].leaveAt);
+    }
+}
+
+TEST(ServiceScenario, RejectsChurnSwallowingThePopulation)
+{
+    ServiceScenarioParams params;
+    params.tenants = 4;
+    params.churn = 4;
+    EXPECT_THROW(buildServiceScenario(params, 1), CheckFailure);
+}
+
+TEST(ServiceSim, DeterministicAcrossRepeatedRuns)
+{
+    const auto tenants = smallTenants();
+    const ServiceConfig config = smallConfig();
+    for (const char *policy : {"LRU", "UCP", "PDP-3"}) {
+        const ServiceResult a = runService(tenants, policy, config, 7);
+        const ServiceResult b = runService(tenants, policy, config, 7);
+        // The serialized form covers every deterministic field at once.
+        EXPECT_EQ(runner::toJson(a).dump(2), runner::toJson(b).dump(2))
+            << policy;
+    }
+}
+
+TEST(ServiceSim, ChurnIsAuditCleanAtMaxCadence)
+{
+    const auto tenants = smallTenants();
+    ServiceConfig config = smallConfig();
+    config.auditEvery = 1;
+    config.auditFailFast = true; // throw at the offending access
+    for (const char *policy : {"UCP", "PDP-2", "PDP-3"}) {
+        const ServiceResult result = runService(tenants, policy, config, 7);
+        EXPECT_TRUE(result.tenantAware) << policy;
+        EXPECT_GT(result.auditsRun, 0u) << policy;
+        EXPECT_EQ(result.auditViolations, 0u) << policy;
+    }
+}
+
+TEST(ServiceSim, EmitsLifecycleAndReallocEvents)
+{
+    const auto tenants = smallTenants();
+    ServiceConfig config = smallConfig();
+    config.telemetry.enabled = true;
+    config.telemetry.traceEvents = true;
+    const ServiceResult result = runService(tenants, "PDP-3", config, 7);
+    ASSERT_NE(result.telemetry, nullptr);
+    unsigned joins = 0, leaves = 0, reallocs = 0;
+    for (const telemetry::TraceEvent &event : result.telemetry->events) {
+        joins += event.type == "tenant_join" ? 1 : 0;
+        leaves += event.type == "tenant_leave" ? 1 : 0;
+        reallocs += event.type == "partition_realloc" ? 1 : 0;
+    }
+    // The scripted swap: one mid-run join, one leave, and at least one
+    // partition_realloc per churn edge.
+    EXPECT_EQ(joins, 1u);
+    EXPECT_EQ(leaves, 1u);
+    EXPECT_GE(reallocs, 2u);
+    EXPECT_EQ(result.joins, 4u);
+    EXPECT_EQ(result.leaves, 1u);
+    EXPECT_GE(result.reallocs, result.joins + result.leaves);
+}
+
+TEST(ServiceSim, PerTenantSloMetricsArePopulated)
+{
+    auto tenants = smallTenants();
+    tenants[0].slo.minHitRate = 0.01;
+    tenants[0].slo.maxP99MissCycles = 256.0;
+    const ServiceResult result =
+        runService(tenants, "PDP-3", smallConfig(), 7);
+    ASSERT_EQ(result.tenants.size(), 4u);
+    for (const TenantOutcome &t : result.tenants) {
+        EXPECT_GT(t.requests, 0u) << t.name;
+        EXPECT_GE(t.hitRate, 0.0);
+        EXPECT_LE(t.hitRate, 1.0);
+        EXPECT_GE(t.meanQuota, 0.0);
+        EXPECT_LE(t.meanQuota, 1.0);
+        EXPECT_GE(t.occupancyDrift, 0.0);
+        EXPECT_LE(t.occupancyDrift, 1.0);
+    }
+    // The swap pair shares a slot: beta leaves, delta takes its place.
+    EXPECT_EQ(result.tenants[1].leftAt, 20'000u);
+    EXPECT_EQ(result.tenants[3].joinedAt, 20'000u);
+    EXPECT_EQ(result.tenants[1].slot, result.tenants[3].slot);
+    // p99 is a log2 bucket upper edge: one less than a power of two
+    // (or zero when the tenant never missed).
+    for (const TenantOutcome &t : result.tenants) {
+        const uint64_t p99 = static_cast<uint64_t>(t.p99MissCycles);
+        EXPECT_EQ((p99 + 1) & p99, 0u) << t.name << " p99=" << p99;
+    }
+}
+
+TEST(ServiceSim, BaselinePoliciesRunUnmanaged)
+{
+    const ServiceResult result =
+        runService(smallTenants(), "LRU", smallConfig(), 7);
+    EXPECT_FALSE(result.tenantAware);
+    EXPECT_EQ(result.joins, 4u);
+    EXPECT_EQ(result.leaves, 1u);
+    // Quotas fall back to an equal share of the live tenants.
+    for (const TenantOutcome &t : result.tenants)
+        EXPECT_NEAR(t.meanQuota, 1.0 / 3.0, 0.05) << t.name;
+}

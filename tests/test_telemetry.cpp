@@ -31,7 +31,7 @@ TEST(MetricsRegistry, HandlesAreStableAndSnapshotIsSorted)
     c.add(3);
     c.add(2);
     registry.gauge("test.a_gauge").set(1.5);
-    Histogram &h = registry.histogram("test.m_hist");
+    telemetry::Histogram &h = registry.histogram("test.m_hist");
     h.observe(1);
     h.observe(1024);
 

@@ -152,6 +152,36 @@ TEST(Stats, HistogramOverflow)
     EXPECT_EQ(h.total(), 4u);
 }
 
+TEST(Stats, Log2HistogramBucketsAndEdges)
+{
+    EXPECT_EQ(Log2Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Log2Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Log2Histogram::bucketOf(50), 6u);   // [32, 64)
+    EXPECT_EQ(Log2Histogram::bucketOf(168), 8u);  // [128, 256)
+    EXPECT_EQ(Log2Histogram::upperEdge(0), 0u);
+    EXPECT_EQ(Log2Histogram::upperEdge(6), 63u);
+    EXPECT_EQ(Log2Histogram::upperEdge(8), 255u);
+}
+
+TEST(Stats, Log2HistogramQuantileIsResolutionHonest)
+{
+    Log2Histogram h;
+    EXPECT_EQ(h.quantile(0.99), 0u); // empty => 0
+    // The timing model's two charged miss costs: 99 overlapped (50
+    // cycles, bucket edge 63) and 1 exposed (168 cycles, edge 255).
+    for (int i = 0; i < 99; ++i)
+        h.add(50);
+    h.add(168);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.quantile(0.50), 63u);
+    EXPECT_EQ(h.quantile(0.99), 63u);  // rank 99 still in the 50s
+    EXPECT_EQ(h.quantile(0.995), 255u);
+    EXPECT_EQ(h.quantile(1.0), 255u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.99), 0u);
+}
+
 TEST(Stats, HarmonicMean)
 {
     EXPECT_DOUBLE_EQ(harmonicMean({1.0, 1.0}), 1.0);

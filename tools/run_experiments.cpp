@@ -10,6 +10,7 @@
  *                   [--json DIR|none] [--timeout SECONDS] [--verbose]
  *                   [--telemetry[=DIR]] [--trace]
  *                   [--shards N] [--lockstep]
+ *                   [--tenants N] [--churn N] [--deterministic-json]
  *
  * --shards N set-shards each single-core job's LLC across N worker
  * threads (semantics-preserving; policies that cannot shard fall back
@@ -23,6 +24,12 @@
  * additionally derives structured events (PD changes, PSEL flips,
  * partition reallocations) and writes TRACE_<suite>.jsonl; it implies
  * --telemetry.  Render either with tools/telemetry_report.py.
+ *
+ * --tenants / --churn parameterize the `service` suite's scripted
+ * tenant population (other suites ignore them).  --deterministic-json
+ * writes BENCH_<suite>.json in the volatile-free form so on-disk files
+ * byte-compare across worker counts (CI's service-smoke identity
+ * check).
  *
  * Defaults come from the same environment knobs the bench binaries use:
  * PDP_BENCH_SCALE, PDP_BENCH_JOBS, PDP_BENCH_VERBOSE, PDP_BENCH_JSON.
@@ -54,6 +61,8 @@ printUsage(std::FILE *to)
                  "                       [--timeout SECONDS] [--verbose]\n"
                  "                       [--telemetry[=DIR]] [--trace]\n"
                  "                       [--shards N] [--lockstep]\n"
+                 "                       [--tenants N] [--churn N]\n"
+                 "                       [--deterministic-json]\n"
                  "\n"
                  "--shards N set-shards each job's LLC across N threads;\n"
                  "--lockstep runs each benchmark's sweep cells over one\n"
@@ -63,6 +72,10 @@ printUsage(std::FILE *to)
                  "--telemetry samples per-epoch policy state into the\n"
                  "BENCH json (optional =DIR overrides --json); --trace\n"
                  "also writes TRACE_<suite>.jsonl structured events.\n"
+                 "\n"
+                 "--tenants/--churn shape the `service` suite's scripted\n"
+                 "population; --deterministic-json writes the BENCH json\n"
+                 "in the volatile-free (byte-comparable) form.\n"
                  "\n"
                  "Environment defaults: PDP_BENCH_SCALE, PDP_BENCH_JOBS,\n"
                  "PDP_BENCH_VERBOSE, PDP_BENCH_JSON.\n");
@@ -128,6 +141,28 @@ main(int argc, char **argv)
             options.shards = static_cast<unsigned>(*shards);
         } else if (arg == "--lockstep") {
             options.lockstep = true;
+        } else if (arg == "--tenants") {
+            const auto tenants = pdp::parseUnsigned(needValue(i));
+            if (!tenants || *tenants == 0 || *tenants > 32) {
+                std::fprintf(stderr,
+                             "--tenants wants an integer in [1, 32] (the "
+                             "thread-id cap), got \"%s\"\n",
+                             argv[i]);
+                return 2;
+            }
+            options.serviceTenants = static_cast<unsigned>(*tenants);
+        } else if (arg == "--churn") {
+            const auto churn = pdp::parseUnsigned(needValue(i));
+            if (!churn) {
+                std::fprintf(stderr,
+                             "--churn wants a non-negative integer, got "
+                             "\"%s\"\n",
+                             argv[i]);
+                return 2;
+            }
+            options.serviceChurn = static_cast<unsigned>(*churn);
+        } else if (arg == "--deterministic-json") {
+            options.deterministicJson = true;
         } else if (arg == "--scale") {
             const auto scale = pdp::parseDouble(needValue(i));
             if (!scale || !(*scale > 0)) {
@@ -172,6 +207,13 @@ main(int argc, char **argv)
     if (list) {
         listSuites();
         return 0;
+    }
+    if (options.serviceChurn >= options.serviceTenants) {
+        std::fprintf(stderr,
+                     "--churn (%u) must stay below --tenants (%u) so some "
+                     "tenants span the whole run\n",
+                     options.serviceChurn, options.serviceTenants);
+        return 2;
     }
     if (suites.empty()) {
         printUsage(stderr);

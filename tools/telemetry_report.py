@@ -8,17 +8,24 @@ Reading modes (default: all three, per job that carries telemetry):
                     view the paper plots as a converged endpoint.
   hit-rate curve    interval hit rate per epoch as a sparkline + table.
   event summary     counts per event type from the structured trace.
+  SLO table         per-tenant hit rate / p99 / quota-vs-occupancy table
+                    for service-mode jobs (jobs carrying a "service"
+                    section; see --suite service).
 
 Validation mode (--check): structurally validate a results document
-(schema v1 or v2 — v1 simply has no telemetry) and, when given, a
-TRACE_*.jsonl file; exit nonzero on any malformed content.  CI's
-telemetry-smoke job gates on this.
+(schema v1 or v2 — v1 simply has no telemetry or service sections) and,
+when given, a TRACE_*.jsonl file; exit nonzero on any malformed content.
+CI's telemetry-smoke and service-smoke jobs gate on this.  With
+--max-drift B the check additionally fails if any tenant's mean
+quota-vs-occupancy drift exceeds B — the partition layer's "allocations
+mean something" regression gate.
 
 Stdlib only; no third-party dependencies.
 
 Usage:
   telemetry_report.py BENCH_fig10_single_core.json [--job SUBSTRING]
   telemetry_report.py --check BENCH_x.json [TRACE_x.jsonl]
+  telemetry_report.py --check --max-drift 0.2 BENCH_service.json
 """
 
 from __future__ import annotations
@@ -85,7 +92,37 @@ def validate_results(doc):
                 raise ValidationError(
                     f"{key}: telemetry section in a v1 document")
             validate_telemetry(job["telemetry"], key)
+        if "service" in job:
+            if version < 2:
+                raise ValidationError(
+                    f"{key}: service section in a v1 document")
+            validate_service(job["service"], key)
     return version
+
+
+def validate_service(svc, key):
+    if not isinstance(svc, dict):
+        raise ValidationError(f"{key}: service is not an object")
+    _need(svc, "policy", str, key)
+    _need(svc, "tenant_aware", bool, key)
+    for counter in ("joins", "leaves", "reallocs"):
+        _need(svc, counter, int, key)
+    tenants = _need(svc, "tenants", list, key)
+    if not tenants:
+        raise ValidationError(f"{key}: service has no tenants")
+    for tenant in tenants:
+        if not isinstance(tenant, dict):
+            raise ValidationError(f"{key}: tenant is not an object")
+        name = _need(tenant, "name", str, key)
+        where = f"{key}/{name}"
+        for field in ("hit_rate", "mean_quota", "mean_occupancy",
+                      "occupancy_drift"):
+            value = _need(tenant, field, (int, float), where)
+            if not 0.0 <= value <= 1.0:
+                raise ValidationError(
+                    f"{where}: '{field}' is outside [0, 1]")
+        _need(tenant, "p99_miss_cycles", (int, float), where)
+        _need(tenant, "requests", int, where)
 
 
 def validate_telemetry(tel, key):
@@ -160,6 +197,54 @@ def telemetry_jobs(doc, job_filter):
         yield job
 
 
+def service_jobs(doc, job_filter):
+    for job in doc.get("jobs", []):
+        if "service" not in job:
+            continue
+        if job_filter and job_filter not in job.get("key", ""):
+            continue
+        yield job
+
+
+def render_service_job(job):
+    svc = job["service"]
+    print(f"== {job['key']} (service) ==")
+    aware = "tenant-aware" if svc["tenant_aware"] else "unmanaged"
+    print(f"   policy {svc['policy']} ({aware})  "
+          f"joins {svc['joins']}  leaves {svc['leaves']}  "
+          f"reallocs {svc['reallocs']}  "
+          f"aggregate hit rate {svc.get('aggregate_hit_rate', 0.0):.4f}")
+
+    header = (f"   {'tenant':<8} {'slot':>4} {'requests':>9} "
+              f"{'hit rate':>9} {'p99 miss':>9} {'quota':>7} "
+              f"{'occup':>7} {'drift':>7}  SLO")
+    print()
+    print(header)
+    for t in svc["tenants"]:
+        slo = (("h" if t.get("slo_hit_rate_met") else "-")
+               + ("l" if t.get("slo_latency_met") else "-"))
+        print(f"   {t['name']:<8} {t['slot']:>4} {t['requests']:>9} "
+              f"{t['hit_rate']:>9.4f} {t['p99_miss_cycles']:>9.0f} "
+              f"{t['mean_quota']:>7.3f} {t['mean_occupancy']:>7.3f} "
+              f"{t['occupancy_drift']:>7.3f}  {slo}")
+    print()
+
+
+def drift_violations(doc, bound):
+    """Tenants whose quota-vs-occupancy drift exceeds the bound."""
+    worst = (0.0, None)
+    violations = []
+    for job in service_jobs(doc, ""):
+        for t in job["service"]["tenants"]:
+            drift = t["occupancy_drift"]
+            where = f"{job['key']}/{t['name']}"
+            if drift > worst[0]:
+                worst = (drift, where)
+            if drift > bound:
+                violations.append((where, drift))
+    return violations, worst
+
+
 def render_job(job):
     tel = job["telemetry"]
     epochs = tel["epochs"]
@@ -211,7 +296,15 @@ def main():
     parser.add_argument("--check", action="store_true",
                         help="validate instead of render; exit nonzero "
                              "on malformed input")
+    parser.add_argument("--max-drift", type=float, default=None,
+                        metavar="BOUND",
+                        help="with --check: fail if any service tenant's "
+                             "quota-vs-occupancy drift exceeds BOUND")
     args = parser.parse_args()
+    if args.max_drift is not None and not args.check:
+        parser.error("--max-drift requires --check")
+    if args.max_drift is not None and not 0.0 < args.max_drift <= 1.0:
+        parser.error("--max-drift must be in (0, 1]")
 
     try:
         with open(args.results, encoding="utf-8") as f:
@@ -228,8 +321,25 @@ def main():
 
     if args.check:
         with_tel = sum(1 for _ in telemetry_jobs(doc, ""))
+        with_svc = sum(1 for _ in service_jobs(doc, ""))
         print(f"{args.results}: ok (schema v{version}, "
-              f"{len(doc['jobs'])} job(s), {with_tel} with telemetry)")
+              f"{len(doc['jobs'])} job(s), {with_tel} with telemetry, "
+              f"{with_svc} service)")
+        if args.max_drift is not None:
+            violations, worst = drift_violations(doc, args.max_drift)
+            for where, drift in violations:
+                print(f"error: {where}: occupancy drift {drift:.4f} "
+                      f"exceeds --max-drift {args.max_drift}",
+                      file=sys.stderr)
+            if violations:
+                return 1
+            if worst[1] is not None:
+                print(f"drift check: ok (worst {worst[0]:.4f} at "
+                      f"{worst[1]}, bound {args.max_drift})")
+            else:
+                print("drift check: no service jobs to check",
+                      file=sys.stderr)
+                return 1
         if args.trace:
             try:
                 events = validate_trace_file(args.trace)
@@ -243,8 +353,11 @@ def main():
     for job in telemetry_jobs(doc, args.job):
         render_job(job)
         rendered += 1
+    for job in service_jobs(doc, args.job):
+        render_service_job(job)
+        rendered += 1
     if rendered == 0:
-        print("no jobs with telemetry"
+        print("no jobs with telemetry or service sections"
               + (f" matching '{args.job}'" if args.job else "")
               + " — run with --telemetry to record some")
     return 0
