@@ -5,8 +5,37 @@
 namespace pdp
 {
 
+namespace
+{
+
+// The model math is identical for the 16-bit hardware counter array and
+// the 64-bit RddShape; a thin view adapts either to one template
+// implementation so the two public overload families cannot drift.
+struct ArrayView
+{
+    const RdCounterArray &rdd;
+    uint32_t numBuckets() const { return rdd.numBuckets(); }
+    uint32_t step() const { return rdd.step(); }
+    uint64_t bucket(uint32_t k) const { return rdd.bucket(k); }
+    uint64_t total() const { return rdd.total(); }
+};
+
+struct ShapeView
+{
+    const RddShape &rdd;
+    uint32_t
+    numBuckets() const
+    {
+        return static_cast<uint32_t>(rdd.counts.size());
+    }
+    uint32_t step() const { return rdd.step; }
+    uint64_t bucket(uint32_t k) const { return rdd.counts[k]; }
+    uint64_t total() const { return rdd.total; }
+};
+
+template <typename View>
 uint64_t
-HitRateModel::hits(const RdCounterArray &rdd, uint32_t dp)
+hitsImpl(const View &rdd, uint32_t dp)
 {
     // Buckets whose entire range (k*step, (k+1)*step] lies within dp.
     uint64_t sum = 0;
@@ -19,8 +48,9 @@ HitRateModel::hits(const RdCounterArray &rdd, uint32_t dp)
     return sum;
 }
 
+template <typename View>
 uint64_t
-HitRateModel::occupancy(const RdCounterArray &rdd, uint32_t dp) const
+occupancyImpl(const View &rdd, uint32_t dp, uint32_t de)
 {
     uint64_t occ = 0;
     uint64_t protected_hits = 0;
@@ -28,27 +58,18 @@ HitRateModel::occupancy(const RdCounterArray &rdd, uint32_t dp) const
         const uint32_t upper = (k + 1) * rdd.step();
         if (upper > dp)
             break;
-        occ += static_cast<uint64_t>(rdd.bucket(k)) * upper;
+        occ += rdd.bucket(k) * upper;
         protected_hits += rdd.bucket(k);
     }
     const uint64_t total = rdd.total();
     const uint64_t longs = total > protected_hits ? total - protected_hits : 0;
-    occ += longs * (static_cast<uint64_t>(dp) + de_);
+    occ += longs * (static_cast<uint64_t>(dp) + de);
     return occ;
 }
 
-double
-HitRateModel::evaluate(const RdCounterArray &rdd, uint32_t dp) const
-{
-    const uint64_t h = hits(rdd, dp);
-    const uint64_t occ = occupancy(rdd, dp);
-    if (occ == 0)
-        return 0.0;
-    return static_cast<double>(h) / static_cast<double>(occ);
-}
-
+template <typename View>
 std::vector<EPoint>
-HitRateModel::curve(const RdCounterArray &rdd) const
+curveImpl(const View &rdd, uint32_t de, uint32_t min_pd)
 {
     std::vector<EPoint> points;
     points.reserve(rdd.numBuckets());
@@ -60,22 +81,24 @@ HitRateModel::curve(const RdCounterArray &rdd) const
     for (uint32_t k = 0; k < rdd.numBuckets(); ++k) {
         const uint32_t dp = (k + 1) * rdd.step();
         h += rdd.bucket(k);
-        occ_protected += static_cast<uint64_t>(rdd.bucket(k)) * dp;
+        occ_protected += rdd.bucket(k) * dp;
         const uint64_t longs = total > h ? total - h : 0;
         const uint64_t occ = occ_protected +
-                             longs * (static_cast<uint64_t>(dp) + de_);
+                             longs * (static_cast<uint64_t>(dp) + de);
         const double e = occ == 0
             ? 0.0 : static_cast<double>(h) / static_cast<double>(occ);
-        if (dp >= minPd_)
+        if (dp >= min_pd)
             points.push_back({dp, e});
     }
     return points;
 }
 
+template <typename View>
 uint32_t
-HitRateModel::bestPd(const RdCounterArray &rdd) const
+bestPdImpl(const View &rdd, uint32_t de, uint32_t min_pd,
+           double plateau_tolerance)
 {
-    const auto points = curve(rdd);
+    const auto points = curveImpl(rdd, de, min_pd);
     size_t best = points.size();
     double best_e = 0.0;
     for (size_t i = 0; i < points.size(); ++i) {
@@ -92,12 +115,97 @@ HitRateModel::bestPd(const RdCounterArray &rdd) const
     // adaptation.
     size_t edge = best;
     for (size_t i = best + 1; i < points.size(); ++i) {
-        if (points[i].e < best_e * (1.0 - plateauTolerance_))
+        if (points[i].e < best_e * (1.0 - plateau_tolerance))
             break;
         if (rdd.bucket(static_cast<uint32_t>(i)) > 0)
             edge = i;
     }
     return points[edge].dp;
+}
+
+} // namespace
+
+RddShape
+toShape(const RdCounterArray &rdd)
+{
+    RddShape shape;
+    shape.step = rdd.step();
+    shape.counts.resize(rdd.numBuckets());
+    for (uint32_t k = 0; k < rdd.numBuckets(); ++k)
+        shape.counts[k] = rdd.bucket(k);
+    shape.total = rdd.total();
+    // The counter array does not distinguish beyond-d_max reuses from
+    // never-reused lines; both are simply absent from the buckets.
+    shape.tail = 0;
+    return shape;
+}
+
+uint64_t
+HitRateModel::hits(const RdCounterArray &rdd, uint32_t dp)
+{
+    return hitsImpl(ArrayView{rdd}, dp);
+}
+
+uint64_t
+HitRateModel::hits(const RddShape &rdd, uint32_t dp)
+{
+    return hitsImpl(ShapeView{rdd}, dp);
+}
+
+uint64_t
+HitRateModel::occupancy(const RdCounterArray &rdd, uint32_t dp) const
+{
+    return occupancyImpl(ArrayView{rdd}, dp, de_);
+}
+
+uint64_t
+HitRateModel::occupancy(const RddShape &rdd, uint32_t dp) const
+{
+    return occupancyImpl(ShapeView{rdd}, dp, de_);
+}
+
+double
+HitRateModel::evaluate(const RdCounterArray &rdd, uint32_t dp) const
+{
+    const uint64_t h = hits(rdd, dp);
+    const uint64_t occ = occupancy(rdd, dp);
+    if (occ == 0)
+        return 0.0;
+    return static_cast<double>(h) / static_cast<double>(occ);
+}
+
+double
+HitRateModel::evaluate(const RddShape &rdd, uint32_t dp) const
+{
+    const uint64_t h = hits(rdd, dp);
+    const uint64_t occ = occupancy(rdd, dp);
+    if (occ == 0)
+        return 0.0;
+    return static_cast<double>(h) / static_cast<double>(occ);
+}
+
+std::vector<EPoint>
+HitRateModel::curve(const RdCounterArray &rdd) const
+{
+    return curveImpl(ArrayView{rdd}, de_, minPd_);
+}
+
+std::vector<EPoint>
+HitRateModel::curve(const RddShape &rdd) const
+{
+    return curveImpl(ShapeView{rdd}, de_, minPd_);
+}
+
+uint32_t
+HitRateModel::bestPd(const RdCounterArray &rdd) const
+{
+    return bestPdImpl(ArrayView{rdd}, de_, minPd_, plateauTolerance_);
+}
+
+uint32_t
+HitRateModel::bestPd(const RddShape &rdd) const
+{
+    return bestPdImpl(ShapeView{rdd}, de_, minPd_, plateauTolerance_);
 }
 
 std::vector<EPoint>

@@ -37,6 +37,51 @@ struct EPoint
     double e;
 };
 
+/**
+ * A geometry-tagged RDD in full 64-bit counts.
+ *
+ * The hardware RdCounterArray saturates at 16 bits and freezes; exact
+ * software profiles (RdProfiler, trace fingerprints) do not fit it
+ * without lossy downscaling.  RddShape is the unclamped equivalent the
+ * analytic model (src/model/) evaluates: counts[k] holds the reuses in
+ * (k*step, (k+1)*step], `total` is N_t, and `tail` the observed mass
+ * beyond d_max (kept out of counts, exactly like the counter array —
+ * it contributes to the "long lines" term through `total`).
+ */
+struct RddShape
+{
+    uint32_t step = 1;
+    std::vector<uint64_t> counts;
+    /** Optional chain-pair histogram in the same geometry (see
+     *  RdProfiler::pairRdd): pair[k] counts reuses whose own and
+     *  previous distances both fall within bucket edge (k+1)*step.
+     *  Empty when the source carries no chain information (e.g. the
+     *  hardware counter array) — the analytic model then assumes no
+     *  chain continuity, its conservative fallback. */
+    std::vector<uint64_t> pair;
+    uint64_t total = 0;
+    uint64_t tail = 0;
+
+    uint32_t
+    dMax() const
+    {
+        return step * static_cast<uint32_t>(counts.size());
+    }
+
+    /** Sum of all bucket counts (reuses within d_max). */
+    uint64_t
+    hitSum() const
+    {
+        uint64_t sum = 0;
+        for (uint64_t c : counts)
+            sum += c;
+        return sum;
+    }
+};
+
+/** The counter array's current contents as an RddShape (same geometry). */
+RddShape toShape(const RdCounterArray &rdd);
+
 /** The single-core hit-rate model. */
 class HitRateModel
 {
@@ -58,15 +103,18 @@ class HitRateModel
 
     /** E(d_p) for one candidate (d_p need not be a bucket edge). */
     double evaluate(const RdCounterArray &rdd, uint32_t dp) const;
+    double evaluate(const RddShape &rdd, uint32_t dp) const;
 
     /** The full curve over all bucket upper edges. */
     std::vector<EPoint> curve(const RdCounterArray &rdd) const;
+    std::vector<EPoint> curve(const RddShape &rdd) const;
 
     /**
      * The PD maximizing E, or 0 if the RDD holds no information
      * (no recorded accesses or no hits at all).
      */
     uint32_t bestPd(const RdCounterArray &rdd) const;
+    uint32_t bestPd(const RddShape &rdd) const;
 
     /**
      * Up to `max_peaks` local maxima of E, best-first, for the multi-core
@@ -77,9 +125,11 @@ class HitRateModel
 
     /** Per-thread hit count H_t(d_p) (numerator; Sec. 4). */
     static uint64_t hits(const RdCounterArray &rdd, uint32_t dp);
+    static uint64_t hits(const RddShape &rdd, uint32_t dp);
 
     /** Per-thread occupancy A_t(d_p) (denominator; Sec. 4). */
     uint64_t occupancy(const RdCounterArray &rdd, uint32_t dp) const;
+    uint64_t occupancy(const RddShape &rdd, uint32_t dp) const;
 
     uint32_t de() const { return de_; }
 

@@ -198,6 +198,14 @@ PdpPolicy::telemetrySnapshot(telemetry::Snapshot &out) const
     out.setScalar("rdd_step", rdd_->step());
     out.setScalar("rdd_total", static_cast<double>(rdd_->total()));
     out.setScalar("rdd_hits", static_cast<double>(rdd_->hitSum()));
+    // Mass the counter array could not place: sampled accesses whose RD
+    // exceeded d_max or that never reused inside the window.  The
+    // analytic model (src/model/) widens its prediction error bars by
+    // this fraction, and a frozen array is refused outright there.
+    const uint64_t tail = rdd_->total() > rdd_->hitSum()
+        ? rdd_->total() - rdd_->hitSum() : 0;
+    out.setScalar("rdd_tail", static_cast<double>(tail));
+    out.setScalar("rdd_frozen", rdd_->frozen() ? 1.0 : 0.0);
     std::vector<double> buckets(rdd_->numBuckets());
     for (uint32_t k = 0; k < rdd_->numBuckets(); ++k)
         buckets[k] = static_cast<double>(rdd_->bucket(k));

@@ -4,7 +4,8 @@ namespace pdp
 {
 
 RdProfiler::RdProfiler(uint32_t num_sets, uint32_t d_max)
-    : dMax_(d_max), sets_(num_sets), histogram_(d_max)
+    : dMax_(d_max), sets_(num_sets), histogram_(d_max),
+      pairHistogram_(d_max)
 {
 }
 
@@ -21,7 +22,7 @@ RdProfiler::prune(SetState &state)
     // whatever order the buckets are walked in.  No emission path
     // iterates lastAccess (the RDD histogram is the only output).
     for (auto it = state.lastAccess.begin(); it != state.lastAccess.end();) {
-        if (state.counter - it->second > dMax_)
+        if (state.counter - it->second.lastAccess > dMax_)
             it = state.lastAccess.erase(it);
         else
             ++it;
@@ -37,14 +38,22 @@ RdProfiler::observe(uint32_t set, uint64_t line_addr)
 
     auto it = state.lastAccess.find(line_addr);
     if (it != state.lastAccess.end()) {
-        const uint64_t rd = state.counter - it->second;
-        if (rd >= 1 && rd <= dMax_)
+        const uint64_t rd = state.counter - it->second.lastAccess;
+        if (rd >= 1 && rd <= dMax_) {
             histogram_.add(static_cast<size_t>(rd - 1));
-        else
+            const uint32_t prev = it->second.prevDist;
+            if (prev >= 1 && prev <= dMax_) {
+                const uint64_t mx = rd > prev ? rd : prev;
+                pairHistogram_.add(static_cast<size_t>(mx - 1));
+            }
+            it->second.prevDist = static_cast<uint32_t>(rd);
+        } else {
             histogram_.add(dMax_); // overflow bucket
-        it->second = state.counter;
+            it->second.prevDist = dMax_ + 1;
+        }
+        it->second.lastAccess = state.counter;
     } else {
-        state.lastAccess.emplace(line_addr, state.counter);
+        state.lastAccess.emplace(line_addr, LineState{state.counter, 0});
         prune(state);
     }
 }
@@ -58,6 +67,14 @@ RdProfiler::coveredFraction() const
     for (size_t d = 0; d < histogram_.size(); ++d)
         covered += histogram_.at(d);
     return static_cast<double>(covered) / static_cast<double>(accesses_);
+}
+
+double
+RdProfiler::tailFraction() const
+{
+    if (accesses_ == 0)
+        return 0.0;
+    return static_cast<double>(tailMass()) / static_cast<double>(accesses_);
 }
 
 uint32_t
@@ -80,6 +97,15 @@ RdProfiler::reset()
     for (auto &state : sets_)
         state = SetState{};
     histogram_.reset();
+    pairHistogram_.reset();
+    accesses_ = 0;
+}
+
+void
+RdProfiler::clearCounts()
+{
+    histogram_.reset();
+    pairHistogram_.reset();
     accesses_ = 0;
 }
 

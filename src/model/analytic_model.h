@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The analytic estimator: RDD fingerprint + cache config -> predicted
+ * hit rate, E(d_p) curve, best PD and bypass fraction, in microseconds
+ * per (config, workload) point — no cache simulation involved.
+ *
+ * Two predictors share one fingerprint:
+ *
+ *  * PDP (SPDP-B/NB): an allocation-balance fixed point.  The paper's
+ *    E(d_p) (Sec. 2.4, HitRateModel) ranks candidate PDs but is only
+ *    *proportional* to the hit rate; the absolute prediction solves
+ *    the steady-state balance between protected occupancy and the
+ *    W-way capacity instead — insert stick probability alpha from the
+ *    supply of aged-out slots, chain survival from the fingerprint's
+ *    pair histogram (continuity Q), a greedy shortest-first bound for
+ *    the persistent-population selection effect, and an exponential
+ *    linger term for reuses just beyond d_p (see balanceKernel in
+ *    analytic_model.cc and DESIGN.md "Analytic model").  The bypass
+ *    fraction of SPDP-B is the non-sticking insert flow (1-alpha)*m.
+ *
+ *  * LRU: an RDD -> stack-distance conversion.  The expected number of
+ *    distinct lines between two touches at set-distance d is
+ *    SD(d) = sum_{k=1}^{d-1} P(RD > k); a reuse hits iff SD(d) < W.
+ *
+ * Rescaling: fingerprints are measured once at a reference set count
+ * with per-distance resolution; the model rebuckets them to any
+ * (sets, S_c, d_max) geometry with d' = round(d * sets_ref / sets),
+ * so one profiling pass serves a whole design-space grid.
+ *
+ * Safety: predictions from a live hardware RdCounterArray refuse (with
+ * the typed PredictError) a frozen/saturated array — its shape is
+ * silently truncated and would bias every estimate.  Mass beyond the
+ * fingerprint's reach is reported as an error bar on each prediction,
+ * never silently dropped.
+ */
+
+#ifndef PDP_MODEL_ANALYTIC_MODEL_H
+#define PDP_MODEL_ANALYTIC_MODEL_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/hit_rate_model.h"
+#include "core/rdd.h"
+#include "trace/rdd_fingerprint.h"
+
+namespace pdp
+{
+namespace model
+{
+
+/** The cache/counter geometry one prediction is made for. */
+struct ModelConfig
+{
+    /** LLC capacity (paper: 2 MB single-core). */
+    uint64_t sizeBytes = 2ull * 1024 * 1024;
+    /** Associativity W (also the eviction slack d_e unless overridden). */
+    uint32_t ways = 16;
+    uint32_t lineBytes = 64;
+    /** Counter-array reach and step the E(d_p) curve is evaluated on. */
+    uint32_t dMax = 256;
+    uint32_t counterStep = 4;
+    /** Eviction slack d_e; 0 means "use the associativity" (paper). */
+    uint32_t de = 0;
+    /** Smallest candidate PD (HitRateModel). */
+    uint32_t minPd = 1;
+    /** Plateau tolerance of the best-PD walk (HitRateModel). */
+    double plateauTolerance = 0.05;
+
+    uint32_t
+    numSets() const
+    {
+        return static_cast<uint32_t>(
+            sizeBytes / (static_cast<uint64_t>(lineBytes) * ways));
+    }
+
+    uint32_t evictionDelay() const { return de ? de : ways; }
+};
+
+/** Typed refusal: the estimator will not predict from unusable input
+ *  (e.g. a frozen/saturated RdCounterArray). */
+class PredictError : public std::runtime_error
+{
+  public:
+    explicit PredictError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** One analytic prediction. */
+struct Prediction
+{
+    /** Predicted LLC hit rate at `pd`. */
+    double hitRate = 0.0;
+    /** The d_p this prediction was evaluated at. */
+    uint32_t pd = 0;
+    /** The E-maximizing PD of the full curve (0 = no information). */
+    uint32_t bestPd = 0;
+    /** Predicted bypassed fraction of LLC accesses (SPDP-B). */
+    double bypassFraction = 0.0;
+    /** Honest uncertainty: RDD mass beyond the evaluated reach (the
+     *  fingerprint tail plus anything rescaling pushed past d_max) as a
+     *  fraction of accesses.  |predicted - simulated| is expected to
+     *  stay within the validation bound + this bar. */
+    double errorBar = 0.0;
+    /** The full E(d_p) curve over the config's bucket edges. */
+    std::vector<EPoint> eCurve;
+};
+
+/** The estimator for one cache/counter geometry. */
+class AnalyticModel
+{
+  public:
+    explicit AnalyticModel(const ModelConfig &config);
+
+    const ModelConfig &config() const { return config_; }
+
+    /**
+     * Rescale a fingerprint to this config's geometry: set-local
+     * distances scale by sets_ref/sets, then rebucket at S_c up to
+     * d_max.  Mass pushed beyond d_max joins the shape's tail.
+     */
+    RddShape rescale(const RddFingerprint &fp) const;
+
+    /** Predict SPDP at the E-maximizing PD (`bypass` selects SPDP-B
+     *  over SPDP-NB). */
+    Prediction predictPdp(const RddFingerprint &fp,
+                          bool bypass = false) const;
+
+    /** Predict SPDP at an explicit PD (grid evaluation). */
+    Prediction predictPdpAt(const RddFingerprint &fp, uint32_t pd,
+                            bool bypass = false) const;
+
+    /**
+     * Predict from a live hardware counter array (no rescaling: the
+     * array's own geometry is evaluated; capacity still comes from this
+     * config).  The array carries no chain-pair information, so the
+     * balance solver runs with continuity Q = 0 (conservative).
+     * Throws PredictError when the array is frozen — a saturated shape
+     * is truncated and must not be extrapolated from.
+     */
+    Prediction predictPdp(const RdCounterArray &rdd,
+                          bool bypass = false) const;
+
+    /** Predict the LRU hit rate via the stack-distance conversion. */
+    Prediction predictLru(const RddFingerprint &fp) const;
+
+  private:
+    Prediction predictShape(const RddShape &coarse, const RddShape &fine,
+                            uint32_t pd, bool at_best, bool bypass) const;
+
+    /** Fine rebucket (step 1, extended reach) for the balance solver
+     *  and the LRU scan. */
+    RddShape rescaleFine(const RddFingerprint &fp) const;
+
+    ModelConfig config_;
+    HitRateModel model_;
+};
+
+/**
+ * Grid fast path: one prefix scan per shape (hits and weighted
+ * occupancy below every bucket edge), after which any candidate cell is
+ * a constant-time lookup.  The scan itself runs under the PDP_HOT
+ * purity contract.
+ */
+void scanShape(const RddShape &shape, std::vector<uint64_t> &prefix_hits,
+               std::vector<uint64_t> &prefix_weighted);
+
+} // namespace model
+} // namespace pdp
+
+#endif // PDP_MODEL_ANALYTIC_MODEL_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <ostream>
 #include <thread>
 
@@ -9,6 +10,7 @@
 #include "cache/reference_cache.h"
 #include "cache/shard_view.h"
 #include "core/pdp_policy.h"
+#include "model/analytic_model.h"
 #include "policies/rrip.h"
 #include "runner/thread_pool.h"
 #include "service/scenario.h"
@@ -17,6 +19,7 @@
 #include "sim/sharded_sim.h"
 #include "sim/static_pd_search.h"
 #include "telemetry/metrics.h"
+#include "trace/rdd_fingerprint.h"
 #include "trace/spec_suite.h"
 #include "trace/workload.h"
 #include "util/stats.h"
@@ -631,6 +634,436 @@ buildSmoke(const SuiteOptions &options)
 }
 
 // ---------------------------------------------------------------------------
+// model_validation — the analytic estimator (src/model/) cross-validated
+// against the simulator on the single-core workload set: fingerprint
+// each benchmark once, predict a PD spread for both SPDP families plus
+// LRU, simulate the same cells over one lockstep decode, and attach the
+// per-point |predicted - simulated| error to every record's metrics.
+// Metrics survive the deterministic JSON form, so BENCH_model_validation
+// .json doubles as the model's machine-readable accuracy ledger.
+
+/** PDs each benchmark is cross-validated at: a power spread over the
+ *  static grid's range (the full 19-point grid triples the suite's cost
+ *  for no extra information about model quality). */
+const std::vector<uint32_t> kValidationPds = {16, 32, 64, 128, 256};
+
+/** Fingerprint whose measured window matches one simulation config. */
+RddFingerprint
+suiteFingerprint(const std::string &bench, uint64_t seed,
+                 const SimConfig &config)
+{
+    FingerprintOptions fopt;
+    fopt.accesses = config.accesses;
+    fopt.warmup = config.warmup;
+    return fingerprintBenchmark(bench, seed, fopt);
+}
+
+/** One benchmark's validation: fingerprint once, predict every cell in
+ *  microseconds, then simulate the identical cells over one lockstep
+ *  decode and attach the error metrics. */
+Job
+modelValidationJob(const std::string &bench, const SimConfig &config,
+                   unsigned threads)
+{
+    Job job;
+    job.key = "model_validation/" + bench + "/lockstep";
+    job.seed = seedFor(bench);
+    job.runMany = [bench, config, threads](const JobContext &ctx) {
+        const std::string prefix = "model_validation/" + bench + "/";
+        const RddFingerprint fp = suiteFingerprint(bench, ctx.seed, config);
+        const model::AnalyticModel estimator{model::ModelConfig{}};
+
+        struct Cell
+        {
+            std::string key;
+            model::Prediction pred;
+            bool bypass;
+        };
+        std::vector<Cell> cells;
+        std::vector<std::function<std::unique_ptr<ReplacementPolicy>()>>
+            factories;
+        for (bool byp : {false, true}) {
+            for (uint32_t pd : kValidationPds) {
+                cells.push_back({prefix + (byp ? "SPDP-B:" : "SPDP-NB:") +
+                                     std::to_string(pd),
+                                 estimator.predictPdpAt(fp, pd, byp), byp});
+                factories.push_back(
+                    [pd, byp]() -> std::unique_ptr<ReplacementPolicy> {
+                        return byp ? makeSpdpB(pd) : makeSpdpNb(pd);
+                    });
+            }
+        }
+        cells.push_back({prefix + "LRU", estimator.predictLru(fp), false});
+        factories.push_back([] { return makePolicy("LRU"); });
+
+        auto gen = SpecSuite::make(bench, ctx.seed);
+        const std::vector<SimResult> results =
+            runSingleCoreLockstep(*gen, config, factories, threads);
+
+        std::vector<KeyedOutcome> outcomes(results.size());
+        for (size_t c = 0; c < results.size(); ++c) {
+            const SimResult &r = results[c];
+            outcomes[c].key = cells[c].key;
+            outcomes[c].outcome.single = r;
+            auto &m = outcomes[c].outcome.metrics;
+            const double sim = r.llcAccesses
+                ? static_cast<double>(r.llcHits) / r.llcAccesses
+                : 0.0;
+            m["pred_hit_rate"] = cells[c].pred.hitRate;
+            m["sim_hit_rate"] = sim;
+            m["abs_err"] = std::fabs(cells[c].pred.hitRate - sim);
+            m["err_bar"] = cells[c].pred.errorBar;
+            if (cells[c].bypass) {
+                m["pred_bypass"] = cells[c].pred.bypassFraction;
+                m["sim_bypass"] = r.bypassFraction;
+            }
+        }
+        return outcomes;
+    };
+    return job;
+}
+
+std::vector<Job>
+buildModelValidation(const SuiteOptions &options)
+{
+    // The window the balance model was calibrated on (tests/test_model
+    // pins the committed error bounds to it).
+    const SimConfig config = scaledConfig(options, 2'000'000, 600'000);
+    const unsigned threads = lockstepThreads(options);
+    std::vector<Job> jobs;
+    for (const std::string &bench : SpecSuite::singleCoreNames())
+        jobs.push_back(modelValidationJob(bench, config, threads));
+    return jobs;
+}
+
+/** Shared metric reader for reports over runMany/metrics records. */
+bool
+recordMetric(const RecordLookup &records, const std::string &key,
+             const char *name, double *value)
+{
+    const JobRecord *record = records.find(key);
+    if (!record || record->status == JobStatus::Failed)
+        return false;
+    const auto it = record->outcome.metrics.find(name);
+    if (it == record->outcome.metrics.end())
+        return false;
+    *value = it->second;
+    return true;
+}
+
+void
+reportModelValidation(std::ostream &out, const RecordLookup &records)
+{
+    out << "==== model_validation: analytic estimator vs simulator "
+           "====\n\n";
+
+    Table table({"benchmark", "cells", "mean |err|", "worst |err|",
+                 "worst cell", "err bar", "LRU |err|"});
+    Accumulator all_err;
+    double suite_worst = 0.0;
+    std::string suite_worst_cell = "-";
+
+    for (const std::string &bench : SpecSuite::singleCoreNames()) {
+        const std::string prefix = "model_validation/" + bench + "/";
+        Accumulator errs;
+        double worst = 0.0, worst_bar = 0.0;
+        std::string worst_cell = "-";
+        int cells = 0;
+        const auto account = [&](const std::string &cell) {
+            double err = 0.0, bar = 0.0;
+            if (!recordMetric(records, prefix + cell, "abs_err", &err))
+                return;
+            recordMetric(records, prefix + cell, "err_bar", &bar);
+            ++cells;
+            errs.add(err);
+            all_err.add(err);
+            if (err > worst) {
+                worst = err;
+                worst_bar = bar;
+                worst_cell = cell;
+            }
+            if (err > suite_worst) {
+                suite_worst = err;
+                suite_worst_cell = bench + "/" + cell;
+            }
+        };
+        for (uint32_t pd : kValidationPds) {
+            account("SPDP-NB:" + std::to_string(pd));
+            account("SPDP-B:" + std::to_string(pd));
+        }
+        double lru_err = 0.0;
+        const bool have_lru =
+            recordMetric(records, prefix + "LRU", "abs_err", &lru_err);
+        if (have_lru)
+            all_err.add(lru_err);
+        if (cells == 0 && !have_lru) {
+            out << "(skipping " << bench << ": no records)\n";
+            continue;
+        }
+        table.addRow({bench, std::to_string(cells),
+                      Table::num(errs.mean(), 3), Table::num(worst, 3),
+                      worst_cell, Table::num(worst_bar, 3),
+                      have_lru ? Table::num(lru_err, 3) : "-"});
+    }
+    table.print(out);
+
+    out << "\nsuite mean |err| = " << Table::num(all_err.mean(), 3)
+        << ", worst = " << Table::num(suite_worst, 3) << " ("
+        << suite_worst_cell << ")\n"
+        << "err bar = fingerprint mass beyond the evaluated reach; "
+           "tests/test_model pins the committed per-point bounds.\n";
+}
+
+// ---------------------------------------------------------------------------
+// explore — the pruned design-space explorer: the analytic model ranks
+// the full static-PD grid per SPDP family in microseconds, and only the
+// top-K contenders (plus one seeded audit cell from the pruned tail)
+// reach the simulator.  Without --explore the suite simulates the
+// exhaustive grid under the identical record keys, so the two modes
+// diff directly — same winner, a fraction of the simulations.
+
+const std::vector<std::string> kExploreBenches = {
+    "403.gcc",    "434.zeusmp", "450.soplex",
+    "456.hmmer",  "464.h264ref", "482.sphinx3",
+};
+
+const char *
+exploreFamily(bool bypass)
+{
+    return bypass ? "SPDP-B:" : "SPDP-NB:";
+}
+
+/** One grid cell of an explore plan. */
+struct ExploreCell
+{
+    bool bypass = false;
+    uint32_t pd = 0;
+    /** The model's predicted hit rate for this cell. */
+    double predicted = 0.0;
+    /** True when the cell was chosen from the pruned tail as the audit
+     *  sample rather than by rank. */
+    bool audit = false;
+};
+
+/** The model's pruning decision for one benchmark. */
+struct ExplorePlan
+{
+    /** Cells to simulate, in grid order (NB ascending, then B). */
+    std::vector<ExploreCell> chosen;
+    /** Predicted winner per family ([0] = NB, [1] = B). */
+    uint32_t predBestPd[2] = {0, 0};
+    double predBestHit[2] = {0.0, 0.0};
+    /** Full design-space size the ranking covered. */
+    size_t gridCells = 0;
+    /** The fingerprint's tail mass as an error bar (same for every
+     *  cell of one benchmark). */
+    double errorBar = 0.0;
+};
+
+/**
+ * Rank the full (family x PD) grid analytically and keep the top-K per
+ * family plus one deterministic audit pick from the pruned tail.  Ties
+ * in predicted hit rate break toward the lower PD (stable sort over the
+ * ascending grid), so the plan is identical on every worker count.
+ */
+ExplorePlan
+planExplore(const RddFingerprint &fp, unsigned top_k, uint64_t audit_seed)
+{
+    const std::vector<uint32_t> grid = defaultPdGrid();
+    const model::AnalyticModel estimator{model::ModelConfig{}};
+
+    ExplorePlan plan;
+    plan.gridCells = 2 * grid.size();
+    std::vector<ExploreCell> all;
+    for (bool byp : {false, true}) {
+        std::vector<ExploreCell> family;
+        for (uint32_t pd : grid) {
+            const model::Prediction p =
+                estimator.predictPdpAt(fp, pd, byp);
+            family.push_back({byp, pd, p.hitRate, false});
+            plan.errorBar = p.errorBar;
+        }
+        std::stable_sort(family.begin(), family.end(),
+                         [](const ExploreCell &a, const ExploreCell &b) {
+                             return a.predicted > b.predicted;
+                         });
+        plan.predBestPd[byp ? 1 : 0] = family.front().pd;
+        plan.predBestHit[byp ? 1 : 0] = family.front().predicted;
+        for (size_t i = 0; i < family.size() && i < top_k; ++i)
+            plan.chosen.push_back(family[i]);
+        all.insert(all.end(), family.begin(), family.end());
+    }
+
+    // One audit cell from the pruned tail keeps the pruning honest: a
+    // seeded but deterministic pick that competes against the chosen
+    // contenders in the report and the winner checks.
+    const auto gridOrder = [](const ExploreCell &a, const ExploreCell &b) {
+        return a.bypass != b.bypass ? !a.bypass : a.pd < b.pd;
+    };
+    std::vector<ExploreCell> pruned;
+    for (const ExploreCell &cell : all) {
+        bool kept = false;
+        for (const ExploreCell &c : plan.chosen)
+            kept = kept || (c.bypass == cell.bypass && c.pd == cell.pd);
+        if (!kept)
+            pruned.push_back(cell);
+    }
+    std::sort(pruned.begin(), pruned.end(), gridOrder);
+    if (!pruned.empty()) {
+        ExploreCell audit = pruned[audit_seed % pruned.size()];
+        audit.audit = true;
+        plan.chosen.push_back(audit);
+    }
+
+    // Simulate in grid order — the exhaustive suite's cell order — so
+    // lockstep lane assignment is reproducible.
+    std::sort(plan.chosen.begin(), plan.chosen.end(), gridOrder);
+    return plan;
+}
+
+/** The pruned path for one benchmark: fingerprint, rank, simulate only
+ *  the plan's cells over one lockstep decode.  Emits the same per-cell
+ *  record keys as the exhaustive grid plus one "model" summary record
+ *  (pure deterministic metrics, no wall-clock). */
+Job
+exploreJob(const std::string &bench, const SimConfig &config, unsigned top_k,
+           unsigned threads)
+{
+    Job job;
+    job.key = "explore/" + bench + "/pruned";
+    job.seed = seedFor(bench);
+    job.runMany = [bench, config, top_k, threads](const JobContext &ctx) {
+        const std::string prefix = "explore/" + bench + "/";
+        const RddFingerprint fp = suiteFingerprint(bench, ctx.seed, config);
+        const ExplorePlan plan =
+            planExplore(fp, top_k, seedFor(bench + "/explore-audit"));
+
+        std::vector<std::function<std::unique_ptr<ReplacementPolicy>()>>
+            factories;
+        for (const ExploreCell &cell : plan.chosen)
+            factories.push_back(
+                [cell]() -> std::unique_ptr<ReplacementPolicy> {
+                    return cell.bypass ? makeSpdpB(cell.pd)
+                                       : makeSpdpNb(cell.pd);
+                });
+
+        auto gen = SpecSuite::make(bench, ctx.seed);
+        const std::vector<SimResult> results =
+            runSingleCoreLockstep(*gen, config, factories, threads);
+
+        std::vector<KeyedOutcome> outcomes;
+        outcomes.reserve(results.size() + 1);
+        for (size_t c = 0; c < results.size(); ++c) {
+            const ExploreCell &cell = plan.chosen[c];
+            KeyedOutcome keyed;
+            keyed.key = prefix + exploreFamily(cell.bypass) +
+                std::to_string(cell.pd);
+            keyed.outcome.single = results[c];
+            keyed.outcome.metrics["pred_hit_rate"] = cell.predicted;
+            keyed.outcome.metrics["audit_cell"] = cell.audit ? 1.0 : 0.0;
+            outcomes.push_back(std::move(keyed));
+        }
+
+        KeyedOutcome summary;
+        summary.key = prefix + "model";
+        auto &m = summary.outcome.metrics;
+        m["grid_cells"] = static_cast<double>(plan.gridCells);
+        m["simulated_cells"] = static_cast<double>(plan.chosen.size());
+        m["top_k"] = static_cast<double>(top_k);
+        m["pred_best_pd_nb"] = static_cast<double>(plan.predBestPd[0]);
+        m["pred_best_pd_b"] = static_cast<double>(plan.predBestPd[1]);
+        m["pred_best_hit_nb"] = plan.predBestHit[0];
+        m["pred_best_hit_b"] = plan.predBestHit[1];
+        m["err_bar"] = plan.errorBar;
+        outcomes.push_back(std::move(summary));
+        return outcomes;
+    };
+    return job;
+}
+
+std::vector<Job>
+buildExplore(const SuiteOptions &options)
+{
+    const SimConfig config = scaledConfig(options, 2'000'000, 600'000);
+    std::vector<Job> jobs;
+    for (const std::string &bench : kExploreBenches) {
+        const std::string prefix = "explore/" + bench + "/";
+        if (options.explore) {
+            jobs.push_back(exploreJob(bench, config,
+                                      std::max(1u, options.exploreTopK),
+                                      lockstepThreads(options)));
+            continue;
+        }
+        std::vector<PolicyCell> cells;
+        for (uint32_t pd : defaultPdGrid())
+            cells.emplace_back(prefix + "SPDP-NB:" + std::to_string(pd),
+                               [pd] { return makeSpdpNb(pd); });
+        for (uint32_t pd : defaultPdGrid())
+            cells.emplace_back(prefix + "SPDP-B:" + std::to_string(pd),
+                               [pd] { return makeSpdpB(pd); });
+        emitCells(&jobs, options, prefix, bench, std::move(cells), config);
+    }
+    return jobs;
+}
+
+void
+reportExplore(std::ostream &out, const RecordLookup &records)
+{
+    const bool pruned_mode = records.find(
+        "explore/" + kExploreBenches.front() + "/model") != nullptr;
+    out << "==== explore: static-PD design space ("
+        << (pruned_mode ? "model-pruned" : "exhaustive") << ") ====\n\n";
+
+    Table table({"benchmark", "family", "best PD", "hit rate",
+                 "predicted PD", "cells simulated"});
+    for (const std::string &bench : kExploreBenches) {
+        const std::string prefix = "explore/" + bench + "/";
+        for (bool byp : {false, true}) {
+            const std::string fam = exploreFamily(byp);
+            const GridBest best = bestOverPdGrid(records, prefix + fam);
+            size_t simulated = 0;
+            for (uint32_t pd : defaultPdGrid())
+                if (records.single(prefix + fam + std::to_string(pd)))
+                    ++simulated;
+            std::string family_label = fam;
+            family_label.pop_back(); // drop the trailing ':'
+            if (!best.result) {
+                table.addRow({byp ? "" : bench, family_label, "n/a", "n/a",
+                              "n/a", std::to_string(simulated)});
+                continue;
+            }
+            double pred_pd = 0.0;
+            const bool have_pred = recordMetric(
+                records, prefix + "model",
+                byp ? "pred_best_pd_b" : "pred_best_pd_nb", &pred_pd);
+            const double hit = best.result->llcAccesses
+                ? static_cast<double>(best.result->llcHits) /
+                    best.result->llcAccesses
+                : 0.0;
+            table.addRow(
+                {byp ? "" : bench, family_label, std::to_string(best.pd),
+                 Table::num(hit, 3),
+                 have_pred
+                     ? std::to_string(static_cast<uint32_t>(pred_pd))
+                     : "-",
+                 std::to_string(simulated)});
+        }
+    }
+    table.print(out);
+
+    if (pruned_mode) {
+        out << "\n\"best PD\" minimizes simulated misses over the "
+               "contenders the model chose (top-K per family + one "
+               "seeded audit cell from the pruned tail);\nthe hotpath "
+               "suite's explore job checks the same selection against "
+               "the exhaustive grid and times the speedup.\n";
+    } else {
+        out << "\nexhaustive grid (38 cells per benchmark); rerun with "
+               "--explore to let the analytic model prune it.\n";
+    }
+}
+
+// ---------------------------------------------------------------------------
 // hotpath — self-profiling throughput of the cache substrate itself.
 //
 // Unlike the figure suites, these jobs drive Cache::access directly (no
@@ -1152,6 +1585,141 @@ hotpathSweepJob(double scale)
     return job;
 }
 
+/**
+ * The explorer's CI ratio: one benchmark's full 38-cell static-PD design
+ * space (both SPDP families), run exhaustively as independent sequential
+ * simulations vs the model-pruned path — fingerprint + analytic ranking
+ * + top-K-and-audit lockstep simulation — in interleaved pairs.
+ * `explore_speedup` is the median per-pair exhaustive/pruned time ratio;
+ * both sides of each pair see the same machine weather.  The job also
+ * PDP_CHECKs that the pruned side's miss-minimizing cell matches the
+ * exhaustive winner per family (within 2%, since sub-scale runs can
+ * flip near-tied neighbours), so every hotpath run re-proves the
+ * pruning sound.
+ */
+Job
+hotpathExploreJob(double scale)
+{
+    Job job;
+    job.key = "hotpath/explore/SPDP-grid";
+    job.seed = seedFor("450.soplex");
+    job.run = [scale](const JobContext &ctx) {
+        const std::string bench = "450.soplex";
+        SimConfig config;
+        config.accesses = std::max<uint64_t>(
+            400'000, static_cast<uint64_t>(1'000'000 * scale));
+        config.warmup = config.accesses / 4;
+        const unsigned threads =
+            std::min(4u, std::max(1u, std::thread::hardware_concurrency()));
+        const std::vector<uint32_t> grid = defaultPdGrid();
+
+        double exploreSeconds = 0.0;
+        std::vector<double> ratios;
+        std::vector<SimResult> exhaustive, contenders;
+        ExplorePlan plan;
+        uint64_t done = 0;
+        for (int pair = 0; pair < kSweepPairs; ++pair) {
+            // Exhaustive side: every (family, PD) cell, sequentially —
+            // the simulate-everything baseline a sweep pays without the
+            // model.
+            // pdplint: allow(wall-clock) paired throughput measurement;
+            // only the volatile metrics dump sees the result.
+            auto t0 = std::chrono::steady_clock::now();
+            exhaustive.clear();
+            for (bool byp : {false, true})
+                for (uint32_t pd : grid) {
+                    auto gen = SpecSuite::make(bench, ctx.seed);
+                    Hierarchy hierarchy(config.hierarchy,
+                                        byp ? makeSpdpB(pd)
+                                            : makeSpdpNb(pd));
+                    exhaustive.push_back(
+                        runSingleCore(*gen, hierarchy, config));
+                }
+            const double exh =
+                // pdplint: allow(wall-clock) see above.
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+
+            // Pruned side: fingerprint the stream once, rank the whole
+            // grid analytically, simulate only the contenders (plus the
+            // audit cell) over one lockstep decode.
+            // pdplint: allow(wall-clock) see above.
+            t0 = std::chrono::steady_clock::now();
+            auto fgen = SpecSuite::make(bench, ctx.seed);
+            FingerprintOptions fopt;
+            fopt.accesses = config.accesses;
+            fopt.warmup = config.warmup;
+            const RddFingerprint fp = fingerprintStream(*fgen, fopt);
+            plan = planExplore(fp, 3, seedFor(bench + "/explore-audit"));
+            std::vector<
+                std::function<std::unique_ptr<ReplacementPolicy>()>>
+                factories;
+            for (const ExploreCell &cell : plan.chosen)
+                factories.push_back(
+                    [cell]() -> std::unique_ptr<ReplacementPolicy> {
+                        return cell.bypass ? makeSpdpB(cell.pd)
+                                           : makeSpdpNb(cell.pd);
+                    });
+            auto gen = SpecSuite::make(bench, ctx.seed);
+            contenders =
+                runSingleCoreLockstep(*gen, config, factories, threads);
+            const double prn =
+                // pdplint: allow(wall-clock) see above.
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+
+            exploreSeconds += prn;
+            done += plan.chosen.size() * config.accesses;
+            if (exh > 0 && prn > 0)
+                ratios.push_back(exh / prn);
+        }
+        std::sort(ratios.begin(), ratios.end());
+
+        // Winner reproduction per family: the pruned set must contain a
+        // cell within 2% of the exhaustive miss minimum.
+        for (bool byp : {false, true}) {
+            uint64_t best_exh = ~0ull;
+            const size_t base = byp ? grid.size() : 0;
+            for (size_t g = 0; g < grid.size(); ++g)
+                best_exh =
+                    std::min(best_exh, exhaustive[base + g].llcMisses);
+            uint64_t best_pruned = ~0ull;
+            for (size_t c = 0; c < plan.chosen.size(); ++c)
+                if (plan.chosen[c].bypass == byp)
+                    best_pruned =
+                        std::min(best_pruned, contenders[c].llcMisses);
+            PDP_CHECK(best_pruned <= best_exh + best_exh / 50,
+                      "explore pruning missed the ",
+                      byp ? "SPDP-B" : "SPDP-NB", " winner: ", best_pruned,
+                      " misses vs exhaustive ", best_exh);
+        }
+
+        uint64_t hits = 0, accesses = 0;
+        for (const SimResult &r : contenders) {
+            hits += r.llcHits;
+            accesses += r.llcAccesses;
+        }
+        JobOutcome outcome;
+        hotpathMetrics(outcome, done, exploreSeconds,
+                       accesses ? static_cast<double>(hits) / accesses
+                                : 0.0);
+        outcome.metrics["explore_speedup"] =
+            ratios.empty() ? 0.0 : ratios[ratios.size() / 2];
+        outcome.metrics["explore_cells"] =
+            static_cast<double>(2 * grid.size());
+        outcome.metrics["explore_simulated"] =
+            static_cast<double>(plan.chosen.size());
+        // Lane fan-out of the pruned side's lockstep leg: check_perf
+        // only enforces the absolute >= 10x floor when >= 4 lane
+        // workers ran (the pruned side still replays 7 exact policies).
+        outcome.metrics["explore_threads"] = static_cast<double>(threads);
+        return outcome;
+    };
+    return job;
+}
+
 const std::vector<std::string> kHotpathPolicies = {"LRU", "DRRIP", "PDP-3"};
 
 std::vector<Job>
@@ -1166,6 +1734,7 @@ buildHotpath(const SuiteOptions &options)
     jobs.push_back(hotpathTelemetryIdleJob(options.scale));
     jobs.push_back(hotpathShardedJob(options.scale));
     jobs.push_back(hotpathSweepJob(options.scale));
+    jobs.push_back(hotpathExploreJob(options.scale));
     return jobs;
 }
 
@@ -1195,6 +1764,7 @@ reportHotpath(std::ostream &out, const RecordLookup &records)
     keys.push_back("hotpath/llc/LRU-telemetry-idle");
     keys.push_back("hotpath/sharded/LRU-1v4");
     keys.push_back("hotpath/sweep/SPDP-B-grid");
+    keys.push_back("hotpath/explore/SPDP-grid");
     for (const std::string &key : keys) {
         double aps = 0.0, hit_rate = 0.0, vs_aos = 0.0;
         if (!metric(key, "accesses_per_sec", &aps)) {
@@ -1233,6 +1803,18 @@ reportHotpath(std::ostream &out, const RecordLookup &records)
         out << "lockstep 19-point SPDP-B sweep vs independent runs: "
             << Table::num(sweep, 2) << "x on "
             << static_cast<unsigned>(lanes) << " lane worker(s)\n";
+    }
+    double explore = 0.0;
+    if (metric("hotpath/explore/SPDP-grid", "explore_speedup", &explore)) {
+        double cells = 0.0, simmed = 0.0, lanes = 0.0;
+        metric("hotpath/explore/SPDP-grid", "explore_cells", &cells);
+        metric("hotpath/explore/SPDP-grid", "explore_simulated", &simmed);
+        metric("hotpath/explore/SPDP-grid", "explore_threads", &lanes);
+        out << "model-pruned explore vs exhaustive "
+            << static_cast<unsigned>(cells) << "-cell grid: "
+            << Table::num(explore, 2) << "x ("
+            << static_cast<unsigned>(simmed) << " cells simulated, "
+            << static_cast<unsigned>(lanes) << " lane worker(s))\n";
     }
 
     out << "\nAoS = the frozen pre-SoA substrate (reference_cache.h); "
@@ -1392,6 +1974,14 @@ allSuites()
          "multi-tenant cache-service mode: open-loop tenants, churn, "
          "per-tenant SLOs",
          buildService, reportService},
+        {"model_validation",
+         "analytic estimator vs simulator: per-point |pred - sim| over "
+         "the single-core workload set",
+         buildModelValidation, reportModelValidation},
+        {"explore",
+         "static-PD design space: exhaustive grid, or model-pruned "
+         "top-K contenders with --explore",
+         buildExplore, reportExplore},
     };
     return suites;
 }

@@ -76,6 +76,14 @@ struct SuiteOptions
      *  form so files byte-compare across worker counts
      *  (--deterministic-json). */
     bool deterministicJson = false;
+    /** Explore suite: prune the design-space grid with the analytic
+     *  model (src/model/) and simulate only the top-K contenders per
+     *  policy family plus one audit cell (--explore).  Off = simulate
+     *  the exhaustive grid. */
+    bool explore = false;
+    /** Contenders simulated per policy family in --explore mode
+     *  (--explore-topk). */
+    unsigned exploreTopK = 3;
 };
 
 /** Key-indexed view over executed records for the reduce step. */
@@ -115,7 +123,8 @@ struct Suite
 };
 
 /** Registry of all suites (fig10_single_core, fig4_static_pdp,
- *  fig12_partitioning, hotpath, smoke, service). */
+ *  fig12_partitioning, hotpath, smoke, service, model_validation,
+ *  explore). */
 const std::vector<Suite> &allSuites();
 
 /** Lookup by name; nullptr when unknown. */

@@ -12,6 +12,10 @@
  *            "rdd_step"      counter-array bucket width S_c
  *            "rdd_total"     sampled accesses N_t in the current window
  *            "rdd_hits"      recorded reuse hits in the current window
+ *            "rdd_tail"      unplaced mass: N_t - hits (RD > d_max or
+ *                            never reused inside the window)
+ *            "rdd_frozen"    1 when a hit counter saturated and froze
+ *                            the array (src/core/rdd.h)
  *            "psel"          set-dueling PSEL value (DIP, DRRIP)
  *            "psel_max"      PSEL saturation value
  *            "psel_b"        1 when followers currently use policy B

@@ -1,0 +1,104 @@
+#include "trace/rdd_fingerprint.h"
+
+#include "cache/cache.h"
+#include "cache/cache_config.h"
+#include "check/check.h"
+#include "core/rd_profiler.h"
+#include "policies/basic.h"
+#include "trace/spec_suite.h"
+
+namespace pdp
+{
+
+namespace
+{
+
+/** The L2-filtered demand stream of one benchmark, fed to the profiler
+ *  exactly as the PDP sampler sees the LLC: demand accesses (L2 misses)
+ *  only.  Writebacks of dirty L2 victims do reach the simulated LLC,
+ *  but neither advance the policy's per-set clocks nor register in its
+ *  RDD (PdpPolicy::step returns early on them), and the simulator's
+ *  hit/access stats are demand-only too — so the fingerprint must skip
+ *  them or every dirty victim would fake a short-distance reuse. */
+class FilteredProfiler
+{
+  public:
+    FilteredProfiler(uint32_t sets, uint32_t d_max)
+        : l2_(CacheConfig::paperL2(), std::make_unique<LruPolicy>()),
+          setMask_(sets - 1), profiler_(sets, d_max)
+    {
+    }
+
+    void
+    feed(const Access &access)
+    {
+        AccessContext ctx;
+        ctx.lineAddr = access.lineAddr;
+        ctx.pc = access.pc;
+        ctx.threadId = access.threadId;
+        ctx.isWrite = access.isWrite;
+        ctx.set = l2_.setIndex(ctx.lineAddr);
+        const AccessOutcome out = l2_.access(ctx);
+        if (out.hit)
+            return;
+        observe(access.lineAddr);
+    }
+
+    RdProfiler &profiler() { return profiler_; }
+
+  private:
+    void
+    observe(uint64_t line_addr)
+    {
+        profiler_.observe(static_cast<uint32_t>(line_addr & setMask_),
+                          line_addr);
+    }
+
+    Cache l2_;
+    uint64_t setMask_;
+    RdProfiler profiler_;
+};
+
+} // namespace
+
+RddFingerprint
+fingerprintStream(AccessGenerator &gen, const FingerprintOptions &options)
+{
+    PDP_CHECK(options.sets >= 1 && (options.sets & (options.sets - 1)) == 0,
+              "fingerprint set count ", options.sets,
+              " must be a power of two");
+
+    FilteredProfiler filter(options.sets, options.dMax);
+    for (uint64_t i = 0; i < options.warmup; ++i)
+        filter.feed(gen.next());
+    // Discard warmup observations but keep the recency state, mirroring
+    // the simulator's resetStats() boundary.
+    filter.profiler().clearCounts();
+    for (uint64_t i = 0; i < options.accesses; ++i)
+        filter.feed(gen.next());
+
+    const RdProfiler &profiler = filter.profiler();
+    RddFingerprint fp;
+    fp.benchmark = gen.name();
+    fp.sets = options.sets;
+    fp.dMax = options.dMax;
+    fp.counts.resize(options.dMax);
+    fp.pairCounts.resize(options.dMax);
+    for (uint32_t d = 1; d <= options.dMax; ++d) {
+        fp.counts[d - 1] = profiler.rdd().at(d - 1);
+        fp.pairCounts[d - 1] = profiler.pairRdd().at(d - 1);
+    }
+    fp.tailMass = profiler.tailMass();
+    fp.accesses = profiler.accesses();
+    return fp;
+}
+
+RddFingerprint
+fingerprintBenchmark(const std::string &benchmark, uint64_t seed,
+                     const FingerprintOptions &options)
+{
+    auto gen = SpecSuite::make(benchmark, seed);
+    return fingerprintStream(*gen, options);
+}
+
+} // namespace pdp

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * One-pass RDD fingerprints: the benchmark-side input of the analytic
+ * estimator (src/model/analytic_model.h).
+ *
+ * A fingerprint is the exact per-distance reuse-distance distribution of
+ * a benchmark's LLC-filtered access stream, measured once by RdProfiler
+ * at a reference geometry (kLlcRefSets sets, per-distance resolution 1,
+ * reach beyond the hardware d_max).  The analytic model then *rescales*
+ * it to any cache/counter geometry — different set counts, S_c, d_max —
+ * so one profiling pass serves a whole design-space grid.
+ *
+ * The profiling pass replays the simulator's traffic shaping exactly:
+ * the same L2 (paper geometry, LRU) filters the stream, only demand
+ * accesses are observed (writebacks neither advance the policy's set
+ * clocks nor register in its RDD, and the simulator's hit/access stats
+ * are demand-only), and warmup observations are discarded without
+ * cooling the tracked working set (RdProfiler::clearCounts), mirroring
+ * Hierarchy::resetStats() after warmup.  What the pass does NOT do is
+ * simulate the LLC — that is the whole point.
+ */
+
+#ifndef PDP_TRACE_RDD_FINGERPRINT_H
+#define PDP_TRACE_RDD_FINGERPRINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/generator.h"
+
+namespace pdp
+{
+
+/** The exact RDD of one benchmark at the reference geometry. */
+struct RddFingerprint
+{
+    std::string benchmark;
+    /** Set count the set-local distances were measured at. */
+    uint32_t sets = 0;
+    /** Profile reach: distances 1..dMax are resolved exactly. */
+    uint32_t dMax = 0;
+    /** counts[d-1] = reuses observed at set-local distance d. */
+    std::vector<uint64_t> counts;
+    /** pairCounts[k-1] = reuses whose distance d and same-line previous
+     *  distance p satisfy max(d, p) = k (RdProfiler::pairRdd): the
+     *  chain-continuity input of the analytic PDP model.  Rescales
+     *  exactly like counts. */
+    std::vector<uint64_t> pairCounts;
+    /** Observed reuses beyond dMax (explicit, not lumped into counts).
+     *  Lower bound: reuses the profiler pruned re-enter as first
+     *  touches and land in the never-reused remainder instead. */
+    uint64_t tailMass = 0;
+    /** Total observed LLC-filtered accesses N_t (measured window). */
+    uint64_t accesses = 0;
+
+    /** tailMass as a fraction of all accesses (prediction error bar). */
+    double
+    tailFraction() const
+    {
+        return accesses == 0
+            ? 0.0
+            : static_cast<double>(tailMass) / static_cast<double>(accesses);
+    }
+
+    /** Reuses resolved within dMax. */
+    uint64_t
+    hitSum() const
+    {
+        uint64_t sum = 0;
+        for (uint64_t c : counts)
+            sum += c;
+        return sum;
+    }
+};
+
+/** Profiling-pass knobs (defaults match the figure suites' SimConfig). */
+struct FingerprintOptions
+{
+    /** Measured accesses after warmup. */
+    uint64_t accesses = 3'000'000;
+    /** Warmup accesses (L2 + profiler recency state filled, counts
+     *  discarded). */
+    uint64_t warmup = 1'000'000;
+    /** LLC set count of the reference geometry. */
+    uint32_t sets = 2048;
+    /** Profile reach; keep a multiple of the hardware d_max so the
+     *  model can rescale to smaller caches (larger distances) without
+     *  losing mass into the tail. */
+    uint32_t dMax = 1024;
+};
+
+/**
+ * Profile one generator stream (consumes warmup + accesses from `gen`).
+ * The caller controls seeding by constructing the generator, exactly as
+ * simulation jobs do.
+ */
+RddFingerprint fingerprintStream(AccessGenerator &gen,
+                                 const FingerprintOptions &options);
+
+/** Convenience wrapper: SpecSuite benchmark by name + seed. */
+RddFingerprint fingerprintBenchmark(const std::string &benchmark,
+                                    uint64_t seed,
+                                    const FingerprintOptions &options);
+
+} // namespace pdp
+
+#endif // PDP_TRACE_RDD_FINGERPRINT_H

@@ -11,7 +11,10 @@ are gated:
   * ``sharded_speedup`` — the 4-way set-sharded LLC against the
     monolithic sequential walk,
   * ``sweep_speedup`` — the lockstep multi-config sweep against the
-    equivalent independent sequential runs.
+    equivalent independent sequential runs,
+  * ``explore_speedup`` — the model-pruned design-space explorer
+    (fingerprint + analytic ranking + top-K lockstep simulation)
+    against the exhaustive simulate-everything grid.
 
 The gate fails when
 
@@ -27,6 +30,13 @@ The gate fails when
     irreducible work, so a 1-core host tops out near 2x regardless of
     front-end amortization and only the regression bar is meaningful
     there.  CI runners provide 4 vCPUs, so the floor is enforced in CI,
+  * the explore row's ``explore_speedup`` falls below
+    ``--min-explore-speedup`` (default 10.0, the explorer's acceptance
+    bar).  Like the sweep floor, it only applies when the run's
+    ``explore_threads`` metric reports at least ``--min-explore-threads``
+    lane workers (default 4): the pruned side still replays its
+    contender policies exactly, so a 1-core host cannot reach the
+    full pruning ratio,
   * a row present in the baseline is missing from the current run,
   * a baseline row carries a zero/negative/non-finite ratio — a corrupt
     baseline must fail loudly instead of silently waving the gate
@@ -53,12 +63,14 @@ import sys
 LRU_KEY = "hotpath/llc/LRU"
 TELEMETRY_IDLE_KEY = "hotpath/llc/LRU-telemetry-idle"
 SWEEP_KEY = "hotpath/sweep/SPDP-B-grid"
+EXPLORE_KEY = "hotpath/explore/SPDP-grid"
 
 # The gated ratio families: metric name -> short label for the report.
 FAMILIES = [
     ("vs_aos", "vs AoS"),
     ("sharded_speedup", "sharded"),
     ("sweep_speedup", "sweep"),
+    ("explore_speedup", "explore"),
 ]
 FAMILIES_LABEL = dict(FAMILIES)
 
@@ -116,6 +128,13 @@ def main(argv=None):
                         help="lane workers the current run must report "
                         "(sweep_threads metric) before the absolute sweep "
                         "floor applies (default: 4)")
+    parser.add_argument("--min-explore-speedup", type=float, default=10.0,
+                        help="absolute floor for the %s explore_speedup "
+                        "ratio (default: 10.0)" % EXPLORE_KEY)
+    parser.add_argument("--min-explore-threads", type=int, default=4,
+                        help="lane workers the current run must report "
+                        "(explore_threads metric) before the absolute "
+                        "explore floor applies (default: 4)")
     parser.add_argument("--min-telemetry-idle", type=float, default=0.98,
                         help="floor for the telemetry_idle_ratio metric "
                         "when present (default: 0.98)")
@@ -129,14 +148,22 @@ def main(argv=None):
     absolute_floors = {
         (LRU_KEY, "vs_aos"): args.min_lru_ratio,
         (SWEEP_KEY, "sweep_speedup"): args.min_sweep_speedup,
+        (EXPLORE_KEY, "explore_speedup"): args.min_explore_speedup,
     }
-    # The sweep's absolute floor needs real lane parallelism; with fewer
-    # workers than --min-sweep-threads only the regression bar applies.
+    # The sweep/explore absolute floors need real lane parallelism; with
+    # fewer workers than the respective --min-*-threads only the
+    # regression bar applies.
     sweep_threads = load_metrics(current_doc, "sweep_threads").get(SWEEP_KEY)
     sweep_floor_waived = (sweep_threads is not None and
                           sweep_threads < args.min_sweep_threads)
     if sweep_floor_waived:
         del absolute_floors[(SWEEP_KEY, "sweep_speedup")]
+    explore_threads = load_metrics(current_doc, "explore_threads") \
+        .get(EXPLORE_KEY)
+    explore_floor_waived = (explore_threads is not None and
+                            explore_threads < args.min_explore_threads)
+    if explore_floor_waived:
+        del absolute_floors[(EXPLORE_KEY, "explore_speedup")]
 
     failures = []
     rows = []
@@ -208,6 +235,7 @@ def main(argv=None):
     if args.as_json:
         print(json.dumps({"rows": rows, "telemetry_idle": idle_row,
                           "sweep_floor_waived": sweep_floor_waived,
+                          "explore_floor_waived": explore_floor_waived,
                           "failures": failures,
                           "passed": not failures}, indent=2))
         return 1 if failures else 0
@@ -238,6 +266,10 @@ def main(argv=None):
         print("note: absolute sweep floor waived — run used %d lane "
               "worker(s), floor needs %d (regression bar still applies)" %
               (int(sweep_threads), args.min_sweep_threads))
+    if explore_floor_waived:
+        print("note: absolute explore floor waived — run used %d lane "
+              "worker(s), floor needs %d (regression bar still applies)" %
+              (int(explore_threads), args.min_explore_threads))
 
     if failures:
         print("\nperf gate FAILED:")

@@ -11,6 +11,7 @@
  *                   [--telemetry[=DIR]] [--trace]
  *                   [--shards N] [--lockstep]
  *                   [--tenants N] [--churn N] [--deterministic-json]
+ *                   [--explore] [--explore-topk N]
  *
  * --shards N set-shards each single-core job's LLC across N worker
  * threads (semantics-preserving; policies that cannot shard fall back
@@ -24,6 +25,13 @@
  * additionally derives structured events (PD changes, PSEL flips,
  * partition reallocations) and writes TRACE_<suite>.jsonl; it implies
  * --telemetry.  Render either with tools/telemetry_report.py.
+ *
+ * --explore switches the `explore` suite from the exhaustive static-PD
+ * grid to the model-pruned path: the analytic estimator (src/model/)
+ * ranks every (family, PD) cell in microseconds and only the top-K
+ * contenders per family (--explore-topk, default 3) plus one seeded
+ * audit cell from the pruned tail are simulated.  Other suites ignore
+ * both flags.
  *
  * --tenants / --churn parameterize the `service` suite's scripted
  * tenant population (other suites ignore them).  --deterministic-json
@@ -63,6 +71,7 @@ printUsage(std::FILE *to)
                  "                       [--shards N] [--lockstep]\n"
                  "                       [--tenants N] [--churn N]\n"
                  "                       [--deterministic-json]\n"
+                 "                       [--explore] [--explore-topk N]\n"
                  "\n"
                  "--shards N set-shards each job's LLC across N threads;\n"
                  "--lockstep runs each benchmark's sweep cells over one\n"
@@ -72,6 +81,11 @@ printUsage(std::FILE *to)
                  "--telemetry samples per-epoch policy state into the\n"
                  "BENCH json (optional =DIR overrides --json); --trace\n"
                  "also writes TRACE_<suite>.jsonl structured events.\n"
+                 "\n"
+                 "--explore prunes the `explore` suite's static-PD grid\n"
+                 "with the analytic model and simulates only the top-K\n"
+                 "contenders per family (--explore-topk, default 3) plus\n"
+                 "one seeded audit cell.\n"
                  "\n"
                  "--tenants/--churn shape the `service` suite's scripted\n"
                  "population; --deterministic-json writes the BENCH json\n"
@@ -163,6 +177,18 @@ main(int argc, char **argv)
             options.serviceChurn = static_cast<unsigned>(*churn);
         } else if (arg == "--deterministic-json") {
             options.deterministicJson = true;
+        } else if (arg == "--explore") {
+            options.explore = true;
+        } else if (arg == "--explore-topk") {
+            const auto topk = pdp::parseUnsigned(needValue(i));
+            if (!topk || *topk == 0 || *topk > 64) {
+                std::fprintf(stderr,
+                             "--explore-topk wants an integer in [1, 64], "
+                             "got \"%s\"\n",
+                             argv[i]);
+                return 2;
+            }
+            options.exploreTopK = static_cast<unsigned>(*topk);
         } else if (arg == "--scale") {
             const auto scale = pdp::parseDouble(needValue(i));
             if (!scale || !(*scale > 0)) {

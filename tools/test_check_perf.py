@@ -90,6 +90,28 @@ class CheckPerfTest(unittest.TestCase):
                          sweep_speedup=1.5, sweep_threads=4))
         self.assertEqual(self.run_gate(cur_4t, base), 1)
 
+    def test_explore_absolute_floor(self):
+        base = doc(job("hotpath/explore/SPDP-grid", explore_speedup=14.0))
+        cur = doc(job("hotpath/explore/SPDP-grid", explore_speedup=9.5,
+                      explore_threads=4))
+        self.assertEqual(self.run_gate(cur, base), 1)
+        cur_ok = doc(job("hotpath/explore/SPDP-grid", explore_speedup=12.0,
+                         explore_threads=4))
+        self.assertEqual(self.run_gate(cur_ok, base), 0)
+
+    def test_explore_floor_waived_below_thread_minimum(self):
+        # The pruned side still replays its contender policies exactly,
+        # so a 1-core host cannot reach the 10x bar: the floor is only
+        # enforced when >= 4 lane workers ran.
+        base = doc(job("hotpath/explore/SPDP-grid", explore_speedup=6.0))
+        cur = doc(job("hotpath/explore/SPDP-grid", explore_speedup=6.0,
+                      explore_threads=1))
+        self.assertEqual(self.run_gate(cur, base), 0)
+        # The regression bar still bites with the floor waived.
+        cur_reg = doc(job("hotpath/explore/SPDP-grid", explore_speedup=4.0,
+                          explore_threads=1))
+        self.assertEqual(self.run_gate(cur_reg, base), 1)
+
     def test_sharded_row_is_regression_gated_only(self):
         # No absolute floor: 0.8x locally (1-core machine) passes as
         # long as it does not regress from the committed baseline.
