@@ -1,0 +1,142 @@
+#include "hw/perf_counters.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace pdp
+{
+namespace hw
+{
+
+#if defined(__linux__)
+
+namespace
+{
+
+/** The (type, config) pairs of the group, in PerfReading field order. */
+constexpr struct
+{
+    uint32_t type;
+    uint64_t config;
+} kEvents[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+int
+openCounter(uint32_t type, uint64_t config, int group_fd)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = type;
+    attr.config = config;
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    // glibc ships no wrapper; the raw syscall is the documented interface
+    // (man perf_event_open).  pid=0, cpu=-1: this thread, any CPU.
+    return static_cast<int>(::syscall(__NR_perf_event_open, &attr, 0, -1,
+                                      group_fd, 0));
+}
+
+} // namespace
+
+PerfCounterGroup::PerfCounterGroup()
+{
+    for (int i = 0; i < kCounters; ++i) {
+        // The first counter leads the group so one ENABLE/RESET ioctl
+        // with PERF_IOC_FLAG_GROUP drives all four coherently.
+        fds_[i] = openCounter(kEvents[i].type, kEvents[i].config,
+                              i == 0 ? -1 : fds_[0]);
+        if (fds_[i] < 0) {
+            // All-or-nothing: a partial group would bias ratios like
+            // misses-per-cycle, so any refusal selects the null backend.
+            for (int j = 0; j < i; ++j) {
+                ::close(fds_[j]);
+                fds_[j] = -1;
+            }
+            fds_[i] = -1;
+            return;
+        }
+    }
+    active_ = true;
+}
+
+PerfCounterGroup::~PerfCounterGroup()
+{
+    for (int i = 0; i < kCounters; ++i)
+        if (fds_[i] >= 0)
+            ::close(fds_[i]);
+}
+
+void
+PerfCounterGroup::start()
+{
+    if (!active_)
+        return;
+    ::ioctl(fds_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ::ioctl(fds_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfReading
+PerfCounterGroup::read() const
+{
+    PerfReading reading;
+    if (!active_)
+        return reading;
+    uint64_t values[kCounters] = {};
+    for (int i = 0; i < kCounters; ++i)
+        if (::read(fds_[i], &values[i], sizeof(values[i])) !=
+            sizeof(values[i]))
+            return reading; // invalid: a torn group is no reading at all
+    reading.valid = true;
+    reading.cycles = values[0];
+    reading.instructions = values[1];
+    reading.cacheMisses = values[2];
+    reading.branchMisses = values[3];
+    return reading;
+}
+
+bool
+PerfCounterGroup::available()
+{
+    PerfCounterGroup probe;
+    return probe.active();
+}
+
+#else // !__linux__
+
+PerfCounterGroup::PerfCounterGroup() = default;
+
+PerfCounterGroup::~PerfCounterGroup() = default;
+
+void
+PerfCounterGroup::start()
+{
+}
+
+PerfReading
+PerfCounterGroup::read() const
+{
+    return {};
+}
+
+bool
+PerfCounterGroup::available()
+{
+    return false;
+}
+
+#endif
+
+} // namespace hw
+} // namespace pdp

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * PerfCounterGroup: hardware performance counters over perf_event_open,
+ * with a portable null fallback.
+ *
+ * The observability plane (DESIGN.md "Observability plane") wants
+ * hardware-level ground truth — cycles, instructions, LLC misses,
+ * branch misses — next to the simulator's own numbers, so analytic-model
+ * error can be told apart from simulator-vs-metal drift.  perf_event_open
+ * is Linux-only and frequently unavailable even there (CI containers run
+ * with perf_event_paranoid locked down, seccomp filters, or no PMU), so
+ * the group degrades to a null backend: active() turns false, read()
+ * returns an invalid reading, and serializers must then omit the
+ * hardware section entirely — an absent section, never a zero-filled
+ * one, is the "no hardware data" signal.
+ *
+ * Readings are inherently nondeterministic (they measure the host, not
+ * the simulation), so they are volatile by contract: they only ever
+ * appear in the volatile form of BENCH documents, never in
+ * deterministic dumps and never in anything byte-compared across
+ * worker counts.
+ */
+
+#ifndef PDP_HW_PERF_COUNTERS_H
+#define PDP_HW_PERF_COUNTERS_H
+
+#include <cstdint>
+
+namespace pdp
+{
+namespace hw
+{
+
+/** One snapshot (or delta) of the four-counter group. */
+struct PerfReading
+{
+    /** False = the null backend (or a failed read); consumers must
+     *  treat the other fields as absent, not zero. */
+    bool valid = false;
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t branchMisses = 0;
+
+    /** this - base, element-wise; invalid when either side is. */
+    PerfReading
+    since(const PerfReading &base) const
+    {
+        PerfReading d;
+        d.valid = valid && base.valid;
+        if (d.valid) {
+            d.cycles = cycles - base.cycles;
+            d.instructions = instructions - base.instructions;
+            d.cacheMisses = cacheMisses - base.cacheMisses;
+            d.branchMisses = branchMisses - base.branchMisses;
+        }
+        return d;
+    }
+};
+
+/**
+ * Four hardware counters (cycles, instructions, cache-misses,
+ * branch-misses) counting this thread's user-mode execution.  All four
+ * must open for the group to activate; any refusal — wrong OS, locked
+ * down perf_event_paranoid, missing PMU — selects the null backend.
+ */
+class PerfCounterGroup
+{
+  public:
+    PerfCounterGroup();
+    ~PerfCounterGroup();
+
+    PerfCounterGroup(const PerfCounterGroup &) = delete;
+    PerfCounterGroup &operator=(const PerfCounterGroup &) = delete;
+
+    /** True when the hardware backend opened (never true off-Linux). */
+    bool active() const { return active_; }
+
+    /** Zero and (re)enable the counters. */
+    void start();
+
+    /** Current counter values; PerfReading::valid is false on the null
+     *  backend or when any counter fails to read. */
+    PerfReading read() const;
+
+    /** Whether this process can open the group at all (probe + close);
+     *  what a fresh PerfCounterGroup's active() would return. */
+    static bool available();
+
+  private:
+    static constexpr int kCounters = 4;
+    int fds_[kCounters] = {-1, -1, -1, -1};
+    bool active_ = false;
+};
+
+} // namespace hw
+} // namespace pdp
+
+#endif // PDP_HW_PERF_COUNTERS_H

@@ -37,6 +37,7 @@
 #include <string_view>
 #include <vector>
 
+#include "hw/perf_counters.h"
 #include "service/service_sim.h"
 #include "sim/multi_core_sim.h"
 #include "sim/single_core_sim.h"
@@ -151,6 +152,12 @@ struct JobRecord
     /** Wall-clock duration; reporting only, excluded from deterministic
      *  serializations. */
     double seconds = 0.0;
+    /** Hardware counter deltas over the job (ExecutorOptions::
+     *  perfCounters; hw.valid false on the null backend).  Volatile
+     *  like `seconds`: host-measured, excluded from deterministic
+     *  serializations, and serialized as an absent section — never
+     *  zero-filled — when invalid. */
+    hw::PerfReading hw;
     JobOutcome outcome;
 };
 

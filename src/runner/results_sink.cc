@@ -72,6 +72,8 @@ toJson(const ServiceResult &result)
     j.set("leaves", result.leaves);
     j.set("reallocs", result.reallocs);
     j.set("aggregate_hit_rate", result.aggregateHitRate);
+    if (result.spansSampled)
+        j.set("spans_sampled", result.spansSampled);
     Json tenants = Json::array();
     for (const TenantOutcome &tenant : result.tenants) {
         Json t = Json::object();
@@ -91,6 +93,9 @@ toJson(const ServiceResult &result)
         t.set("occupancy_drift", tenant.occupancyDrift);
         t.set("slo_hit_rate_met", tenant.hitRateSloMet);
         t.set("slo_latency_met", tenant.latencySloMet);
+        t.set("slo_burn_events", tenant.sloBurnEvents);
+        t.set("slo_recovered_events", tenant.sloRecoveredEvents);
+        t.set("max_burn_rate", tenant.maxBurnRate);
         tenants.push(std::move(t));
     }
     j.set("tenants", std::move(tenants));
@@ -138,6 +143,19 @@ toJson(const telemetry::TraceEvent &event)
     return j;
 }
 
+/** Hardware counter deltas; callers gate on reading.valid — an invalid
+ *  reading must stay an *absent* section, never a zero-filled one. */
+Json
+toJson(const hw::PerfReading &reading)
+{
+    Json j = Json::object();
+    j.set("cycles", reading.cycles);
+    j.set("instructions", reading.instructions);
+    j.set("cache_misses", reading.cacheMisses);
+    j.set("branch_misses", reading.branchMisses);
+    return j;
+}
+
 } // namespace
 
 Json
@@ -169,6 +187,10 @@ toJson(const telemetry::RunTelemetry &run, bool includeVolatile)
         for (uint64_t n : rec.threadOccupancy)
             occupancy.push(n);
         e.set("thread_occupancy", std::move(occupancy));
+        // Host-measured, hence volatile; absent (not zero-filled) on the
+        // null perf backend.
+        if (includeVolatile && rec.hw.valid)
+            e.set("hw", toJson(rec.hw));
         epochs.push(std::move(e));
     }
     j.set("epochs", std::move(epochs));
@@ -196,6 +218,10 @@ toJson(const JobRecord &record, bool includeVolatile)
         j.set("error", record.error);
     if (includeVolatile)
         j.set("seconds", record.seconds);
+    // Same contract as the per-epoch hw section: volatile, and absent —
+    // never zero-filled — when the null backend was in effect.
+    if (includeVolatile && record.hw.valid)
+        j.set("hardware", toJson(record.hw));
     if (!record.outcome.metrics.empty()) {
         Json metrics = Json::object();
         for (const auto &[name, value] : record.outcome.metrics)
@@ -460,6 +486,11 @@ ResultsSink::writeTraceFile(const std::string &directory,
         return false;
     if (dir.back() != '/')
         dir += '/';
+    bool deterministic = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        deterministic = deterministicFile_;
+    }
     const std::string path = dir + traceFileName();
     std::ofstream out(path);
     if (!out)
@@ -482,6 +513,11 @@ ResultsSink::writeTraceFile(const std::string &directory,
         if (!run)
             continue;
         for (const telemetry::TraceEvent &event : run->events) {
+            // Deterministic trace files drop wall-clock-bearing events
+            // (phase timers) so CI can byte-compare TRACE files across
+            // worker counts — same rule as the BENCH document.
+            if (deterministic && event.isVolatile)
+                continue;
             Json line = Json::object();
             line.set("job", record.key);
             line.set("type", event.type);

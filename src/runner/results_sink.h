@@ -26,6 +26,10 @@
  *         "status": "ok" | "failed" | "timed_out",
  *         "error": "...",         // only when non-empty
  *         "seconds": 1.32,        // volatile: omitted in deterministic dumps
+ *         "hardware": {           // volatile; only when perf counters were
+ *           "cycles": ...,        // live (absent — never zero-filled — on
+ *           "instructions": ...,  // the null backend)
+ *           "cache_misses": ..., "branch_misses": ...},
  *         "metrics": {"best_pd": 72, ...},          // optional scalars
  *         "single": { ... SimResult fields ... },   // when present
  *         "multi": { ... MultiCoreResult fields ... },
@@ -41,7 +45,9 @@
  *              "hit_rate": 0.266,
  *              "policy": {"pd": 68, ...},           // Source scalars
  *              "series": {"rdd": [..], "e_curve": [..], ...},
- *              "thread_occupancy": [31768]}, ...
+ *              "thread_occupancy": [31768],
+ *              "hw": {"cycles": ..., ...}},         // volatile; perf
+ *             ...                                   // counters only
  *           ],
  *           "events": [           // only when --trace; volatile events
  *             {"type": "pd_change", "access": 262144,  // (phase timers)
@@ -166,9 +172,11 @@ class ResultsSink
      * Flush every record's trace events as JSONL into
      * `directory`/TRACE_<experiment>.jsonl: one header line ("schema":
      * "pdp-bench-trace/v1") then one line per event, tagged with its job
-     * key.  Volatile events are included — a trace is a profiling
-     * artifact, not a determinism surface.  Returns false when disabled
-     * or the file cannot be created.
+     * key.  Volatile events (phase timers) are included by default, but
+     * dropped under setDeterministicFile(true) so the trace stream —
+     * request-lifecycle spans, SLO burn events and all — is a determinism
+     * surface CI can byte-compare across worker counts.  Returns false
+     * when disabled or the file cannot be created.
      */
     bool writeTraceFile(const std::string &directory = "",
                         std::string *pathOut = nullptr) const;

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <ostream>
 #include <thread>
 
 #include "cache/hierarchy.h"
+#include "check/flight_recorder.h"
 #include "cache/reference_cache.h"
 #include "cache/shard_view.h"
 #include "core/pdp_policy.h"
@@ -189,8 +191,11 @@ telemetry::TelemetryConfig
 telemetryConfig(const SuiteOptions &options)
 {
     telemetry::TelemetryConfig config;
-    config.enabled = options.telemetry || options.trace;
-    config.traceEvents = options.trace;
+    config.enabled =
+        options.telemetry || options.trace || options.obsSampleRate > 0.0;
+    config.traceEvents = options.trace || options.obsSampleRate > 0.0;
+    config.spanSampleRate = options.obsSampleRate;
+    config.perfCounters = options.perfCounters;
     return config;
 }
 
@@ -1860,6 +1865,7 @@ buildService(const SuiteOptions &options)
     config.accesses = 6'000'000;
     config.warmup = 1'000'000;
     config.telemetry = telemetryConfig(options);
+    config.faultAt = options.serviceFaultAt;
     config = config.scaled(options.scale);
 
     ServiceScenarioParams params;
@@ -2053,12 +2059,27 @@ runSuite(const Suite &suite, const SuiteOptions &options, std::ostream &out)
     ExecutorOptions eopts;
     eopts.workers = options.workers;
     eopts.defaultTimeoutSeconds = options.timeoutSeconds;
+    eopts.perfCounters = options.perfCounters;
     eopts.reporter = &reporter;
     eopts.onComplete = [&sink](const JobRecord &record) {
         sink.add(record);
     };
     ThreadPoolExecutor executor(eopts);
     sink.setWorkers(executor.workers());
+
+    // Arm the fault flight recorder into the suite's output directory
+    // for the duration of the run (scoped: unit tests that drive
+    // throwing jobs directly still see the process default, disarmed).
+    // When JSON output is disabled there is nowhere to dump, so the
+    // recorder stays disarmed too.
+    std::string flightDir =
+        options.jsonDir.empty() ? ResultsSink::jsonDirectory()
+                                : options.jsonDir;
+    if (flightDir == "none" || flightDir == "0")
+        flightDir.clear();
+    std::optional<check::ScopedFlightRecorder> flightArm;
+    if (!flightDir.empty())
+        flightArm.emplace(flightDir);
 
     reporter.beginBatch(suite.name, jobs.size(), executor.workers());
     const std::vector<JobRecord> records = executor.run(jobs);

@@ -57,6 +57,19 @@ struct SuiteOptions
     /** Also derive structured events and write TRACE_<suite>.jsonl
      *  (--trace; implies telemetry). */
     bool trace = false;
+    /** Request-span head-sampling rate in [0, 1] for service-mode jobs
+     *  (--obs-sample-rate; implies trace).  0 disables the SpanTracer;
+     *  the sample decision is a pure hash of (seed, tenant, request), so
+     *  sampled spans are deterministic across worker counts. */
+    double obsSampleRate = 0.0;
+    /** Profile with hardware perf counters: per job via the executor and
+     *  per epoch via the sampler (--perf-counters).  Volatile data only;
+     *  cleanly absent where perf_event_open is unavailable. */
+    bool perfCounters = false;
+    /** Service suite: trip an injected PDP_CHECK at this measured-access
+     *  index in every service job (--fault-at; 0 disables).  Exercises
+     *  the fault flight recorder end to end. */
+    uint64_t serviceFaultAt = 0;
     /** LLC set-shards per single-core job (--shards; rounded down to a
      *  power of two by the sim layer).  Semantics-preserving: policies
      *  that cannot shard fall back to the sequential driver. */

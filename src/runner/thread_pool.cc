@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "check/check.h"
+#include "check/flight_recorder.h"
+#include "hw/perf_counters.h"
 
 namespace pdp
 {
@@ -32,6 +34,21 @@ ThreadPoolExecutor::execute(const Job &job, unsigned worker) const
     ctx.worker = worker;
 
     std::vector<JobRecord> group;
+
+    // Bind this thread to the job so in-simulation capture sites (the
+    // FlightScope inside a run) know which FLIGHT file they belong to.
+    check::FlightRecorder::setJobKey(job.key);
+
+    // Per-job hardware profiling: counters are thread-scoped, and the
+    // executor runs one job per thread at a time, so the delta is the
+    // job's own execution.  Null backend => hw stays invalid/absent.
+    std::unique_ptr<hw::PerfCounterGroup> perf;
+    hw::PerfReading perfBase;
+    if (options_.perfCounters) {
+        perf = std::make_unique<hw::PerfCounterGroup>();
+        perf->start();
+        perfBase = perf->read();
+    }
 
     // pdplint: allow(wall-clock) job duration feeds the soft-timeout
     // check and the volatile `seconds` field only; ResultsSink omits
@@ -85,11 +102,16 @@ ThreadPoolExecutor::execute(const Job &job, unsigned worker) const
                                       start)
             .count();
 
+    hw::PerfReading perfDelta;
+    if (perf)
+        perfDelta = perf->read().since(perfBase);
+
     const double timeout = job.timeoutSeconds > 0
         ? job.timeoutSeconds
         : options_.defaultTimeoutSeconds;
     for (JobRecord &record : group) {
         record.seconds = seconds;
+        record.hw = perfDelta;
         if (record.status == JobStatus::Ok && timeout > 0 &&
             seconds > timeout) {
             record.status = JobStatus::TimedOut;
@@ -99,6 +121,19 @@ ThreadPoolExecutor::execute(const Job &job, unsigned worker) const
             record.error = os.str();
         }
     }
+
+    // Flight-recorder fallback: a simulation with a FlightScope already
+    // dumped richer context during its unwind (the per-job dedup makes
+    // this a no-op then); this catches everything else — jobs without a
+    // scope, non-check exceptions, soft timeouts (where nothing threw).
+    for (const JobRecord &record : group)
+        if (record.status != JobStatus::Ok)
+            check::FlightRecorder::global().dump(
+                record.key,
+                record.status == JobStatus::TimedOut ? "soft_timeout"
+                                                     : "job_failed",
+                record.error, nullptr, nullptr);
+    check::FlightRecorder::setJobKey("");
     return group;
 }
 

@@ -44,6 +44,10 @@ struct ExecutorOptions
     /** Soft wall-clock timeout applied to jobs whose own timeoutSeconds
      *  is 0; 0 disables. */
     double defaultTimeoutSeconds = 0.0;
+    /** Profile each job with a hardware perf-counter group
+     *  (hw/perf_counters.h) into JobRecord::hw; silently a no-op where
+     *  perf_event_open is unavailable. */
+    bool perfCounters = false;
     /** Progress funnel; nullptr for silent runs. */
     ProgressReporter *reporter = nullptr;
     /** Called on a worker thread after each job finishes (any status).

@@ -1,13 +1,17 @@
 #include "service/service_sim.h"
 
 #include <algorithm>
+#include <array>
 
 #include "cache/cache_stats.h"
 #include "check/check.h"
+#include "check/flight_recorder.h"
 #include "check/invariant_auditor.h"
 #include "partition/tenant_aware.h"
+#include "service/slo_monitor.h"
 #include "sim/multi_core_sim.h"
 #include "telemetry/metrics.h"
+#include "telemetry/span_tracer.h"
 #include "trace/tenant_stream.h"
 #include "util/stats.h"
 
@@ -43,7 +47,48 @@ struct TenantState
     Accumulator quota;
     Accumulator occupancy;
     Accumulator drift;
+    /** Per-SLO-interval delta baselines (burn-rate inputs). */
+    uint64_t sloBaseAccesses = 0;
+    uint64_t sloBaseHits = 0;
+    std::array<uint64_t, Log2Histogram::kBuckets> sloLatBase{};
+    uint64_t sloLatBaseCount = 0;
 };
+
+/**
+ * p99 of the miss-latency observations added since `base`, as the
+ * resolution-honest bucket upper edge; advances the baseline to now.
+ * This is the sliding-interval view of TimingModel::missLatency() that
+ * the burn-rate monitor scores, where the end-of-run TenantOutcome
+ * reports the whole-residency quantile.
+ */
+double
+intervalP99(const Log2Histogram &hist,
+            std::array<uint64_t, Log2Histogram::kBuckets> &base,
+            uint64_t &base_count)
+{
+    const uint64_t count = hist.count() - base_count;
+    double p99 = 0.0;
+    if (count > 0) {
+        // rank = ceil(0.99 * count), clamped into [1, count]
+        uint64_t rank = static_cast<uint64_t>(
+            0.99 * static_cast<double>(count));
+        if (static_cast<double>(rank) < 0.99 * static_cast<double>(count))
+            ++rank;
+        rank = std::max<uint64_t>(1, std::min(rank, count));
+        uint64_t seen = 0;
+        for (unsigned k = 0; k < Log2Histogram::kBuckets; ++k) {
+            seen += hist.at(k) - base[k];
+            if (seen >= rank) {
+                p99 = static_cast<double>(Log2Histogram::upperEdge(k));
+                break;
+            }
+        }
+    }
+    for (unsigned k = 0; k < Log2Histogram::kBuckets; ++k)
+        base[k] = hist.at(k);
+    base_count = hist.count();
+    return p99;
+}
 
 double
 eventField(unsigned v)
@@ -88,6 +133,25 @@ runService(const std::vector<TenantSpec> &tenants,
             config.telemetry, llc, config.accesses, config.slots);
     telemetry::EventTrace *trace =
         sampler ? sampler->trace() : nullptr;
+
+    // Request-lifecycle span tracing (observability plane): spans ride
+    // the event ring, so the tracer needs --trace AND a nonzero sample
+    // rate.  Its seed branches off the run seed on a tag no generator
+    // uses, so tracing on/off never perturbs the traffic.
+    std::unique_ptr<telemetry::SpanTracer> tracerPtr;
+    if (trace && config.telemetry.spanSampleRate > 0.0)
+        tracerPtr = std::make_unique<telemetry::SpanTracer>(
+            trace, hashMix64(seed ^ 0x5fa17ce1dULL),
+            config.telemetry.spanSampleRate);
+    telemetry::SpanTracer *tracer = tracerPtr.get();
+
+    SloMonitor monitor({config.sloWindow, config.sloBudget}, config.slots,
+                       trace);
+
+    // Crash forensics: declared after the sampler/tracer so stack
+    // unwinding destroys this scope FIRST, while the event ring and any
+    // open spans are still alive to be dumped (check/flight_recorder.h).
+    check::FlightScope flightScope(trace, tracer);
 
     ServiceResult result;
     result.policy = policy_spec;
@@ -143,6 +207,12 @@ runService(const std::vector<TenantSpec> &tenants,
         ts.baseAccesses = stats.threadAccesses[ts.slot];
         ts.baseHits = stats.threadHits[ts.slot];
         ts.baseMisses = stats.threadMisses[ts.slot];
+        ts.sloBaseAccesses = ts.baseAccesses;
+        ts.sloBaseHits = ts.baseHits;
+        // Callers reset the timer alongside the stats baseline, so the
+        // miss-latency interval baseline restarts from empty.
+        ts.sloLatBase.fill(0);
+        ts.sloLatBaseCount = 0;
     };
 
     auto doJoin = [&](unsigned spec) {
@@ -185,6 +255,8 @@ runService(const std::vector<TenantSpec> &tenants,
         ts.requests = 0;
         ts.joinedAt = measured;
         snapshotBase(ts);
+        monitor.attach(static_cast<unsigned>(slot), spec,
+                       {t.slo.minHitRate, t.slo.maxP99MissCycles});
 
         ++result.joins;
         ++result.reallocs;
@@ -228,6 +300,11 @@ runService(const std::vector<TenantSpec> &tenants,
             out.hitRate >= t.slo.minHitRate;
         out.latencySloMet = t.slo.maxP99MissCycles <= 0.0 ||
             out.p99MissCycles <= t.slo.maxP99MissCycles;
+        const SloBurnStats &burn =
+            monitor.stats(static_cast<unsigned>(ts.slot));
+        out.sloBurnEvents = burn.burnEvents;
+        out.sloRecoveredEvents = burn.recoveredEvents;
+        out.maxBurnRate = burn.maxBurnRate;
     };
 
     auto doLeave = [&](unsigned spec) {
@@ -235,6 +312,7 @@ runService(const std::vector<TenantSpec> &tenants,
         PDP_CHECK(ts.phase == TenantState::Phase::Live,
                   "tenant ", tenants[spec].name, " left while not live");
         finalizeTenant(spec, measured);
+        monitor.detach(static_cast<unsigned>(ts.slot));
         if (ta)
             ta->tenantLeave(static_cast<unsigned>(ts.slot));
         slotOwner[ts.slot] = -1;
@@ -276,10 +354,24 @@ runService(const std::vector<TenantSpec> &tenants,
         PDP_CHECK(pick >= 0, "open-loop step with no live tenant");
         TenantState &ts = state[pick];
         const Access access = ts.gen->next();
+        // Span open/close brackets the access so a fault inside it (an
+        // injected one below, or a real PDP_CHECK in the hierarchy)
+        // leaves the request's root span open for the flight recorder.
+        const bool spanned = tracer && measuring &&
+            tracer->beginRequest(static_cast<unsigned>(pick),
+                                 static_cast<unsigned>(ts.slot),
+                                 ts.requests, measured, ts.timer.cycles());
+        PDP_CHECK(!measuring || config.faultAt == 0 ||
+                      measured + 1 != config.faultAt,
+                  "injected service fault at measured access ",
+                  config.faultAt, " (ServiceConfig::faultAt)");
         const HierarchyResult res = hierarchy.access(access);
         if (sampler && measuring)
             sampler->onAccess();
         ts.timer.onAccess(access.instrGap, res.level);
+        if (spanned)
+            tracer->endRequest(res.level, res.llcBypassed, measured,
+                               ts.timer.cycles());
         ++ts.requests;
         ts.clock->advance();
     };
@@ -300,6 +392,7 @@ runService(const std::vector<TenantSpec> &tenants,
                     if (t < config.slots)
                         ++owned[t];
                 }
+        const CacheStats &stats = llc.stats();
         for (unsigned s = 0; s < config.slots; ++s) {
             if (slotOwner[s] < 0)
                 continue;
@@ -310,6 +403,23 @@ runService(const std::vector<TenantSpec> &tenants,
             ts.quota.add(q);
             ts.occupancy.add(occ);
             ts.drift.add(occ > q ? occ - q : q - occ);
+
+            // Burn-rate scoring sees this interval's deltas, not the
+            // residency cumulative: a tenant that degrades late must
+            // start burning even if its average still clears the bar.
+            const uint64_t intervalAccesses =
+                stats.threadAccesses[s] - ts.sloBaseAccesses;
+            const uint64_t intervalHits =
+                stats.threadHits[s] - ts.sloBaseHits;
+            monitor.observe(
+                s, measured, intervalAccesses,
+                intervalAccesses ? static_cast<double>(intervalHits) /
+                        static_cast<double>(intervalAccesses)
+                                 : 0.0,
+                intervalP99(ts.timer.missLatency(), ts.sloLatBase,
+                            ts.sloLatBaseCount));
+            ts.sloBaseAccesses = stats.threadAccesses[s];
+            ts.sloBaseHits = stats.threadHits[s];
         }
         // A quota vector that moved since the last look is a periodic
         // reallocation (the PD-recompute / UMON clock fired).
@@ -388,6 +498,8 @@ runService(const std::vector<TenantSpec> &tenants,
         result.auditsRun = auditor->auditsRun();
         result.auditViolations = auditor->totalViolations();
     }
+    if (tracer)
+        result.spansSampled = tracer->sampled();
     if (sampler) {
         sampler->finish();
         result.telemetry = std::make_shared<telemetry::RunTelemetry>(

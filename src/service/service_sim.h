@@ -94,6 +94,16 @@ struct ServiceConfig
     /** Accesses between SLO occupancy samples; 0 = auto
      *  (max(16384, accesses / 64)). */
     uint64_t sloInterval = 0;
+    /** Burn-rate sliding window, in SLO sampling intervals
+     *  (service/slo_monitor.h). */
+    unsigned sloWindow = 8;
+    /** Error budget: tolerated violating fraction of the window. */
+    double sloBudget = 0.25;
+    /** Fault injection: trip a PDP_CHECK at this measured-access index
+     *  (0 disables).  Exercises the flight recorder end to end — the
+     *  failure unwinds through the FlightScope with the event ring and
+     *  any open span still live. */
+    uint64_t faultAt = 0;
     /** Incremental invariant-audit cadence; 0 disables (see src/check). */
     uint64_t auditEvery = 0;
     bool auditFailFast = false;
@@ -132,6 +142,12 @@ struct TenantOutcome
     double occupancyDrift = 0.0;
     bool hitRateSloMet = true;
     bool latencySloMet = true;
+    /** Burn-rate accounting over the residency (service/slo_monitor.h):
+     *  times the tenant crossed into / out of budget over-burn, and the
+     *  worst observed burn rate. */
+    uint64_t sloBurnEvents = 0;
+    uint64_t sloRecoveredEvents = 0;
+    double maxBurnRate = 0.0;
 };
 
 /** Outcome of one service run under one policy. */
@@ -148,6 +164,8 @@ struct ServiceResult
      *  of the quota vector between SLO samples. */
     uint64_t reallocs = 0;
     double aggregateHitRate = 0.0;
+    /** Requests the SpanTracer head-sampled (0 when tracing is off). */
+    uint64_t spansSampled = 0;
     uint64_t auditsRun = 0;
     uint64_t auditViolations = 0;
     std::shared_ptr<const telemetry::RunTelemetry> telemetry;

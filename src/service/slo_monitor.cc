@@ -1,0 +1,129 @@
+#include "service/slo_monitor.h"
+
+#include <algorithm>
+
+#include "check/check.h"
+#include "telemetry/metrics.h"
+
+namespace pdp
+{
+
+SloMonitor::SloMonitor(const SloMonitorConfig &config, unsigned slots,
+                       telemetry::EventTrace *trace)
+    : config_(config), trace_(trace), slots_(slots)
+{
+    PDP_CHECK(config_.windowIntervals >= 1,
+              "SLO window must cover at least one interval");
+    PDP_CHECK(config_.budget > 0.0 && config_.budget <= 1.0,
+              "SLO budget ", config_.budget, " outside (0, 1]");
+    for (SlotState &slot : slots_)
+        slot.window.assign(config_.windowIntervals, false);
+}
+
+void
+SloMonitor::attach(unsigned slot, unsigned tenant, const SloBounds &bounds)
+{
+    PDP_CHECK(slot < slots_.size(), "SLO attach to slot ", slot, " of ",
+              slots_.size());
+    SlotState &s = slots_[slot];
+    PDP_CHECK(!s.live, "SLO slot ", slot, " attached twice");
+    if (s.burning)
+        --burningCount_;
+    s = SlotState{};
+    s.window.assign(config_.windowIntervals, false);
+    s.live = true;
+    s.tenant = tenant;
+    s.bounds = bounds;
+    setGauge();
+}
+
+void
+SloMonitor::detach(unsigned slot)
+{
+    SlotState &s = slots_[slot];
+    PDP_CHECK(s.live, "SLO detach of idle slot ", slot);
+    s.live = false;
+    if (s.burning) {
+        s.burning = false;
+        --burningCount_;
+        setGauge();
+    }
+}
+
+double
+SloMonitor::burnRate(unsigned slot) const
+{
+    const SlotState &s = slots_[slot];
+    const unsigned window = std::max(s.filled, 1u);
+    return static_cast<double>(s.violationsInWindow) /
+        (static_cast<double>(window) * config_.budget);
+}
+
+void
+SloMonitor::observe(unsigned slot, uint64_t access_count,
+                    uint64_t interval_accesses, double interval_hit_rate,
+                    double interval_p99)
+{
+    SlotState &s = slots_[slot];
+    PDP_CHECK(s.live, "SLO observe on idle slot ", slot);
+
+    // An interval in which the tenant saw no traffic can't violate a
+    // rate-style objective; score it clean so an idle tenant recovers.
+    const bool violated = interval_accesses > 0 &&
+        ((s.bounds.minHitRate > 0.0 &&
+          interval_hit_rate < s.bounds.minHitRate) ||
+         (s.bounds.maxP99MissCycles > 0.0 &&
+          interval_p99 > s.bounds.maxP99MissCycles));
+
+    if (s.filled == config_.windowIntervals) {
+        if (s.window[s.head])
+            --s.violationsInWindow;
+    } else {
+        ++s.filled;
+    }
+    s.window[s.head] = violated;
+    if (violated)
+        ++s.violationsInWindow;
+    s.head = s.head + 1 == config_.windowIntervals ? 0 : s.head + 1;
+
+    ++s.stats.intervals;
+    if (violated)
+        ++s.stats.violations;
+    const double burn = burnRate(slot);
+    s.stats.maxBurnRate = std::max(s.stats.maxBurnRate, burn);
+
+    const bool nowBurning = burn >= 1.0;
+    if (nowBurning == s.burning)
+        return;
+    s.burning = nowBurning;
+    burningCount_ += nowBurning ? 1 : -1;
+    setGauge();
+
+    auto &registry = telemetry::MetricsRegistry::global();
+    if (nowBurning) {
+        ++s.stats.burnEvents;
+        registry.counter("service.slo_burn").add();
+    } else {
+        ++s.stats.recoveredEvents;
+        registry.counter("service.slo_recovered").add();
+    }
+    if (trace_)
+        trace_->record({nowBurning ? "slo_burn" : "slo_recovered",
+                        access_count, false,
+                        {{"tenant", static_cast<double>(s.tenant)},
+                         {"slot", static_cast<double>(slot)},
+                         {"burn_rate", burn},
+                         {"violations",
+                          static_cast<double>(s.violationsInWindow)},
+                         {"window", static_cast<double>(s.filled)}}});
+}
+
+void
+SloMonitor::setGauge() const
+{
+    telemetry::MetricsRegistry::global()
+        .gauge("service.slo_burning")
+        .set(static_cast<double>(burningCount_));
+}
+
+} // namespace pdp

@@ -41,6 +41,8 @@ EpochSampler::EpochSampler(const TelemetryConfig &config, const Cache &llc,
 {
     if (config_.traceEvents)
         trace_ = std::make_unique<EventTrace>(config_.traceCapacity);
+    if (config_.perfCounters)
+        perf_ = std::make_unique<hw::PerfCounterGroup>();
     run_.interval = interval_;
     beginMeasurement();
 }
@@ -53,6 +55,10 @@ EpochSampler::beginMeasurement()
     baseHits_ = stats.hits;
     baseMisses_ = stats.misses;
     baseBypasses_ = stats.bypasses;
+    if (perf_) {
+        perf_->start();
+        perfBase_ = perf_->read();
+    }
 }
 
 void
@@ -82,6 +88,12 @@ EpochSampler::sample()
                 const unsigned t = llc_.lineThread(set, way);
                 ++rec.threadOccupancy[t < numThreads_ ? t : 0];
             }
+
+    if (perf_) {
+        const hw::PerfReading now = perf_->read();
+        rec.hw = now.since(perfBase_);
+        perfBase_ = now;
+    }
 
     MetricsRegistry::global().counter("telemetry.epochs").add();
 

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cache/cache.h"
+#include "hw/perf_counters.h"
 #include "telemetry/event_trace.h"
 #include "telemetry/source.h"
 
@@ -47,6 +48,12 @@ struct TelemetryConfig
     size_t maxEpochs = 8192;
     /** Event ring capacity. */
     size_t traceCapacity = 4096;
+    /** Request-span head-sampling rate in [0, 1] (--obs-sample-rate);
+     *  0 disables the SpanTracer.  Only meaningful with traceEvents. */
+    double spanSampleRate = 0.0;
+    /** Snapshot hardware perf counters per epoch (--perf-counters);
+     *  degrades to no-op where perf_event_open is unavailable. */
+    bool perfCounters = false;
 };
 
 /** One epoch's sample. */
@@ -65,6 +72,11 @@ struct EpochRecord
     Snapshot policy;
     /** Valid lines per thread (single element for single-thread runs). */
     std::vector<uint64_t> threadOccupancy;
+    /** Hardware counter deltas over this epoch.  hw.valid is false
+     *  unless perfCounters is on AND the syscall backend opened; the
+     *  reading is volatile (host-dependent) and never serialized into
+     *  deterministic dumps. */
+    hw::PerfReading hw;
 };
 
 /** Everything one run recorded. */
@@ -138,6 +150,10 @@ class EpochSampler
     uint64_t baseBypasses_ = 0;
     RunTelemetry run_;
     std::unique_ptr<EventTrace> trace_;
+    /** Hardware counter group (null backend off-Linux / locked-down
+     *  hosts); readings are per-epoch deltas vs perfBase_. */
+    std::unique_ptr<hw::PerfCounterGroup> perf_;
+    hw::PerfReading perfBase_;
     /** Previous epoch's policy snapshot (event derivation). */
     Snapshot prev_;
     bool havePrev_ = false;

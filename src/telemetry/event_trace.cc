@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
+
 namespace pdp
 {
 namespace telemetry
@@ -16,10 +18,17 @@ EventTrace::EventTrace(size_t capacity)
 void
 EventTrace::record(TraceEvent event)
 {
-    if (size_ == capacity_)
+    if (size_ == capacity_) {
         ++dropped_;
-    else
+        // Overflow must be loud: a ring that silently sheds its oldest
+        // records poisons span reconstruction downstream, so losses are
+        // also surfaced process-wide (telemetry_report.py warns on it).
+        static Counter &droppedEvents = MetricsRegistry::global().counter(
+            "telemetry.trace_dropped_events");
+        droppedEvents.add();
+    } else {
         ++size_;
+    }
     ring_[head_] = std::move(event);
     head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
 }

@@ -45,6 +45,12 @@ The gate fails when
     ``--min-telemetry-idle`` (default 0.98; skipped when the current
     run carries no such metric).
 
+``--only-telemetry-idle`` gates just that last row: the ratio families
+are skipped entirely (a ``--filter``'ed hotpath run carries no
+sweep/explore rows to compare), and the ``telemetry_idle_ratio`` metric
+becomes REQUIRED — CI's obs-smoke job uses this to hold the
+observability plane to its <2% enabled-idle overhead budget.
+
 Every row prints its measured-vs-baseline ratio (``vs base``), passing
 or not, so CI logs show headroom, not just pass/fail.  ``--json`` emits
 the same comparison as a machine-readable document on stdout.
@@ -138,6 +144,11 @@ def main(argv=None):
     parser.add_argument("--min-telemetry-idle", type=float, default=0.98,
                         help="floor for the telemetry_idle_ratio metric "
                         "when present (default: 0.98)")
+    parser.add_argument("--only-telemetry-idle", action="store_true",
+                        help="gate only the telemetry-idle overhead row: "
+                        "skip the ratio families (a --filter'ed hotpath "
+                        "run carries no sweep/explore rows) and REQUIRE "
+                        "the telemetry_idle_ratio metric to be present")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the comparison as JSON on stdout")
     args = parser.parse_args(argv)
@@ -168,7 +179,8 @@ def main(argv=None):
     failures = []
     rows = []
     baseline_rows = 0
-    for metric, label in FAMILIES:
+    families = [] if args.only_telemetry_idle else FAMILIES
+    for metric, label in families:
         current = load_metrics(current_doc, metric)
         baseline = load_metrics(baseline_doc, metric)
         baseline_rows += len(baseline)
@@ -210,17 +222,22 @@ def main(argv=None):
             rows.append({"key": key, "metric": metric, "baseline": None,
                          "current": current[key], "floor": None,
                          "vs_baseline": None, "status": "new"})
-    if baseline_rows == 0:
+    if baseline_rows == 0 and not args.only_telemetry_idle:
         print("error: baseline %s carries no gated ratios (%s)" %
               (args.baseline, ", ".join(m for m, _ in FAMILIES)),
               file=sys.stderr)
         return 1
 
     # Telemetry-idle overhead gate: only meaningful when the current run
-    # includes the hotpath telemetry-idle job (older dumps do not).
+    # includes the hotpath telemetry-idle job (older dumps do not) —
+    # except under --only-telemetry-idle, where a missing metric means
+    # the run under test did not exercise the gate at all and must fail.
     idle = load_metrics(current_doc, "telemetry_idle_ratio") \
         .get(TELEMETRY_IDLE_KEY)
     idle_row = None
+    if idle is None and args.only_telemetry_idle:
+        failures.append("%s: telemetry_idle_ratio missing from current "
+                        "results" % TELEMETRY_IDLE_KEY)
     if idle is not None:
         ok = valid_ratio(idle) and idle >= args.min_telemetry_idle
         if not ok:
@@ -240,7 +257,8 @@ def main(argv=None):
                           "passed": not failures}, indent=2))
         return 1 if failures else 0
 
-    width = max(len(r["key"]) for r in rows)
+    width = max([len(r["key"]) for r in rows],
+                default=len("configuration"))
     if idle_row:
         width = max(width, len("telemetry idle overhead"))
     print("%-*s  %9s  %9s  %9s  %9s  %8s  status" %

@@ -1,0 +1,444 @@
+#!/usr/bin/env python3
+"""Render and validate the observability plane's artifacts.
+
+Three input kinds, all produced by run_experiments (src/runner/,
+src/telemetry/, src/check/):
+
+  * ``TRACE_<suite>.jsonl`` — the structured event stream.  With
+    ``--obs-sample-rate`` the service suite emits request-lifecycle
+    span events (``span:arrival`` roots plus ``span:l2_hit`` /
+    ``span:llc_probe`` / ... children) and the SLO monitor emits
+    ``slo_burn`` / ``slo_recovered`` crossings.
+  * ``FLIGHT_<job>.json`` — a fault flight-recorder dump (schema
+    ``pdp-flight/v1``): the last-N event-ring entries, open spans and a
+    full metrics snapshot captured while a failed job unwound.
+  * ``BENCH_<suite>.json`` — the results document, for cross-run
+    regression diffing.
+
+Modes:
+
+  obs_report.py TRACE.jsonl               render span waterfalls and the
+                                          per-tenant burn-rate timeline
+  obs_report.py --check TRACE.jsonl       validate the span/burn stream;
+                                          exit nonzero on malformed input
+  obs_report.py --flight FLIGHT.json      validate + summarize a flight
+                                          dump; exit nonzero if malformed
+  obs_report.py --diff OLD.json NEW.json  per-job metric diff between two
+                                          BENCH documents; exit nonzero
+                                          when a metric regresses beyond
+                                          --tolerance
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+TRACE_SCHEMA = "pdp-bench-trace/v1"
+FLIGHT_SCHEMA = "pdp-flight/v1"
+
+# The request-lifecycle stages a span:arrival root may fan out into, in
+# path order (telemetry/span_tracer.cc).  One sampled request emits the
+# root plus exactly one of these paths.
+SPAN_PATHS = [
+    ("l2_hit",),
+    ("l2_miss", "llc_probe", "llc_hit"),
+    ("l2_miss", "llc_probe", "llc_bypass", "mem_fill"),
+    ("l2_miss", "llc_probe", "llc_victim", "mem_fill"),
+]
+SPAN_STAGES = {stage for path in SPAN_PATHS for stage in path}
+SPAN_FIELDS = ("trace_id", "span_id", "parent", "tenant", "slot",
+               "request", "cycles_begin", "cycles_end")
+BURN_FIELDS = ("tenant", "slot", "burn_rate", "violations", "window")
+FLIGHT_REASONS = ("check_failure", "job_failed", "soft_timeout")
+
+
+class Malformed(Exception):
+    pass
+
+
+def load_trace(path):
+    """Parse a TRACE jsonl into (header, events); raise Malformed."""
+    events = []
+    header = None
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except ValueError as err:
+                    raise Malformed("line %d: not JSON: %s" % (lineno, err))
+                if header is None:
+                    if obj.get("schema") != TRACE_SCHEMA:
+                        raise Malformed(
+                            "line 1: expected schema %r, got %r" %
+                            (TRACE_SCHEMA, obj.get("schema")))
+                    header = obj
+                    continue
+                for want in ("job", "type", "access", "fields"):
+                    if want not in obj:
+                        raise Malformed("line %d: event without %r" %
+                                        (lineno, want))
+                events.append(obj)
+    except OSError as err:
+        raise Malformed(str(err))
+    if header is None:
+        raise Malformed("empty file (no schema header line)")
+    return header, events
+
+
+def collect_traces(events):
+    """Group span events by (job, trace_id), preserving file order."""
+    traces = {}
+    for event in events:
+        if not event["type"].startswith("span:"):
+            continue
+        key = (event["job"], event["fields"].get("trace_id"))
+        traces.setdefault(key, []).append(event)
+    return traces
+
+
+def check_span_trace(key, spans):
+    """Validate one request's span group.
+
+    Returns (problems, truncated).  A group without its span:arrival
+    root is not necessarily corrupt: the event ring drops oldest on
+    overflow, and a request's root is the oldest event of its group, so
+    head-truncation leaves a rootless *suffix* of a valid lifecycle.
+    Such groups are validated as suffixes and reported as truncated.
+    """
+    job, trace_id = key
+    where = "%s trace %#x" % (job, int(trace_id or 0))
+    problems = []
+    roots = [s for s in spans if s["type"] == "span:arrival"]
+    if len(roots) > 1:
+        problems.append("%s: %d span:arrival roots (want at most 1)" %
+                        (where, len(roots)))
+        return problems, False
+    root = roots[0] if roots else None
+    for span in spans:
+        for field in SPAN_FIELDS:
+            if field not in span["fields"]:
+                problems.append("%s: %s missing field %r" %
+                                (where, span["type"], field))
+        f = span["fields"]
+        if f.get("cycles_end", 0) < f.get("cycles_begin", 0):
+            problems.append("%s: %s ends before it begins" %
+                            (where, span["type"]))
+    stages = tuple(s["type"][len("span:"):] for s in spans
+                   if s is not root)
+    children = [s for s in spans if s is not root]
+    for span in children:
+        stage = span["type"][len("span:"):]
+        if stage not in SPAN_STAGES:
+            problems.append("%s: unknown stage %r" % (where, stage))
+    # All children must share one parent: the root's span id when the
+    # root survived, any single nonzero id otherwise.
+    parents = {s["fields"].get("parent") for s in children}
+    if root is not None:
+        if root["fields"].get("parent") != 0:
+            problems.append("%s: root has nonzero parent" % where)
+        if parents - {root["fields"].get("span_id")}:
+            problems.append("%s: child span not parented to the root" %
+                            where)
+        if stages not in SPAN_PATHS:
+            problems.append("%s: stage path %r is not a valid lifecycle"
+                            % (where, list(stages)))
+    else:
+        if len(parents) > 1 or 0 in parents:
+            problems.append("%s: rootless group with inconsistent "
+                            "parents" % where)
+        if not any(stages == path[len(path) - len(stages):]
+                   for path in SPAN_PATHS if len(stages) <= len(path)):
+            problems.append("%s: rootless stage path %r is not a "
+                            "lifecycle suffix" % (where, list(stages)))
+    ids = [s["fields"].get("span_id") for s in spans]
+    if len(set(ids)) != len(ids):
+        problems.append("%s: duplicate span ids" % where)
+    return problems, root is None
+
+
+def check_burn_events(events):
+    problems = []
+    for event in events:
+        if event["type"] not in ("slo_burn", "slo_recovered"):
+            continue
+        for field in BURN_FIELDS:
+            if field not in event["fields"]:
+                problems.append("%s %s@%s: missing field %r" %
+                                (event["job"], event["type"],
+                                 event["access"], field))
+    return problems
+
+
+def cmd_check(path):
+    try:
+        header, events = load_trace(path)
+    except Malformed as err:
+        print("error: %s: %s" % (path, err), file=sys.stderr)
+        return 1
+    traces = collect_traces(events)
+    problems = []
+    truncated = 0
+    for key, spans in traces.items():
+        trace_problems, was_truncated = check_span_trace(key, spans)
+        problems.extend(trace_problems)
+        truncated += was_truncated
+    problems.extend(check_burn_events(events))
+    burns = sum(1 for e in events if e["type"] == "slo_burn")
+    recoveries = sum(1 for e in events if e["type"] == "slo_recovered")
+    if problems:
+        for problem in problems[:50]:
+            print("error: %s" % problem, file=sys.stderr)
+        if len(problems) > 50:
+            print("error: ... and %d more" % (len(problems) - 50),
+                  file=sys.stderr)
+        return 1
+    note = (", %d head-truncated by ring overflow" % truncated
+            if truncated else "")
+    print("%s: ok (%d event(s), %d sampled request trace(s)%s, "
+          "%d slo_burn / %d slo_recovered)" %
+          (path, len(events), len(traces), note, burns, recoveries))
+    return 0
+
+
+def render_waterfall(key, spans):
+    job, trace_id = key
+    root = next((s for s in spans if s["type"] == "span:arrival"), None)
+    if root is None:  # head-truncated by ring overflow; nothing to anchor
+        return False
+    f = root["fields"]
+    cycles = f["cycles_end"] - f["cycles_begin"]
+    print("trace %#014x  %s  tenant %d  request %d  access %d  "
+          "(%d cycles)" %
+          (int(trace_id), job, f["tenant"], f["request"],
+           root["access"], cycles))
+    for span in spans:
+        stage = span["type"][len("span:"):]
+        depth = 0 if span is root else 1
+        bar = "=" * max(1, min(40, int(cycles and 40)))
+        print("  %s%-12s %s" % ("  " * depth, stage,
+                                bar if span is root else "-" * 8))
+    print()
+    return True
+
+
+def render_burn_timeline(events):
+    by_tenant = {}
+    for event in events:
+        if event["type"] not in ("slo_burn", "slo_recovered"):
+            continue
+        tenant = int(event["fields"]["tenant"])
+        by_tenant.setdefault((event["job"], tenant), []).append(event)
+    if not by_tenant:
+        print("no slo_burn / slo_recovered events "
+              "(all tenants stayed inside budget)")
+        return
+    print("burn-rate timeline (access: burn rate at each crossing):")
+    for (job, tenant), crossings in sorted(by_tenant.items()):
+        marks = "  ".join(
+            "%s@%d burn=%.2f" %
+            ("BURN" if e["type"] == "slo_burn" else "ok",
+             e["access"], e["fields"]["burn_rate"])
+            for e in crossings)
+        print("  %s tenant %d: %s" % (job, tenant, marks))
+    print()
+
+
+def cmd_render(path, job_filter, limit):
+    try:
+        header, events = load_trace(path)
+    except Malformed as err:
+        print("error: %s: %s" % (path, err), file=sys.stderr)
+        return 1
+    if job_filter:
+        events = [e for e in events if job_filter in e["job"]]
+    print("%s: %s (%d event(s))\n" %
+          (path, header.get("experiment", "?"), len(events)))
+    traces = collect_traces(events)
+    shown = 0
+    for key in traces:
+        if shown >= limit:
+            remaining = len(traces) - shown
+            print("... %d more sampled trace(s) (raise --limit)" %
+                  remaining)
+            print()
+            break
+        if render_waterfall(key, traces[key]):
+            shown += 1
+    if not traces:
+        print("no span events (run with --obs-sample-rate > 0)\n")
+    render_burn_timeline(events)
+    counts = {}
+    for event in events:
+        counts[event["type"]] = counts.get(event["type"], 0) + 1
+    print("event counts:")
+    for etype in sorted(counts):
+        print("  %6d  %s" % (counts[etype], etype))
+    return 0
+
+
+def cmd_flight(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as err:
+        print("error: %s: %s" % (path, err), file=sys.stderr)
+        return 1
+    problems = []
+    if doc.get("schema") != FLIGHT_SCHEMA:
+        problems.append("schema %r (want %r)" %
+                        (doc.get("schema"), FLIGHT_SCHEMA))
+    if not doc.get("job"):
+        problems.append("missing job key")
+    if doc.get("reason") not in FLIGHT_REASONS:
+        problems.append("reason %r not in %r" %
+                        (doc.get("reason"), list(FLIGHT_REASONS)))
+    events = doc.get("events")
+    if not isinstance(events, list):
+        problems.append("events is not an array")
+        events = []
+    for i, event in enumerate(events):
+        if not isinstance(event, dict) or "type" not in event \
+                or "access" not in event or "fields" not in event:
+            problems.append("events[%d] malformed" % i)
+            break
+    spans = doc.get("open_spans")
+    if not isinstance(spans, list):
+        problems.append("open_spans is not an array")
+        spans = []
+    for i, span in enumerate(spans):
+        for field in ("trace_id", "span_id", "tenant", "request"):
+            if not isinstance(span, dict) or field not in span:
+                problems.append("open_spans[%d] missing %r" % (i, field))
+                break
+    if not isinstance(doc.get("metrics"), dict):
+        problems.append("metrics is not an object")
+    if problems:
+        for problem in problems:
+            print("error: %s: %s" % (path, problem), file=sys.stderr)
+        return 1
+    print("%s: ok" % path)
+    print("  job:        %s" % doc["job"])
+    print("  reason:     %s%s" %
+          (doc["reason"],
+           " — " + doc["detail"] if doc.get("detail") else ""))
+    print("  events:     %d ring entries%s" %
+          (len(events),
+           ", %d dropped before capture" % doc["events_dropped"]
+           if doc.get("events_dropped") else ""))
+    print("  open spans: %d" % len(spans))
+    for span in spans:
+        print("    trace %#014x tenant %d request %d (access %d)" %
+              (int(span["trace_id"]), int(span["tenant"]),
+               int(span["request"]), int(span.get("access", 0))))
+    print("  metrics:    %d counter(s)/gauge(s)" % len(doc["metrics"]))
+    return 0
+
+
+def job_scalars(job):
+    """Flatten one BENCH job's numeric results to dotted-path scalars."""
+    out = {}
+
+    def walk(prefix, node):
+        if isinstance(node, dict):
+            for name, value in node.items():
+                walk(prefix + "." + name if prefix else name, value)
+        elif isinstance(node, bool):
+            pass
+        elif isinstance(node, (int, float)):
+            out[prefix] = float(node)
+
+    for section in ("metrics", "single", "multi", "service"):
+        if section in job:
+            walk(section, job[section])
+    # Volatile / identity fields never belong in a regression diff.
+    out.pop("seconds", None)
+    return out
+
+
+def cmd_diff(old_path, new_path, tolerance):
+    docs = []
+    for path in (old_path, new_path):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                docs.append(json.load(fh))
+        except (OSError, ValueError) as err:
+            print("error: %s: %s" % (path, err), file=sys.stderr)
+            return 1
+    old_jobs = {j["key"]: j for j in docs[0].get("jobs", [])}
+    new_jobs = {j["key"]: j for j in docs[1].get("jobs", [])}
+    regressions = []
+    changes = 0
+    for key in sorted(set(old_jobs) & set(new_jobs)):
+        old_vals = job_scalars(old_jobs[key])
+        new_vals = job_scalars(new_jobs[key])
+        for name in sorted(set(old_vals) & set(new_vals)):
+            a, b = old_vals[name], new_vals[name]
+            if a == b:
+                continue
+            delta = (b - a) / abs(a) if a else float("inf")
+            changes += 1
+            flag = abs(delta) > tolerance
+            if flag:
+                regressions.append((key, name, a, b, delta))
+            print("%s %s %s: %g -> %g (%+.2f%%)" %
+                  ("!" if flag else " ", key, name, a, b, delta * 100))
+    only_old = sorted(set(old_jobs) - set(new_jobs))
+    only_new = sorted(set(new_jobs) - set(old_jobs))
+    for key in only_old:
+        print("! %s: missing from %s" % (key, new_path))
+    for key in only_new:
+        print("  %s: new in %s" % (key, new_path))
+    print("\n%d changed metric(s), %d beyond tolerance %.2f%%, "
+          "%d job(s) missing" %
+          (changes, len(regressions), tolerance * 100, len(only_old)))
+    return 1 if regressions or only_old else 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Render/validate TRACE spans, FLIGHT dumps and "
+        "BENCH diffs (see module docstring)")
+    parser.add_argument("inputs", nargs="+",
+                        help="TRACE jsonl (render/--check), FLIGHT json "
+                        "(--flight) or two BENCH jsons (--diff)")
+    parser.add_argument("--check", action="store_true",
+                        help="validate a TRACE file instead of rendering")
+    parser.add_argument("--flight", action="store_true",
+                        help="validate + summarize a FLIGHT_*.json dump")
+    parser.add_argument("--diff", action="store_true",
+                        help="diff two BENCH_*.json documents")
+    parser.add_argument("--job", default="",
+                        help="render only events whose job key contains "
+                        "this substring")
+    parser.add_argument("--limit", type=int, default=5,
+                        help="sampled traces to render (default: 5)")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="--diff: relative change beyond which a "
+                        "metric counts as a regression (default: 0.05)")
+    args = parser.parse_args(argv)
+
+    if sum([args.check, args.flight, args.diff]) > 1:
+        parser.error("--check, --flight and --diff are mutually exclusive")
+    if args.diff:
+        if len(args.inputs) != 2:
+            parser.error("--diff wants exactly two BENCH json files")
+        return cmd_diff(args.inputs[0], args.inputs[1], args.tolerance)
+    status = 0
+    for path in args.inputs:
+        if args.flight:
+            status |= cmd_flight(path)
+        elif args.check:
+            status |= cmd_check(path)
+        else:
+            status |= cmd_render(path, args.job, args.limit)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

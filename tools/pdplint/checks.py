@@ -351,16 +351,14 @@ _IO_NAMES = {"printf", "fprintf", "sprintf", "snprintf", "puts", "putchar",
              "cout", "cerr", "clog", "ofstream", "ifstream", "fstream"}
 
 
-def check_hotpath(model: FileModel, project: Project) -> List[Finding]:
-    """Walk PDP_HOT roots and their in-file callees for impurities."""
-    findings: List[Finding] = []
-    lf = model.lf
-
+def _hot_function_names(model: FileModel, project: Project) -> Set[str]:
+    """Names of the file's hot functions: PDP_HOT roots (marked here or
+    hot-declared anywhere in the project) plus the transitive closure of
+    their in-file callees."""
     by_name: Dict[str, List] = {}
     for fn in model.functions:
         by_name.setdefault(fn.name, []).append(fn)
 
-    # Seed: functions hot-marked here or hot-declared anywhere.
     hot: Set[str] = set()
     work: List[str] = []
     for fn in model.functions:
@@ -368,7 +366,6 @@ def check_hotpath(model: FileModel, project: Project) -> List[Finding]:
             if fn.name not in hot:
                 hot.add(fn.name)
                 work.append(fn.name)
-    # Transitive closure over in-file definitions.
     while work:
         name = work.pop()
         for fn in by_name.get(name, []):
@@ -376,7 +373,13 @@ def check_hotpath(model: FileModel, project: Project) -> List[Finding]:
                 if callee in by_name and callee not in hot:
                     hot.add(callee)
                     work.append(callee)
+    return hot
 
+
+def check_hotpath(model: FileModel, project: Project) -> List[Finding]:
+    """Walk PDP_HOT roots and their in-file callees for impurities."""
+    findings: List[Finding] = []
+    hot = _hot_function_names(model, project)
     for fn in model.functions:
         if fn.name not in hot:
             continue
@@ -444,6 +447,59 @@ def _scan_hot_body(model: FileModel, fn) -> List[Finding]:
                                       "ofstream", "ifstream", "fstream"):
                 _emit(findings, lf, t.line, "hot-path",
                       f"{label}: I/O ({t.value}) on the hot path")
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# hot-trace
+# ---------------------------------------------------------------------------
+
+# The observability-plane API surface PDP_HOT code must never touch
+# directly: tracer/trace types (any use — even naming one in a hot body
+# implies per-access observability work) ...
+_TRACER_TYPES = frozenset({"SpanTracer", "EventTrace", "ScopedPhaseTimer"})
+# ... and the span-lifecycle entry points (flagged as calls, member or
+# free).  Hot code reports through its policy's Source snapshot; the
+# epoch sampler and service loop call these OUTSIDE the access path.
+_TRACER_CALLS = frozenset({"beginRequest", "endRequest", "beginSpan",
+                           "endSpan", "shouldSample"})
+
+
+def check_hot_trace(model: FileModel, project: Project) -> List[Finding]:
+    """PDP_HOT functions must not call tracer/span APIs directly.
+
+    Per-access tracing in a hot body defeats the <2% enabled-idle
+    telemetry budget (DESIGN.md "Observability plane"): span emission
+    builds strings and field vectors, and even a sample-rate check is a
+    hash per access.  Observability attaches at epoch boundaries
+    (EpochSampler) or around the request loop (service_sim), never
+    inside the access path.  Same hot-set computation as `hot-path`:
+    PDP_HOT roots plus their transitive in-file callees.
+    """
+    findings: List[Finding] = []
+    lf = model.lf
+    toks = model.toks
+    hot = _hot_function_names(model, project)
+    for fn in model.functions:
+        if fn.name not in hot:
+            continue
+        label = f"PDP_HOT function '{fn.qualified}'"
+        for i in range(fn.body_begin, fn.body_end):
+            t = toks[i]
+            if t.kind != "id":
+                continue
+            nxt = toks[i + 1] if i + 1 < len(toks) else None
+            is_call = nxt is not None and nxt.value == "("
+            if t.value in _TRACER_TYPES:
+                _emit(findings, lf, t.line, "hot-trace",
+                      f"{label}: tracer type '{t.value}' used on the hot "
+                      "path; observability attaches at epoch boundaries, "
+                      "not per access")
+            elif t.value in _TRACER_CALLS and is_call:
+                _emit(findings, lf, t.line, "hot-trace",
+                      f"{label}: span API call '{t.value}()' on the hot "
+                      "path; emit spans from the request loop, not from "
+                      "inside the access path")
     return findings
 
 
@@ -549,8 +605,8 @@ def check_allow_hygiene(model: FileModel, project: Project) -> List[Finding]:
 
 
 ALL_CHECKS = ("rand", "wall-clock", "unordered-iter", "pointer-order",
-              "float-order", "hot-path", "scratch-layout",
+              "float-order", "hot-path", "hot-trace", "scratch-layout",
               "scratch-overflow", "scratch-offset", "bare-allow")
 
-FILE_CHECKS = (check_determinism, check_hotpath, check_scratch_file,
-               check_allow_hygiene)
+FILE_CHECKS = (check_determinism, check_hotpath, check_hot_trace,
+               check_scratch_file, check_allow_hygiene)

@@ -1,0 +1,51 @@
+// pdplint fixture: hot-trace violations — PDP_HOT code touching the
+// tracer/span API surface directly, including transitive propagation
+// to in-TU callees.  Per-access tracing defeats the enabled-idle
+// telemetry budget; spans are emitted from the request loop instead.
+
+namespace fix
+{
+
+PDP_HOT unsigned long
+tracedProbe(telemetry::SpanTracer *tracer, unsigned tenant,
+            unsigned long request)
+{
+    if (tracer->shouldSample(tenant, request))          // EXPECT: hot-trace
+        tracer->beginRequest(tenant, 0, request, 0, 0); // EXPECT: hot-trace
+    return request;
+}
+
+PDP_HOT void
+finishTraced(telemetry::SpanTracer *tracer)
+{
+    tracer->endRequest(0, false, 0, 0);                 // EXPECT: hot-trace
+}
+
+PDP_HOT void
+phaseTimed(telemetry::EventTrace &trace)
+{
+    telemetry::ScopedPhaseTimer timer(trace, "probe");  // EXPECT: hot-trace
+}
+
+PDP_HOT void
+aliasTrace(telemetry::EventTrace &trace)
+{
+    telemetry::EventTrace *local = &trace;              // EXPECT: hot-trace
+    (void)local;
+}
+
+// Transitive: traceHelper() is cold by itself but reached from a hot
+// root, so its span emission is a hot-path emission.
+static void
+traceHelper(telemetry::SpanTracer *tracer)
+{
+    tracer->endRequest(0, false, 0, 0);                 // EXPECT: hot-trace
+}
+
+PDP_HOT void
+hotRoot(telemetry::SpanTracer *tracer)
+{
+    traceHelper(tracer);
+}
+
+} // namespace fix

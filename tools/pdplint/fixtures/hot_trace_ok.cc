@@ -1,0 +1,43 @@
+// pdplint fixture: hot-trace negatives — tracer use in cold code is
+// exactly where the observability plane belongs, clean hot bodies are
+// fine, and documented waivers are honored.
+// Expected findings: none.
+
+namespace fix
+{
+
+struct Row
+{
+    unsigned long key;
+};
+
+// Cold request loop: sampling decisions and span emission around the
+// access path are the intended design.
+void
+serveRequest(telemetry::SpanTracer *tracer, unsigned tenant,
+             unsigned long request)
+{
+    if (tracer->shouldSample(tenant, request))
+        tracer->beginRequest(tenant, 0, request, 0, 0);
+    tracer->endRequest(0, false, 0, 0);
+}
+
+// Hot but observability-free: pure index arithmetic.
+PDP_HOT unsigned long
+probe(Row *rows, unsigned long mask, unsigned long key)
+{
+    rows[key & mask].key = key;
+    return key & mask;
+}
+
+PDP_HOT unsigned long
+waived(telemetry::SpanTracer *tracer, unsigned long key)
+{
+    // pdplint: allow(hot-trace) sampling decision is one hash and the
+    // call only fires on the sampled subset; measured inside budget.
+    if (tracer->shouldSample(0, key))
+        return key;
+    return 0;
+}
+
+} // namespace fix

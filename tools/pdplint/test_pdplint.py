@@ -145,6 +145,12 @@ class FixtureTest(unittest.TestCase):
     def test_hotpath_ok(self):
         self.assert_fixture("hotpath_ok.cc")
 
+    def test_hot_trace_bad(self):
+        self.assert_fixture("hot_trace_bad.cc")
+
+    def test_hot_trace_ok(self):
+        self.assert_fixture("hot_trace_ok.cc")
+
     def test_shard_routing_bad(self):
         self.assert_fixture("shard_routing_bad.cc")
 
@@ -172,7 +178,8 @@ class FixtureTest(unittest.TestCase):
                    for _line, check in marks}
         self.assertEqual(set(checks.ALL_CHECKS), covered)
         for name in ("determinism_ok.cc", "hotpath_ok.cc",
-                     "scratch_ok.cc", "shard_routing_ok.cc"):
+                     "hot_trace_ok.cc", "scratch_ok.cc",
+                     "shard_routing_ok.cc"):
             self.assertEqual(self.by_file.get(name, set()), set(), name)
 
 

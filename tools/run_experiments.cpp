@@ -9,6 +9,8 @@
  *                   [--filter <substring>] [--jobs N] [--scale X]
  *                   [--json DIR|none] [--timeout SECONDS] [--verbose]
  *                   [--telemetry[=DIR]] [--trace]
+ *                   [--obs-sample-rate X] [--perf-counters]
+ *                   [--fault-at N]
  *                   [--shards N] [--lockstep]
  *                   [--tenants N] [--churn N] [--deterministic-json]
  *                   [--explore] [--explore-topk N]
@@ -25,6 +27,17 @@
  * additionally derives structured events (PD changes, PSEL flips,
  * partition reallocations) and writes TRACE_<suite>.jsonl; it implies
  * --telemetry.  Render either with tools/telemetry_report.py.
+ *
+ * The observability plane (DESIGN.md "Observability plane"):
+ * --obs-sample-rate X head-samples service-mode request lifecycles into
+ * span events at rate X in [0, 1] (implies --trace; deterministic
+ * per-request hash decision, so sampled spans byte-compare across
+ * worker counts).  --perf-counters profiles each job and telemetry
+ * epoch with a hardware perf-counter group (hw/perf_counters.h),
+ * degrading to an absent section where perf_event_open is unavailable.
+ * --fault-at N trips an injected PDP_CHECK at measured access N in
+ * every service job, exercising the fault flight recorder
+ * (FLIGHT_<job>.json).  Render with tools/obs_report.py.
  *
  * --explore switches the `explore` suite from the exhaustive static-PD
  * grid to the model-pruned path: the analytic estimator (src/model/)
@@ -68,6 +81,8 @@ printUsage(std::FILE *to)
                  "                       [--scale X] [--json DIR|none]\n"
                  "                       [--timeout SECONDS] [--verbose]\n"
                  "                       [--telemetry[=DIR]] [--trace]\n"
+                 "                       [--obs-sample-rate X]\n"
+                 "                       [--perf-counters] [--fault-at N]\n"
                  "                       [--shards N] [--lockstep]\n"
                  "                       [--tenants N] [--churn N]\n"
                  "                       [--deterministic-json]\n"
@@ -81,6 +96,14 @@ printUsage(std::FILE *to)
                  "--telemetry samples per-epoch policy state into the\n"
                  "BENCH json (optional =DIR overrides --json); --trace\n"
                  "also writes TRACE_<suite>.jsonl structured events.\n"
+                 "\n"
+                 "--obs-sample-rate X head-samples service request\n"
+                 "lifecycles into span events at rate X in [0, 1]\n"
+                 "(implies --trace); --perf-counters profiles jobs and\n"
+                 "epochs with hardware counters (absent where\n"
+                 "perf_event_open is unavailable); --fault-at N trips an\n"
+                 "injected check at measured access N in service jobs\n"
+                 "(flight-recorder exercise).\n"
                  "\n"
                  "--explore prunes the `explore` suite's static-PD grid\n"
                  "with the analytic model and simulates only the top-K\n"
@@ -213,10 +236,42 @@ main(int argc, char **argv)
         } else if (arg == "--telemetry") {
             options.telemetry = true;
         } else if (arg.rfind("--telemetry=", 0) == 0) {
+            const std::string dir =
+                arg.substr(std::string("--telemetry=").size());
+            if (dir.empty()) {
+                std::fprintf(stderr,
+                             "--telemetry= wants a directory (or use plain "
+                             "--telemetry for the --json default)\n");
+                return 2;
+            }
             options.telemetry = true;
-            options.jsonDir = arg.substr(std::string("--telemetry=").size());
+            options.jsonDir = dir;
         } else if (arg == "--trace") {
             options.trace = true;
+        } else if (arg == "--obs-sample-rate") {
+            const auto rate = pdp::parseDouble(needValue(i));
+            if (!rate || !(*rate >= 0.0) || !(*rate <= 1.0)) {
+                std::fprintf(stderr,
+                             "--obs-sample-rate wants a number in [0, 1], "
+                             "got \"%s\"\n",
+                             argv[i]);
+                return 2;
+            }
+            options.obsSampleRate = *rate;
+            if (*rate > 0.0)
+                options.trace = true; // spans ride the trace stream
+        } else if (arg == "--perf-counters") {
+            options.perfCounters = true;
+        } else if (arg == "--fault-at") {
+            const auto at = pdp::parseUnsigned(needValue(i));
+            if (!at || *at == 0) {
+                std::fprintf(stderr,
+                             "--fault-at wants a positive measured-access "
+                             "index, got \"%s\"\n",
+                             argv[i]);
+                return 2;
+            }
+            options.serviceFaultAt = *at;
         } else if (arg == "--verbose" || arg == "-v") {
             options.verbose = true;
         } else if (arg == "--help" || arg == "-h") {

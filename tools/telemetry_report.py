@@ -245,6 +245,36 @@ def drift_violations(doc, bound):
     return violations, worst
 
 
+def warn_dropped_events(doc):
+    """Loudly flag event-ring overflow on stderr.
+
+    The EventTrace ring drops oldest on overflow, so a truncated trace
+    silently understates whatever it was recording (span counts, SLO
+    burn events, PD changes).  Both signals are checked: the per-job
+    ``events_dropped`` field and — in volatile dumps — the process-wide
+    ``telemetry.trace_dropped_events`` registry counter.
+    """
+    dropped_jobs = []
+    for job in doc.get("jobs", []):
+        dropped = (job.get("telemetry") or {}).get("events_dropped", 0)
+        if dropped:
+            dropped_jobs.append((job.get("key", "?"), dropped))
+    registry_drops = (doc.get("registry") or {}) \
+        .get("telemetry.trace_dropped_events", 0)
+    if not dropped_jobs and not registry_drops:
+        return
+    print("WARNING: EventTrace ring overflowed (drop-oldest) — the "
+          "event stream is truncated and every event count understates "
+          "reality.  Raise TelemetryConfig::traceCapacity or sample "
+          "less.", file=sys.stderr)
+    for key, dropped in dropped_jobs:
+        print(f"WARNING:   {key}: {dropped} event(s) dropped",
+              file=sys.stderr)
+    if registry_drops:
+        print(f"WARNING:   registry telemetry.trace_dropped_events = "
+              f"{registry_drops} (process-wide)", file=sys.stderr)
+
+
 def render_job(job):
     tel = job["telemetry"]
     epochs = tel["epochs"]
@@ -318,6 +348,8 @@ def main():
     except ValidationError as err:
         print(f"error: {args.results}: {err}", file=sys.stderr)
         return 1
+
+    warn_dropped_events(doc)
 
     if args.check:
         with_tel = sum(1 for _ in telemetry_jobs(doc, ""))

@@ -182,6 +182,37 @@ class CheckPerfTest(unittest.TestCase):
                          telemetry_idle_ratio=0.99))
         self.assertEqual(self.run_gate(cur_ok, base), 0)
 
+    def test_only_telemetry_idle_skips_families(self):
+        # A --filter'ed hotpath run has no sweep/explore rows; the mode
+        # must not trip the MISSING-row or empty-baseline failures.
+        base = doc(job("hotpath/llc/LRU", vs_aos=2.5),
+                   job("hotpath/sweep/SPDP-B-grid", sweep_speedup=6.0))
+        cur = doc(job("hotpath/llc/LRU-telemetry-idle",
+                      telemetry_idle_ratio=0.99))
+        self.assertEqual(self.run_gate(cur, base,
+                                       "--only-telemetry-idle"), 0)
+        cur_bad = doc(job("hotpath/llc/LRU-telemetry-idle",
+                          telemetry_idle_ratio=0.90))
+        self.assertEqual(self.run_gate(cur_bad, base,
+                                       "--only-telemetry-idle"), 1)
+
+    def test_only_telemetry_idle_requires_the_metric(self):
+        # Without the flag a missing idle metric is skipped; with it the
+        # run under test plainly did not exercise the gate — fail.
+        base = doc(job("hotpath/llc/LRU", vs_aos=2.5))
+        cur = doc(job("hotpath/llc/LRU", vs_aos=2.5))
+        self.assertEqual(self.run_gate(cur, base), 0)
+        self.assertEqual(self.run_gate(cur, base,
+                                       "--only-telemetry-idle"), 1)
+
+    def test_only_telemetry_idle_text_report(self):
+        cur = self.write("current.json",
+                         doc(job("hotpath/llc/LRU-telemetry-idle",
+                                 telemetry_idle_ratio=0.99)))
+        base = self.write("baseline.json", doc())
+        self.assertEqual(
+            check_perf.main([cur, base, "--only-telemetry-idle"]), 0)
+
     def test_text_report_renders_without_crashing(self):
         # The human-readable path (no --json) on a mixed document.
         cur = self.write("current.json",
